@@ -1,0 +1,167 @@
+//! `rvasm` — assembler / disassembler / runner CLI for the RNN-extended
+//! RISC-V core.
+//!
+//! ```text
+//! rvasm asm    prog.s  [-o prog.bin] [--base 0x0]
+//! rvasm disasm prog.bin              [--base 0x0]
+//! rvasm run    prog.s               [--base 0x0] [--max-cycles N] [--trace]
+//! ```
+//!
+//! `run` assembles (or decodes, for `.bin` input), executes on the
+//! simulator with a 64 MiB TCDM, and prints the exit reason, the
+//! register file, and the per-mnemonic cycle statistics.
+
+use rnnasip_asm::assemble_text;
+use rnnasip_isa::Reg;
+use rnnasip_sim::{Machine, Program};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("rvasm: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    command: String,
+    input: String,
+    output: Option<String>,
+    base: u32,
+    max_cycles: u64,
+    trace: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut input = None;
+    let mut output = None;
+    let mut base = 0u32;
+    let mut max_cycles = 100_000_000u64;
+    let mut trace = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" | "--output" => {
+                output = Some(args.next().ok_or("missing value for -o")?);
+            }
+            "--base" => {
+                let v = args.next().ok_or("missing value for --base")?;
+                base = parse_u32(&v)?;
+            }
+            "--max-cycles" => {
+                let v = args.next().ok_or("missing value for --max-cycles")?;
+                max_cycles = v.parse().map_err(|_| format!("bad cycle count `{v}`"))?;
+            }
+            "--trace" => trace = true,
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(Options {
+        command,
+        input: input.ok_or_else(usage)?,
+        output,
+        base,
+        max_cycles,
+        trace,
+    })
+}
+
+fn usage() -> String {
+    "usage: rvasm <asm|disasm|run> <file> [-o out] [--base ADDR] [--max-cycles N] [--trace]"
+        .to_owned()
+}
+
+fn parse_u32(s: &str) -> Result<u32, String> {
+    let r = if let Some(hex) = s.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| format!("bad address `{s}`"))
+}
+
+fn load_program(opts: &Options) -> Result<Program, String> {
+    if opts.input.ends_with(".bin") {
+        let bytes =
+            std::fs::read(&opts.input).map_err(|e| format!("cannot read {}: {e}", opts.input))?;
+        Program::from_bytes(opts.base, &bytes).map_err(|e| format!("decode failed: {e}"))
+    } else {
+        let source = std::fs::read_to_string(&opts.input)
+            .map_err(|e| format!("cannot read {}: {e}", opts.input))?;
+        assemble_text(opts.base, &source).map_err(|e| format!("assembly failed: {e}"))
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let opts = parse_args()?;
+    match opts.command.as_str() {
+        "asm" => {
+            let prog = load_program(&opts)?;
+            let bytes = prog.to_bytes();
+            match &opts.output {
+                Some(path) => {
+                    std::fs::write(path, &bytes)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!(
+                        "{}: {} instructions, {} bytes -> {path}",
+                        opts.input,
+                        prog.len(),
+                        bytes.len()
+                    );
+                }
+                None => {
+                    for item in prog.iter() {
+                        let word = rnnasip_isa::encode(&item.instr);
+                        println!("{:#010x}: {word:08x}  {}", item.addr, item.instr);
+                    }
+                }
+            }
+            Ok(())
+        }
+        "disasm" => {
+            let prog = load_program(&opts)?;
+            for item in prog.iter() {
+                println!("{:#010x}: {}", item.addr, item.instr);
+            }
+            Ok(())
+        }
+        "run" => {
+            let prog = load_program(&opts)?;
+            let mut m = Machine::new(64 << 20);
+            m.load_program(&prog);
+            let exit = if opts.trace {
+                m.run_with_trace(opts.max_cycles, |e| {
+                    println!("{:>10} {:#010x}  {}", e.cycle, e.pc, e.instr);
+                })
+            } else {
+                m.run(opts.max_cycles)
+            }
+            .map_err(|e| format!("execution failed: {e}"))?;
+            println!("exit: {exit}");
+            println!(
+                "cycles: {}  instructions: {}  MACs: {}",
+                m.stats().cycles(),
+                m.stats().instrs(),
+                m.stats().mac_ops()
+            );
+            println!("\nregisters:");
+            for r in Reg::all() {
+                let v = m.core().reg(r);
+                if v != 0 {
+                    println!("  {:<5} = {v:#010x} ({})", r.abi_name(), v as i32);
+                }
+            }
+            println!("\nstatistics:");
+            print!("{}", m.stats());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}

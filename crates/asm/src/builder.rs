@@ -1,0 +1,665 @@
+//! The typed program-builder front end.
+
+use crate::error::AsmError;
+use rnnasip_isa::{
+    AluImmOp, AluOp, BranchOp, Csr, CsrOp, DotOp, Instr, LoadOp, LoopIdx, MulDivOp, PvAluOp, Reg,
+    SimdMode, SimdSize, StoreOp,
+};
+use rnnasip_sim::Program;
+
+/// A forward-referenceable code label.
+///
+/// Created with [`Asm::new_label`], placed with [`Asm::bind`], and
+/// consumed by branch/jump/hardware-loop emitters.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// One queued item: either a finished instruction or one whose offset
+/// field awaits label resolution.
+#[derive(Clone, Copy, Debug)]
+enum Item {
+    Fixed(Instr),
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        target: Label,
+    },
+    Jal {
+        rd: Reg,
+        target: Label,
+    },
+    LpSetup {
+        l: LoopIdx,
+        rs1: Reg,
+        end: Label,
+    },
+    LpSetupi {
+        l: LoopIdx,
+        count: u32,
+        end: Label,
+    },
+    LpEndi {
+        l: LoopIdx,
+        end: Label,
+    },
+    LpStarti {
+        l: LoopIdx,
+        start: Label,
+    },
+}
+
+/// The program builder: emit instructions, bind labels, assemble.
+///
+/// All instructions are emitted in their 32-bit form (deterministic
+/// addresses keep hardware-loop offsets trivially correct; RVC is a
+/// code-size concern handled separately by
+/// [`compress`](rnnasip_isa::compress())).
+///
+/// See the [crate docs](crate) for a complete example.
+#[derive(Debug, Default)]
+pub struct Asm {
+    base: u32,
+    items: Vec<Item>,
+    /// `labels[i]` = item index the label is bound to (delimits code
+    /// *before* that item).
+    labels: Vec<Option<usize>>,
+}
+
+impl Asm {
+    /// Creates a builder placing code from byte address `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not word-aligned.
+    pub fn new(base: u32) -> Self {
+        assert!(base.is_multiple_of(4), "code base must be word-aligned");
+        Self {
+            base,
+            items: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (a builder-usage bug).
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label bound twice; each label may be bound once"
+        );
+        self.labels[label.0] = Some(self.items.len());
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The byte address the next instruction will be placed at.
+    pub fn here(&self) -> u32 {
+        self.base + 4 * self.items.len() as u32
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, instr: Instr) {
+        self.items.push(Item::Fixed(instr));
+    }
+
+    // ------------------------------------------------------------------
+    // RV32I convenience emitters
+    // ------------------------------------------------------------------
+
+    /// `addi rd, rs1, imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::OpImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1,
+            imm,
+        });
+    }
+
+    /// `add rd, rs1, rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    /// `sub rd, rs1, rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    /// `slli rd, rs1, shamt`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i32) {
+        self.emit(Instr::OpImm {
+            op: AluImmOp::Slli,
+            rd,
+            rs1,
+            imm: shamt,
+        });
+    }
+
+    /// `srai rd, rs1, shamt`
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: i32) {
+        self.emit(Instr::OpImm {
+            op: AluImmOp::Srai,
+            rd,
+            rs1,
+            imm: shamt,
+        });
+    }
+
+    /// `srli rd, rs1, shamt`
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i32) {
+        self.emit(Instr::OpImm {
+            op: AluImmOp::Srli,
+            rd,
+            rs1,
+            imm: shamt,
+        });
+    }
+
+    /// `mul rd, rs1, rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::MulDiv {
+            op: MulDivOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    /// Load: `lw rd, offset(rs1)`
+    pub fn lw(&mut self, rd: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Load {
+            op: LoadOp::Lw,
+            rd,
+            rs1,
+            offset,
+        });
+    }
+
+    /// Load halfword (sign-extended): `lh rd, offset(rs1)`
+    pub fn lh(&mut self, rd: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Load {
+            op: LoadOp::Lh,
+            rd,
+            rs1,
+            offset,
+        });
+    }
+
+    /// Store word: `sw rs2, offset(rs1)`
+    pub fn sw(&mut self, rs2: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Store {
+            op: StoreOp::Sw,
+            rs2,
+            rs1,
+            offset,
+        });
+    }
+
+    /// Store halfword: `sh rs2, offset(rs1)`
+    pub fn sh(&mut self, rs2: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Store {
+            op: StoreOp::Sh,
+            rs2,
+            rs1,
+            offset,
+        });
+    }
+
+    /// Conditional branch to a label.
+    pub fn branch(&mut self, op: BranchOp, rs1: Reg, rs2: Reg, target: Label) {
+        self.items.push(Item::Branch {
+            op,
+            rs1,
+            rs2,
+            target,
+        });
+    }
+
+    /// `bne rs1, rs2, target`
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchOp::Bne, rs1, rs2, target);
+    }
+
+    /// `bltu rs1, rs2, target`
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchOp::Bltu, rs1, rs2, target);
+    }
+
+    /// `bnez rs1, target` (pseudo: `bne rs1, zero, target`)
+    pub fn bnez(&mut self, rs1: Reg, target: Label) {
+        self.bne(rs1, Reg::ZERO, target);
+    }
+
+    /// `jal rd, target`
+    pub fn jal(&mut self, rd: Reg, target: Label) {
+        self.items.push(Item::Jal { rd, target });
+    }
+
+    /// `j target` (pseudo: `jal zero, target`)
+    pub fn j(&mut self, target: Label) {
+        self.jal(Reg::ZERO, target);
+    }
+
+    /// `jalr rd, offset(rs1)`
+    pub fn jalr(&mut self, rd: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Jalr { rd, rs1, offset });
+    }
+
+    /// `ret` (pseudo: `jalr zero, 0(ra)`)
+    pub fn ret(&mut self) {
+        self.jalr(Reg::ZERO, 0, Reg::RA);
+    }
+
+    /// `nop` (pseudo: `addi zero, zero, 0`)
+    pub fn nop(&mut self) {
+        self.addi(Reg::ZERO, Reg::ZERO, 0);
+    }
+
+    /// `mv rd, rs` (pseudo: `addi rd, rs, 0`)
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// Loads a 32-bit constant, emitting one or two instructions
+    /// (`addi` alone, or `lui`+`addi`).
+    pub fn li(&mut self, rd: Reg, value: i32) {
+        if (-2048..2048).contains(&value) {
+            self.addi(rd, Reg::ZERO, value);
+            return;
+        }
+        // Split into upper 20 and lower signed 12; the +0x800 trick
+        // compensates for the sign extension of the addi immediate.
+        let upper = ((value as u32).wrapping_add(0x800) >> 12) as i32;
+        let lower = value - (upper << 12);
+        self.emit(Instr::Lui {
+            rd,
+            imm20: upper & 0xFFFFF,
+        });
+        if lower != 0 {
+            self.addi(rd, rd, lower);
+        }
+    }
+
+    /// `ecall` — conventional program exit.
+    pub fn ecall(&mut self) {
+        self.emit(Instr::Ecall);
+    }
+
+    /// `csrrs rd, csr, zero` — CSR read.
+    pub fn csrr(&mut self, rd: Reg, csr: Csr) {
+        self.emit(Instr::Csr {
+            op: CsrOp::Csrrs,
+            rd,
+            rs1: Reg::ZERO,
+            csr,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Xpulp emitters
+    // ------------------------------------------------------------------
+
+    /// `p.lw rd, offset(rs1!)` — post-increment load word.
+    pub fn lw_post(&mut self, rd: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::LoadPostInc {
+            op: LoadOp::Lw,
+            rd,
+            rs1,
+            offset,
+        });
+    }
+
+    /// `p.lh rd, offset(rs1!)` — post-increment load halfword.
+    pub fn lh_post(&mut self, rd: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::LoadPostInc {
+            op: LoadOp::Lh,
+            rd,
+            rs1,
+            offset,
+        });
+    }
+
+    /// `p.sw rs2, offset(rs1!)` — post-increment store word.
+    pub fn sw_post(&mut self, rs2: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::StorePostInc {
+            op: StoreOp::Sw,
+            rs2,
+            rs1,
+            offset,
+        });
+    }
+
+    /// `p.sh rs2, offset(rs1!)` — post-increment store halfword.
+    pub fn sh_post(&mut self, rs2: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::StorePostInc {
+            op: StoreOp::Sh,
+            rs2,
+            rs1,
+            offset,
+        });
+    }
+
+    /// `lp.setup l, rs1, end` — hardware loop with register count; the
+    /// body is every instruction between this one and the bind point of
+    /// `end`.
+    pub fn lp_setup(&mut self, l: LoopIdx, rs1: Reg, end: Label) {
+        self.items.push(Item::LpSetup { l, rs1, end });
+    }
+
+    /// `lp.setupi l, count, end` — hardware loop with immediate count
+    /// (1–31 iterations).
+    pub fn lp_setupi(&mut self, l: LoopIdx, count: u32, end: Label) {
+        self.items.push(Item::LpSetupi { l, count, end });
+    }
+
+    /// `lp.counti l, count`
+    pub fn lp_counti(&mut self, l: LoopIdx, count: u32) {
+        self.emit(Instr::LpCounti { l, uimm: count });
+    }
+
+    /// `lp.count l, rs1`
+    pub fn lp_count(&mut self, l: LoopIdx, rs1: Reg) {
+        self.emit(Instr::LpCount { l, rs1 });
+    }
+
+    /// `lp.starti l, start`
+    pub fn lp_starti(&mut self, l: LoopIdx, start: Label) {
+        self.items.push(Item::LpStarti { l, start });
+    }
+
+    /// `lp.endi l, end`
+    pub fn lp_endi(&mut self, l: LoopIdx, end: Label) {
+        self.items.push(Item::LpEndi { l, end });
+    }
+
+    /// `p.mac rd, rs1, rs2`
+    pub fn mac(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Mac { rd, rs1, rs2 });
+    }
+
+    /// `p.clip rd, rs1, bits`
+    pub fn clip(&mut self, rd: Reg, rs1: Reg, bits: u8) {
+        self.emit(Instr::Clip { rd, rs1, bits });
+    }
+
+    /// `pv.sdotsp.h rd, rs1, rs2` — packed sum-dot-product accumulate.
+    pub fn pv_sdotsp_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::PvDot {
+            op: DotOp::SdotSp,
+            size: SimdSize::Half,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    /// `pv.add.h rd, rs1, rs2`
+    pub fn pv_add_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::PvAlu {
+            op: PvAluOp::Add,
+            size: SimdSize::Half,
+            mode: SimdMode::Vv,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // RNN extension emitters
+    // ------------------------------------------------------------------
+
+    /// `pl.sdotsp.h.<spr> rd, rs1, rs2` — merged load-and-compute.
+    pub fn pl_sdotsp(&mut self, spr: u8, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::PlSdotsp {
+            spr,
+            size: SimdSize::Half,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    /// `pl.sdotsp.b.<spr> rd, rs1, rs2` — the INT8 (four-lane) variant
+    /// of the merged load-and-compute instruction (future-work
+    /// extension).
+    pub fn pl_sdotsp_b(&mut self, spr: u8, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::PlSdotsp {
+            spr,
+            size: SimdSize::Byte,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    /// `pl.tanh rd, rs1`
+    pub fn pl_tanh(&mut self, rd: Reg, rs1: Reg) {
+        self.emit(Instr::PlTanh { rd, rs1 });
+    }
+
+    /// `pl.sig rd, rs1`
+    pub fn pl_sig(&mut self, rd: Reg, rs1: Reg) {
+        self.emit(Instr::PlSig { rd, rs1 });
+    }
+
+    // ------------------------------------------------------------------
+    // Assembly
+    // ------------------------------------------------------------------
+
+    /// Resolves labels and produces the loadable [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// [`AsmError::UnboundLabel`] for labels never bound,
+    /// [`AsmError::OffsetOutOfRange`] when a branch/jump/loop offset does
+    /// not fit its encoding, and [`AsmError::LoopEndBeforeSetup`] for
+    /// hardware loops whose end label is not after the setup instruction.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        let addr_of = |item_idx: usize| self.base + 4 * item_idx as u32;
+        let resolve = |label: Label| -> Result<u32, AsmError> {
+            self.labels[label.0]
+                .map(addr_of)
+                .ok_or_else(|| AsmError::UnboundLabel {
+                    name: format!("L{}", label.0),
+                })
+        };
+
+        let mut prog = Program::new(self.base);
+        for (idx, item) in self.items.iter().enumerate() {
+            let pc = addr_of(idx);
+            let instr = match *item {
+                Item::Fixed(i) => i,
+                Item::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    let offset = resolve(target)? as i64 - pc as i64;
+                    if !(-4096..4096).contains(&offset) {
+                        return Err(AsmError::OffsetOutOfRange {
+                            mnemonic: op.mnemonic(),
+                            offset,
+                        });
+                    }
+                    Instr::Branch {
+                        op,
+                        rs1,
+                        rs2,
+                        offset: offset as i32,
+                    }
+                }
+                Item::Jal { rd, target } => {
+                    let offset = resolve(target)? as i64 - pc as i64;
+                    if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                        return Err(AsmError::OffsetOutOfRange {
+                            mnemonic: "jal",
+                            offset,
+                        });
+                    }
+                    Instr::Jal {
+                        rd,
+                        offset: offset as i32,
+                    }
+                }
+                Item::LpSetup { l, rs1, end } => {
+                    let uimm = self.loop_uimm(pc, resolve(end)?, "lp.setup")?;
+                    Instr::LpSetup { l, rs1, uimm }
+                }
+                Item::LpSetupi { l, count, end } => {
+                    let uimm = self.loop_uimm(pc, resolve(end)?, "lp.setupi")?;
+                    Instr::LpSetupi { l, count, uimm }
+                }
+                Item::LpEndi { l, end } => {
+                    let uimm = self.loop_uimm(pc, resolve(end)?, "lp.endi")?;
+                    Instr::LpEndi { l, uimm }
+                }
+                Item::LpStarti { l, start } => {
+                    let uimm = self.loop_uimm(pc, resolve(start)?, "lp.starti")?;
+                    Instr::LpStarti { l, uimm }
+                }
+            };
+            prog.push(instr, 4);
+        }
+        Ok(prog)
+    }
+
+    /// Hardware-loop offsets are unsigned halfword distances from the
+    /// setup instruction.
+    fn loop_uimm(&self, pc: u32, target: u32, mnemonic: &'static str) -> Result<u32, AsmError> {
+        if target <= pc {
+            return Err(AsmError::LoopEndBeforeSetup {
+                setup_addr: pc,
+                end_addr: target,
+            });
+        }
+        let uimm = (target - pc) / 2;
+        if uimm >= 4096 {
+            return Err(AsmError::OffsetOutOfRange {
+                mnemonic,
+                offset: (target - pc) as i64,
+            });
+        }
+        Ok(uimm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnnasip_sim::Machine;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Asm::new(0);
+        let top = a.new_label();
+        let out = a.new_label();
+        a.li(Reg::A0, 3);
+        a.bind(top);
+        a.addi(Reg::A1, Reg::A1, 5);
+        a.addi(Reg::A0, Reg::A0, -1);
+        a.branch(BranchOp::Beq, Reg::A0, Reg::ZERO, out);
+        a.j(top);
+        a.bind(out);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut m = Machine::new(1024);
+        m.load_program(&prog);
+        m.run(10_000).unwrap();
+        assert_eq!(m.core().reg(Reg::A1), 15);
+    }
+
+    #[test]
+    fn li_small_and_large() {
+        let mut a = Asm::new(0);
+        a.li(Reg::A0, 42);
+        a.li(Reg::A1, 0x12345);
+        a.li(Reg::A2, -0x12345);
+        a.li(Reg::A3, i32::MIN);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut m = Machine::new(64);
+        m.load_program(&prog);
+        m.run(100).unwrap();
+        assert_eq!(m.core().reg(Reg::A0), 42);
+        assert_eq!(m.core().reg(Reg::A1), 0x12345);
+        assert_eq!(m.core().reg(Reg::A2) as i32, -0x12345);
+        assert_eq!(m.core().reg(Reg::A3) as i32, i32::MIN);
+    }
+
+    #[test]
+    fn unbound_label_is_reported() {
+        let mut a = Asm::new(0);
+        let ghost = a.new_label();
+        a.j(ghost);
+        assert!(matches!(a.assemble(), Err(AsmError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    fn loop_end_must_follow_setup() {
+        let mut a = Asm::new(0);
+        let before = a.new_label();
+        a.bind(before);
+        a.nop();
+        a.lp_setup(LoopIdx::L0, Reg::A0, before);
+        assert!(matches!(
+            a.assemble(),
+            Err(AsmError::LoopEndBeforeSetup { .. })
+        ));
+    }
+
+    #[test]
+    fn hardware_loop_via_builder_runs() {
+        let mut a = Asm::new(0);
+        a.li(Reg::A0, 7);
+        let end = a.new_label();
+        a.lp_setup(LoopIdx::L0, Reg::A0, end);
+        a.addi(Reg::A1, Reg::A1, 2);
+        a.bind(end);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut m = Machine::new(64);
+        m.load_program(&prog);
+        m.run(1000).unwrap();
+        assert_eq!(m.core().reg(Reg::A1), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new(0);
+        let l = a.new_label();
+        a.bind(l);
+        a.bind(l);
+    }
+}

@@ -1,0 +1,61 @@
+//! Assembler errors.
+
+use core::fmt;
+
+/// Errors produced while building or parsing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound to an address.
+    UnboundLabel {
+        /// Internal label index (builder) or name (text assembler).
+        name: String,
+    },
+    /// A label was bound twice.
+    DuplicateLabel {
+        /// Label name.
+        name: String,
+    },
+    /// A PC-relative offset does not fit its encoding field.
+    OffsetOutOfRange {
+        /// Mnemonic of the offending instruction.
+        mnemonic: &'static str,
+        /// The computed byte offset.
+        offset: i64,
+    },
+    /// A hardware-loop end label is before (or at) the setup instruction.
+    LoopEndBeforeSetup {
+        /// Byte address of the setup instruction.
+        setup_addr: u32,
+        /// Byte address of the bound end label.
+        end_addr: u32,
+    },
+    /// Text parse error.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { name } => write!(f, "unbound label `{name}`"),
+            AsmError::DuplicateLabel { name } => write!(f, "duplicate label `{name}`"),
+            AsmError::OffsetOutOfRange { mnemonic, offset } => {
+                write!(f, "offset {offset} out of range for `{mnemonic}`")
+            }
+            AsmError::LoopEndBeforeSetup {
+                setup_addr,
+                end_addr,
+            } => write!(
+                f,
+                "hardware-loop end {end_addr:#x} not after setup {setup_addr:#x}"
+            ),
+            AsmError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}

@@ -1,0 +1,44 @@
+//! Assembler for the RNN-extended RISC-V core.
+//!
+//! Two front ends produce the same [`Program`](rnnasip_sim::Program):
+//!
+//! * [`Asm`] — a typed **builder API** with labels. This is what the
+//!   kernel generators in `rnnasip-core` use: emission is a method call
+//!   per instruction, labels are bound and referenced symbolically, and a
+//!   final two-pass resolve turns them into PC-relative offsets (and
+//!   hardware-loop end offsets).
+//! * [`assemble_text`] — a **text assembler** accepting the same syntax
+//!   the disassembler prints (plus labels, comments and common pseudo
+//!   instructions), so `assemble_text(prog.to_string())` round-trips.
+//!
+//! # Example
+//!
+//! ```
+//! use rnnasip_asm::Asm;
+//! use rnnasip_isa::Reg;
+//!
+//! // Sum the integers 1..=10 with a hardware loop.
+//! let mut a = Asm::new(0);
+//! a.li(Reg::A0, 10); // loop count
+//! a.li(Reg::A1, 0); // accumulator
+//! let end = a.new_label();
+//! a.lp_setup(rnnasip_isa::LoopIdx::L0, Reg::A0, end);
+//! a.add(Reg::A1, Reg::A1, Reg::A0);
+//! a.addi(Reg::A0, Reg::A0, -1);
+//! a.bind(end);
+//! a.ecall();
+//! let prog = a.assemble()?;
+//! assert!(prog.len() >= 6);
+//! # Ok::<(), rnnasip_asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod parse;
+
+pub use builder::{Asm, Label};
+pub use error::AsmError;
+pub use parse::assemble_text;

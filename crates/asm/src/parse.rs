@@ -1,0 +1,910 @@
+//! The text-assembler front end.
+//!
+//! Accepts the syntax the disassembler prints, plus:
+//!
+//! * labels (`name:` on their own or before an instruction),
+//! * comments (`#`, `//` or `;` to end of line),
+//! * pseudo instructions: `nop`, `mv`, `li`, `j`, `ret`, `beqz`, `bnez`,
+//!   `csrr`,
+//! * label operands wherever the disassembler prints a numeric
+//!   PC-relative offset (branches, `jal`, `lp.setup*`).
+
+use crate::builder::{Asm, Label};
+use crate::error::AsmError;
+use rnnasip_isa::{
+    AluImmOp, AluOp, BranchOp, Csr, CsrOp, DotOp, Instr, LoadOp, LoopIdx, MulDivOp, PvAluOp, Reg,
+    SimdMode, SimdSize, StoreOp,
+};
+use rnnasip_sim::Program;
+use std::collections::HashMap;
+
+/// Assembles source text into a program placed at `base`.
+///
+/// # Errors
+///
+/// [`AsmError::Parse`] with the offending line for syntax errors;
+/// label/offset errors as in [`Asm::assemble`].
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_asm::assemble_text;
+///
+/// let prog = assemble_text(0, r"
+///     li   a0, 5
+///     li   a1, 0
+/// top:
+///     add  a1, a1, a0
+///     addi a0, a0, -1
+///     bnez a0, top
+///     ecall
+/// ")?;
+/// assert!(prog.len() > 4);
+/// # Ok::<(), rnnasip_asm::AsmError>(())
+/// ```
+pub fn assemble_text(base: u32, source: &str) -> Result<Program, AsmError> {
+    let mut asm = Asm::new(base);
+    let mut labels: HashMap<String, Label> = HashMap::new();
+    let mut bound: Vec<String> = Vec::new();
+
+    let mut get_label = |asm: &mut Asm, name: &str| -> Label {
+        if let Some(&l) = labels.get(name) {
+            l
+        } else {
+            let l = asm.new_label();
+            labels.insert(name.to_owned(), l);
+            l
+        }
+    };
+
+    for (lineno, raw_line) in source.lines().enumerate() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        // Leading labels (possibly several).
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let name = head.trim();
+            if name.is_empty() || !is_ident(name) {
+                break;
+            }
+            let label = get_label(&mut asm, name);
+            if bound.contains(&name.to_owned()) {
+                return Err(AsmError::DuplicateLabel {
+                    name: name.to_owned(),
+                });
+            }
+            asm.bind(label);
+            bound.push(name.to_owned());
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        parse_instr(&mut asm, rest, lineno + 1, &mut |a, n| get_label(a, n))?;
+    }
+    asm.assemble()
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for pat in ["#", "//", ";"] {
+        if let Some(i) = line.find(pat) {
+            end = end.min(i);
+        }
+    }
+    &line[..end]
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.chars().next().expect("nonempty").is_ascii_digit()
+}
+
+fn perr(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    tok.parse::<Reg>().map_err(|e| perr(line, format!("{e}")))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| perr(line, format!("bad immediate `{tok}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+/// `offset(base)` / `offset(base!)` / `reg(base)` memory operand.
+struct MemOperand {
+    base: Reg,
+    /// `Ok(imm)` or `Err(index register)`.
+    offset: Result<i32, Reg>,
+    post_increment: bool,
+}
+
+fn parse_mem(tok: &str, line: usize) -> Result<MemOperand, AsmError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| perr(line, format!("expected memory operand, got `{tok}`")))?;
+    let close = tok
+        .rfind(')')
+        .ok_or_else(|| perr(line, format!("missing `)` in `{tok}`")))?;
+    let off_str = tok[..open].trim();
+    let mut base_str = tok[open + 1..close].trim();
+    let post_increment = if let Some(b) = base_str.strip_suffix('!') {
+        base_str = b.trim();
+        true
+    } else {
+        false
+    };
+    let base = parse_reg(base_str, line)?;
+    let offset = if off_str.is_empty() {
+        Ok(0)
+    } else if let Ok(imm) = parse_imm(off_str, line) {
+        Ok(imm as i32)
+    } else {
+        Err(parse_reg(off_str, line)?)
+    };
+    Ok(MemOperand {
+        base,
+        offset,
+        post_increment,
+    })
+}
+
+fn parse_loop_idx(tok: &str, line: usize) -> Result<LoopIdx, AsmError> {
+    match tok.trim() {
+        "0" => Ok(LoopIdx::L0),
+        "1" => Ok(LoopIdx::L1),
+        other => Err(perr(line, format!("bad loop index `{other}`"))),
+    }
+}
+
+fn parse_csr(tok: &str, line: usize) -> Result<Csr, AsmError> {
+    let names = [
+        ("mcycle", Csr::Mcycle),
+        ("mcycleh", Csr::Mcycleh),
+        ("minstret", Csr::Minstret),
+        ("minstreth", Csr::Minstreth),
+        ("lpstart0", Csr::LpStart0),
+        ("lpend0", Csr::LpEnd0),
+        ("lpcount0", Csr::LpCount0),
+        ("lpstart1", Csr::LpStart1),
+        ("lpend1", Csr::LpEnd1),
+        ("lpcount1", Csr::LpCount1),
+    ];
+    for (name, csr) in names {
+        if tok == name {
+            return Ok(csr);
+        }
+    }
+    let addr = parse_imm(tok, line)?;
+    Ok(Csr::from_addr(addr as u16))
+}
+
+type GetLabel<'a> = dyn FnMut(&mut Asm, &str) -> Label + 'a;
+
+/// Branch/jump target: numeric offset (emitted fixed) or label.
+enum Target {
+    Offset(i32),
+    Label(Label),
+}
+
+fn parse_target(
+    asm: &mut Asm,
+    tok: &str,
+    line: usize,
+    get_label: &mut GetLabel,
+) -> Result<Target, AsmError> {
+    if let Ok(imm) = parse_imm(tok, line) {
+        Ok(Target::Offset(imm as i32))
+    } else if is_ident(tok) {
+        Ok(Target::Label(get_label(asm, tok)))
+    } else {
+        Err(perr(line, format!("bad branch target `{tok}`")))
+    }
+}
+
+fn parse_instr(
+    asm: &mut Asm,
+    text: &str,
+    line: usize,
+    get_label: &mut GetLabel,
+) -> Result<(), AsmError> {
+    let (mnemonic, ops_str) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> = if ops_str.is_empty() {
+        Vec::new()
+    } else {
+        ops_str.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(perr(
+                line,
+                format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+            ))
+        }
+    };
+
+    // Branch helper shared by all conditional branches.
+    let mut do_branch = |asm: &mut Asm,
+                         op: BranchOp,
+                         rs1: Reg,
+                         rs2: Reg,
+                         target_tok: &str|
+     -> Result<(), AsmError> {
+        match parse_target(asm, target_tok, line, get_label)? {
+            Target::Offset(offset) => {
+                asm.emit(Instr::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    offset,
+                });
+                Ok(())
+            }
+            Target::Label(l) => {
+                asm.branch(op, rs1, rs2, l);
+                Ok(())
+            }
+        }
+    };
+
+    match mnemonic {
+        // ---------------- pseudo ----------------
+        "nop" => {
+            want(0)?;
+            asm.nop();
+        }
+        "ecall" => {
+            want(0)?;
+            asm.ecall();
+        }
+        "ebreak" => {
+            want(0)?;
+            asm.emit(Instr::Ebreak);
+        }
+        "fence" => {
+            want(0)?;
+            asm.emit(Instr::Fence);
+        }
+        "ret" => {
+            want(0)?;
+            asm.ret();
+        }
+        "mv" => {
+            want(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs = parse_reg(ops[1], line)?;
+            asm.mv(rd, rs);
+        }
+        "li" => {
+            want(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let imm = parse_imm(ops[1], line)?;
+            asm.li(rd, imm as i32);
+        }
+        "j" => {
+            want(1)?;
+            match parse_target(asm, ops[0], line, get_label)? {
+                Target::Offset(offset) => asm.emit(Instr::Jal {
+                    rd: Reg::ZERO,
+                    offset,
+                }),
+                Target::Label(l) => asm.j(l),
+            }
+        }
+        "beqz" | "bnez" => {
+            want(2)?;
+            let rs1 = parse_reg(ops[0], line)?;
+            let op = if mnemonic == "beqz" {
+                BranchOp::Beq
+            } else {
+                BranchOp::Bne
+            };
+            do_branch(asm, op, rs1, Reg::ZERO, ops[1])?;
+        }
+        "csrr" => {
+            want(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let csr = parse_csr(ops[1], line)?;
+            asm.csrr(rd, csr);
+        }
+
+        // ---------------- RV32I ----------------
+        "lui" | "auipc" => {
+            want(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let imm20 = (parse_imm(ops[1], line)? & 0xFFFFF) as i32;
+            asm.emit(if mnemonic == "lui" {
+                Instr::Lui { rd, imm20 }
+            } else {
+                Instr::Auipc { rd, imm20 }
+            });
+        }
+        "jal" => {
+            let (rd, target_tok) = match ops.len() {
+                1 => (Reg::RA, ops[0]),
+                2 => (parse_reg(ops[0], line)?, ops[1]),
+                n => return Err(perr(line, format!("`jal` expects 1-2 operands, got {n}"))),
+            };
+            match parse_target(asm, target_tok, line, get_label)? {
+                Target::Offset(offset) => asm.emit(Instr::Jal { rd, offset }),
+                Target::Label(l) => asm.jal(rd, l),
+            }
+        }
+        "jalr" => {
+            want(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let mem = parse_mem(ops[1], line)?;
+            let offset = mem
+                .offset
+                .map_err(|_| perr(line, "jalr needs an immediate offset"))?;
+            asm.jalr(rd, offset, mem.base);
+        }
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            want(3)?;
+            let op = match mnemonic {
+                "beq" => BranchOp::Beq,
+                "bne" => BranchOp::Bne,
+                "blt" => BranchOp::Blt,
+                "bge" => BranchOp::Bge,
+                "bltu" => BranchOp::Bltu,
+                _ => BranchOp::Bgeu,
+            };
+            let rs1 = parse_reg(ops[0], line)?;
+            let rs2 = parse_reg(ops[1], line)?;
+            do_branch(asm, op, rs1, rs2, ops[2])?;
+        }
+        "lb" | "lh" | "lw" | "lbu" | "lhu" => {
+            want(2)?;
+            let op = load_op(mnemonic);
+            let rd = parse_reg(ops[0], line)?;
+            let mem = parse_mem(ops[1], line)?;
+            if mem.post_increment {
+                return Err(perr(line, "post-increment requires the p.-prefixed form"));
+            }
+            let offset = mem
+                .offset
+                .map_err(|_| perr(line, "register offsets require the p.-prefixed form"))?;
+            asm.emit(Instr::Load {
+                op,
+                rd,
+                rs1: mem.base,
+                offset,
+            });
+        }
+        "sb" | "sh" | "sw" => {
+            want(2)?;
+            let op = store_op(mnemonic);
+            let rs2 = parse_reg(ops[0], line)?;
+            let mem = parse_mem(ops[1], line)?;
+            if mem.post_increment {
+                return Err(perr(line, "post-increment requires the p.-prefixed form"));
+            }
+            let offset = mem
+                .offset
+                .map_err(|_| perr(line, "register-offset stores are not supported"))?;
+            asm.emit(Instr::Store {
+                op,
+                rs2,
+                rs1: mem.base,
+                offset,
+            });
+        }
+        "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" | "slli" | "srli" | "srai" => {
+            want(3)?;
+            let op = match mnemonic {
+                "addi" => AluImmOp::Addi,
+                "slti" => AluImmOp::Slti,
+                "sltiu" => AluImmOp::Sltiu,
+                "xori" => AluImmOp::Xori,
+                "ori" => AluImmOp::Ori,
+                "andi" => AluImmOp::Andi,
+                "slli" => AluImmOp::Slli,
+                "srli" => AluImmOp::Srli,
+                _ => AluImmOp::Srai,
+            };
+            let rd = parse_reg(ops[0], line)?;
+            let rs1 = parse_reg(ops[1], line)?;
+            let imm = parse_imm(ops[2], line)? as i32;
+            asm.emit(Instr::OpImm { op, rd, rs1, imm });
+        }
+        "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and" => {
+            want(3)?;
+            let op = match mnemonic {
+                "add" => AluOp::Add,
+                "sub" => AluOp::Sub,
+                "sll" => AluOp::Sll,
+                "slt" => AluOp::Slt,
+                "sltu" => AluOp::Sltu,
+                "xor" => AluOp::Xor,
+                "srl" => AluOp::Srl,
+                "sra" => AluOp::Sra,
+                "or" => AluOp::Or,
+                _ => AluOp::And,
+            };
+            let (rd, rs1, rs2) = three_regs(&ops, line)?;
+            asm.emit(Instr::Op { op, rd, rs1, rs2 });
+        }
+        "mul" | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" => {
+            want(3)?;
+            let op = match mnemonic {
+                "mul" => MulDivOp::Mul,
+                "mulh" => MulDivOp::Mulh,
+                "mulhsu" => MulDivOp::Mulhsu,
+                "mulhu" => MulDivOp::Mulhu,
+                "div" => MulDivOp::Div,
+                "divu" => MulDivOp::Divu,
+                "rem" => MulDivOp::Rem,
+                _ => MulDivOp::Remu,
+            };
+            let (rd, rs1, rs2) = three_regs(&ops, line)?;
+            asm.emit(Instr::MulDiv { op, rd, rs1, rs2 });
+        }
+        "csrrw" | "csrrs" | "csrrc" => {
+            want(3)?;
+            let op = match mnemonic {
+                "csrrw" => CsrOp::Csrrw,
+                "csrrs" => CsrOp::Csrrs,
+                _ => CsrOp::Csrrc,
+            };
+            let rd = parse_reg(ops[0], line)?;
+            let csr = parse_csr(ops[1], line)?;
+            let rs1 = parse_reg(ops[2], line)?;
+            asm.emit(Instr::Csr { op, rd, rs1, csr });
+        }
+
+        // ---------------- Xpulp memory ----------------
+        "p.lb" | "p.lh" | "p.lw" | "p.lbu" | "p.lhu" => {
+            want(2)?;
+            let op = load_op(&mnemonic[2..]);
+            let rd = parse_reg(ops[0], line)?;
+            let mem = parse_mem(ops[1], line)?;
+            match (mem.post_increment, mem.offset) {
+                (true, Ok(offset)) => asm.emit(Instr::LoadPostInc {
+                    op,
+                    rd,
+                    rs1: mem.base,
+                    offset,
+                }),
+                (false, Err(rs2)) => asm.emit(Instr::LoadReg {
+                    op,
+                    rd,
+                    rs1: mem.base,
+                    rs2,
+                }),
+                _ => {
+                    return Err(perr(
+                        line,
+                        "p.-loads take `imm(base!)` or `reg(base)` operands",
+                    ))
+                }
+            }
+        }
+        "p.sb" | "p.sh" | "p.sw" => {
+            want(2)?;
+            let op = store_op(&mnemonic[2..]);
+            let rs2 = parse_reg(ops[0], line)?;
+            let mem = parse_mem(ops[1], line)?;
+            let offset = mem
+                .offset
+                .map_err(|_| perr(line, "p.-stores take `imm(base!)` operands"))?;
+            if !mem.post_increment {
+                return Err(perr(line, "p.-stores take `imm(base!)` operands"));
+            }
+            asm.emit(Instr::StorePostInc {
+                op,
+                rs2,
+                rs1: mem.base,
+                offset,
+            });
+        }
+
+        // ---------------- hardware loops ----------------
+        "lp.starti" | "lp.endi" => {
+            want(2)?;
+            let l = parse_loop_idx(ops[0], line)?;
+            match parse_target(asm, ops[1], line, get_label)? {
+                Target::Offset(uimm) => asm.emit(if mnemonic == "lp.starti" {
+                    Instr::LpStarti {
+                        l,
+                        uimm: uimm as u32,
+                    }
+                } else {
+                    Instr::LpEndi {
+                        l,
+                        uimm: uimm as u32,
+                    }
+                }),
+                Target::Label(label) => {
+                    if mnemonic == "lp.starti" {
+                        asm.lp_starti(l, label);
+                    } else {
+                        asm.lp_endi(l, label);
+                    }
+                }
+            }
+        }
+        "lp.count" => {
+            want(2)?;
+            let l = parse_loop_idx(ops[0], line)?;
+            let rs1 = parse_reg(ops[1], line)?;
+            asm.lp_count(l, rs1);
+        }
+        "lp.counti" => {
+            want(2)?;
+            let l = parse_loop_idx(ops[0], line)?;
+            let count = parse_imm(ops[1], line)? as u32;
+            asm.lp_counti(l, count);
+        }
+        "lp.setup" => {
+            want(3)?;
+            let l = parse_loop_idx(ops[0], line)?;
+            let rs1 = parse_reg(ops[1], line)?;
+            match parse_target(asm, ops[2], line, get_label)? {
+                Target::Offset(uimm) => asm.emit(Instr::LpSetup {
+                    l,
+                    rs1,
+                    uimm: uimm as u32,
+                }),
+                Target::Label(label) => asm.lp_setup(l, rs1, label),
+            }
+        }
+        "lp.setupi" => {
+            want(3)?;
+            let l = parse_loop_idx(ops[0], line)?;
+            let count = parse_imm(ops[1], line)? as u32;
+            match parse_target(asm, ops[2], line, get_label)? {
+                Target::Offset(uimm) => asm.emit(Instr::LpSetupi {
+                    l,
+                    count,
+                    uimm: uimm as u32,
+                }),
+                Target::Label(label) => asm.lp_setupi(l, count, label),
+            }
+        }
+
+        // ---------------- Xpulp scalar DSP ----------------
+        "p.mac" | "p.msu" => {
+            want(3)?;
+            let (rd, rs1, rs2) = three_regs(&ops, line)?;
+            asm.emit(if mnemonic == "p.mac" {
+                Instr::Mac { rd, rs1, rs2 }
+            } else {
+                Instr::Msu { rd, rs1, rs2 }
+            });
+        }
+        "p.clip" | "p.clipu" => {
+            want(3)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs1 = parse_reg(ops[1], line)?;
+            let bits = parse_imm(ops[2], line)? as u8;
+            asm.emit(if mnemonic == "p.clip" {
+                Instr::Clip { rd, rs1, bits }
+            } else {
+                Instr::ClipU { rd, rs1, bits }
+            });
+        }
+        "p.exths" | "p.exthz" | "p.extbs" | "p.extbz" | "p.abs" | "p.ff1" | "p.fl1" | "p.cnt"
+        | "p.clb" => {
+            want(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs1 = parse_reg(ops[1], line)?;
+            asm.emit(match mnemonic {
+                "p.exths" => Instr::ExtHs { rd, rs1 },
+                "p.exthz" => Instr::ExtHz { rd, rs1 },
+                "p.extbs" => Instr::ExtBs { rd, rs1 },
+                "p.extbz" => Instr::ExtBz { rd, rs1 },
+                "p.ff1" => Instr::Ff1 { rd, rs1 },
+                "p.fl1" => Instr::Fl1 { rd, rs1 },
+                "p.cnt" => Instr::Cnt { rd, rs1 },
+                "p.clb" => Instr::Clb { rd, rs1 },
+                _ => Instr::PAbs { rd, rs1 },
+            });
+        }
+        "p.min" | "p.max" | "p.ror" => {
+            want(3)?;
+            let (rd, rs1, rs2) = three_regs(&ops, line)?;
+            asm.emit(match mnemonic {
+                "p.min" => Instr::PMin { rd, rs1, rs2 },
+                "p.max" => Instr::PMax { rd, rs1, rs2 },
+                _ => Instr::Ror { rd, rs1, rs2 },
+            });
+        }
+
+        // ---------------- RNN extension ----------------
+        "pl.sdotsp.h.0" | "pl.sdotsp.h.1" | "pl.sdotsp.b.0" | "pl.sdotsp.b.1" => {
+            want(3)?;
+            let spr = if mnemonic.ends_with('0') { 0 } else { 1 };
+            let (rd, rs1, rs2) = three_regs(&ops, line)?;
+            if mnemonic.contains(".h.") {
+                asm.pl_sdotsp(spr, rd, rs1, rs2);
+            } else {
+                asm.pl_sdotsp_b(spr, rd, rs1, rs2);
+            }
+        }
+        "pl.tanh" | "pl.sig" => {
+            want(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs1 = parse_reg(ops[1], line)?;
+            if mnemonic == "pl.tanh" {
+                asm.pl_tanh(rd, rs1);
+            } else {
+                asm.pl_sig(rd, rs1);
+            }
+        }
+
+        // ---------------- packed SIMD ----------------
+        m if m.starts_with("pv.") => {
+            parse_pv(asm, m, &ops, line)?;
+        }
+
+        other => {
+            return Err(perr(line, format!("unknown mnemonic `{other}`")));
+        }
+    }
+    Ok(())
+}
+
+fn three_regs(ops: &[&str], line: usize) -> Result<(Reg, Reg, Reg), AsmError> {
+    Ok((
+        parse_reg(ops[0], line)?,
+        parse_reg(ops[1], line)?,
+        parse_reg(ops[2], line)?,
+    ))
+}
+
+fn load_op(m: &str) -> LoadOp {
+    match m {
+        "lb" => LoadOp::Lb,
+        "lh" => LoadOp::Lh,
+        "lw" => LoadOp::Lw,
+        "lbu" => LoadOp::Lbu,
+        _ => LoadOp::Lhu,
+    }
+}
+
+fn store_op(m: &str) -> StoreOp {
+    match m {
+        "sb" => StoreOp::Sb,
+        "sh" => StoreOp::Sh,
+        _ => StoreOp::Sw,
+    }
+}
+
+/// Parses `pv.<op>[.sc|.sci].<h|b>` forms.
+fn parse_pv(asm: &mut Asm, mnemonic: &str, ops: &[&str], line: usize) -> Result<(), AsmError> {
+    let parts: Vec<&str> = mnemonic.split('.').collect();
+    // parts[0] = "pv", parts[1] = op, then optional mode, then size.
+    if parts.len() < 3 {
+        return Err(perr(line, format!("malformed SIMD mnemonic `{mnemonic}`")));
+    }
+    let size = match *parts.last().expect("nonempty") {
+        "h" => SimdSize::Half,
+        "b" => SimdSize::Byte,
+        other => return Err(perr(line, format!("bad SIMD size `{other}`"))),
+    };
+    let mode_str = if parts.len() == 4 { parts[2] } else { "" };
+    let op_str = parts[1];
+
+    let dot = match op_str {
+        "dotup" => Some(DotOp::DotUp),
+        "dotusp" => Some(DotOp::DotUsp),
+        "dotsp" => Some(DotOp::DotSp),
+        "sdotup" => Some(DotOp::SdotUp),
+        "sdotusp" => Some(DotOp::SdotUsp),
+        "sdotsp" => Some(DotOp::SdotSp),
+        _ => None,
+    };
+    if let Some(op) = dot {
+        if !mode_str.is_empty() {
+            return Err(perr(line, "dot products support only vector mode"));
+        }
+        if ops.len() != 3 {
+            return Err(perr(line, "dot products expect 3 operands"));
+        }
+        let (rd, rs1, rs2) = three_regs(ops, line)?;
+        asm.emit(Instr::PvDot {
+            op,
+            size,
+            rd,
+            rs1,
+            rs2,
+        });
+        return Ok(());
+    }
+
+    let op = match op_str {
+        "add" => PvAluOp::Add,
+        "sub" => PvAluOp::Sub,
+        "avg" => PvAluOp::Avg,
+        "min" => PvAluOp::Min,
+        "max" => PvAluOp::Max,
+        "srl" => PvAluOp::Srl,
+        "sra" => PvAluOp::Sra,
+        "sll" => PvAluOp::Sll,
+        "or" => PvAluOp::Or,
+        "xor" => PvAluOp::Xor,
+        "and" => PvAluOp::And,
+        "abs" => PvAluOp::Abs,
+        other => return Err(perr(line, format!("unknown SIMD op `{other}`"))),
+    };
+    if matches!(op, PvAluOp::Abs) {
+        if ops.len() != 2 {
+            return Err(perr(line, "pv.abs expects 2 operands"));
+        }
+        let rd = parse_reg(ops[0], line)?;
+        let rs1 = parse_reg(ops[1], line)?;
+        asm.emit(Instr::PvAlu {
+            op,
+            size,
+            mode: SimdMode::Vv,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+        });
+        return Ok(());
+    }
+    if ops.len() != 3 {
+        return Err(perr(line, "SIMD ALU ops expect 3 operands"));
+    }
+    let rd = parse_reg(ops[0], line)?;
+    let rs1 = parse_reg(ops[1], line)?;
+    match mode_str {
+        "" => {
+            let rs2 = parse_reg(ops[2], line)?;
+            asm.emit(Instr::PvAlu {
+                op,
+                size,
+                mode: SimdMode::Vv,
+                rd,
+                rs1,
+                rs2,
+            });
+        }
+        "sc" => {
+            let rs2 = parse_reg(ops[2], line)?;
+            asm.emit(Instr::PvAlu {
+                op,
+                size,
+                mode: SimdMode::Sc,
+                rd,
+                rs1,
+                rs2,
+            });
+        }
+        "sci" => {
+            let imm = parse_imm(ops[2], line)? as i8;
+            asm.emit(Instr::PvAlu {
+                op,
+                size,
+                mode: SimdMode::Sci(imm),
+                rd,
+                rs1,
+                rs2: Reg::ZERO,
+            });
+        }
+        other => return Err(perr(line, format!("bad SIMD mode `{other}`"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnnasip_sim::Machine;
+
+    #[test]
+    fn loop_program_runs() {
+        let prog = assemble_text(
+            0,
+            r"
+            # sum 1..=5
+                li   a0, 5
+                li   a1, 0
+            top:
+                add  a1, a1, a0
+                addi a0, a0, -1
+                bnez a0, top
+                ecall
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::new(256);
+        m.load_program(&prog);
+        m.run(1000).unwrap();
+        assert_eq!(m.core().reg(Reg::A1), 15);
+    }
+
+    #[test]
+    fn table2_style_listing_parses() {
+        // The paper's Table II right-hand column, lightly adapted.
+        let prog = assemble_text(
+            0x100,
+            r"
+                li  a0, 0x200        // weight stream
+                li  a1, 0x300        // input stream
+                pl.sdotsp.h.0 zero, a0, zero
+                pl.sdotsp.h.1 zero, a0, zero
+                lp.setupi 0, 5, loop_end
+                p.lw t3, 4(a1!)
+                pl.sdotsp.h.0 t0, a0, t3
+                pl.sdotsp.h.1 t1, a0, t3
+                pl.sdotsp.h.0 t2, a0, t3
+                pl.sdotsp.h.1 t4, a0, t3
+            loop_end:
+                ecall
+            ",
+        )
+        .unwrap();
+        assert_eq!(prog.entry(), 0x100);
+        // 11 instructions: li is 1 each here (small constants).
+        assert_eq!(prog.len(), 11);
+    }
+
+    #[test]
+    fn disasm_round_trip() {
+        // Assemble, print, re-assemble: identical instruction streams.
+        let src = r"
+            addi a0, zero, 100
+            p.lw a4, 4(a5!)
+            p.lw a3, a2(a1)
+            p.sh t0, 2(t1!)
+            pv.sdotsp.h t0, a0, a1
+            pv.add.sci.h a0, a1, -5
+            pv.abs.b s0, s1
+            p.clip a0, a0, 16
+            pl.tanh a0, a0
+            pl.sig a1, a1
+            lp.counti 0, 12
+            csrrs t0, mcycle, zero
+            ecall
+        ";
+        let p1 = assemble_text(0, src).unwrap();
+        let printed: String = p1.iter().map(|item| format!("{}\n", item.instr)).collect();
+        let p2 = assemble_text(0, &printed).unwrap();
+        let v1: Vec<_> = p1.iter().map(|i| i.instr).collect();
+        let v2: Vec<_> = p2.iter().map(|i| i.instr).collect();
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble_text(0, "nop\nbogus a0, a1\n").unwrap_err();
+        match err {
+            AsmError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let err = assemble_text(0, "x:\nnop\nx:\nnop\n").unwrap_err();
+        assert!(matches!(err, AsmError::DuplicateLabel { .. }));
+    }
+}

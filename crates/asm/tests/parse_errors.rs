@@ -1,0 +1,105 @@
+//! Error-path coverage of the text assembler: every malformed input
+//! must produce a located, descriptive error — never a panic or a
+//! silently wrong program.
+
+use rnnasip_asm::{assemble_text, AsmError};
+
+fn parse_err(src: &str) -> (usize, String) {
+    match assemble_text(0, src) {
+        Err(AsmError::Parse { line, msg }) => (line, msg),
+        other => panic!("expected parse error for {src:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_mnemonic() {
+    let (line, msg) = parse_err("nop\nfrobnicate a0, a1\n");
+    assert_eq!(line, 2);
+    assert!(msg.contains("frobnicate"), "{msg}");
+}
+
+#[test]
+fn bad_register_name() {
+    let (_, msg) = parse_err("addi q7, zero, 1");
+    assert!(msg.contains("q7"), "{msg}");
+}
+
+#[test]
+fn wrong_operand_count() {
+    let (_, msg) = parse_err("add a0, a1");
+    assert!(msg.contains("expects 3 operands"), "{msg}");
+    let (_, msg) = parse_err("ecall a0");
+    assert!(msg.contains("expects 0 operands"), "{msg}");
+}
+
+#[test]
+fn bad_immediate() {
+    let (_, msg) = parse_err("addi a0, a0, twelve");
+    assert!(msg.contains("twelve"), "{msg}");
+}
+
+#[test]
+fn malformed_memory_operand() {
+    let (_, msg) = parse_err("lw a0, 4[a1]");
+    assert!(msg.contains("memory operand"), "{msg}");
+    // Post-increment on the base form needs the p.-prefixed mnemonic.
+    let (_, msg) = parse_err("lw a0, 4(a1!)");
+    assert!(msg.contains("p.-prefixed"), "{msg}");
+    // Register offsets likewise.
+    let (_, msg) = parse_err("sw a0, a2(a1)");
+    assert!(msg.contains("register-offset"), "{msg}");
+}
+
+#[test]
+fn p_load_requires_postinc_or_reg_offset() {
+    let (_, msg) = parse_err("p.lw a0, 4(a1)");
+    assert!(msg.contains("imm(base!)"), "{msg}");
+}
+
+#[test]
+fn bad_loop_index() {
+    let (_, msg) = parse_err("lp.counti 2, 10");
+    assert!(msg.contains("loop index"), "{msg}");
+}
+
+#[test]
+fn bad_simd_forms() {
+    let (_, msg) = parse_err("pv.bogus.h a0, a1, a2");
+    assert!(msg.contains("bogus"), "{msg}");
+    let (_, msg) = parse_err("pv.add.q a0, a1, a2");
+    assert!(msg.contains("SIMD size"), "{msg}");
+    let (_, msg) = parse_err("pv.sdotsp.sc.h a0, a1, a2");
+    assert!(msg.contains("vector mode"), "{msg}");
+}
+
+#[test]
+fn unbound_label_surfaces_by_name() {
+    let err = assemble_text(0, "j nowhere\n").unwrap_err();
+    match err {
+        AsmError::UnboundLabel { name } => assert!(!name.is_empty()),
+        other => panic!("expected unbound label, got {other:?}"),
+    }
+}
+
+#[test]
+fn branch_out_of_range_is_reported() {
+    // A conditional branch across >4 KiB of code.
+    let mut src = String::from("bnez a0, far\n");
+    for _ in 0..1100 {
+        src.push_str("nop\n");
+    }
+    src.push_str("far:\necall\n");
+    let err = assemble_text(0, &src).unwrap_err();
+    assert!(matches!(err, AsmError::OffsetOutOfRange { .. }), "{err:?}");
+}
+
+#[test]
+fn loop_offset_out_of_range_is_reported() {
+    let mut src = String::from("li t0, 4\nlp.setup 0, t0, far\n");
+    for _ in 0..4100 {
+        src.push_str("nop\n");
+    }
+    src.push_str("far:\necall\n");
+    let err = assemble_text(0, &src).unwrap_err();
+    assert!(matches!(err, AsmError::OffsetOutOfRange { .. }), "{err:?}");
+}

@@ -1,0 +1,54 @@
+//! Property test: for every valid instruction word, the disassembly
+//! text re-assembles to the identical instruction.
+//!
+//! Uses the decoder as the instruction generator: random 32-bit words
+//! are decoded, and every successfully decoded instruction must survive
+//! `parse(format(i)) == i`.
+
+use proptest::prelude::*;
+use rnnasip_asm::assemble_text;
+use rnnasip_isa::decode;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn disassembly_reassembles(word in any::<u32>()) {
+        let Ok(instr) = decode(word) else {
+            return Ok(()); // not a valid instruction; nothing to check
+        };
+        let text = instr.to_string();
+        let prog = assemble_text(0, &text).map_err(|e| {
+            TestCaseError::fail(format!("`{text}` failed to parse: {e}"))
+        })?;
+        prop_assert_eq!(prog.len(), 1, "`{}` produced multiple instructions", text);
+        let reparsed = prog.iter().next().expect("one instruction").instr;
+        prop_assert_eq!(reparsed, instr, "text was `{}`", text);
+    }
+}
+
+/// Whole-program round trip with labels and pseudo-ops.
+#[test]
+fn structured_program_survives_reformatting() {
+    let source = r"
+        li   s0, 0x4000
+        li   t0, 16
+        lp.setup 0, t0, done
+        p.lw a0, 4(s0!)
+        pv.sdotsp.h a4, a0, a0
+    done:
+        pl.sdotsp.b.1 a5, s0, a0
+        pv.add.sc.b t1, t2, t3
+        pv.sra.sci.h t4, t5, -7
+        p.clipu a6, a6, 12
+        p.extbz a7, a7
+        csrrw zero, lpcount1, a0
+        ecall
+    ";
+    let p1 = assemble_text(0, source).expect("assembles");
+    let text: String = p1.iter().map(|i| format!("{}\n", i.instr)).collect();
+    let p2 = assemble_text(0, &text).expect("reassembles");
+    let a: Vec<_> = p1.iter().map(|i| i.instr).collect();
+    let b: Vec<_> = p2.iter().map(|i| i.instr).collect();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,32 @@
+//! Criterion bench backing **Fig. 3**: per-network inference simulation
+//! at the baseline and the fully-extended level. Speedups are printed
+//! once per network; the benched quantity is the simulation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnnasip_bench::run_net;
+use rnnasip_core::OptLevel;
+use std::hint::black_box;
+
+fn bench_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_networks");
+    group.sample_size(10);
+    for net in rnnasip_rrm::suite() {
+        let base = run_net(&net, OptLevel::Baseline).cycles();
+        let best = run_net(&net, OptLevel::IfmTile).cycles();
+        eprintln!(
+            "[fig3] {} {}: {} -> {} cycles ({:.2}x)",
+            net.tag,
+            net.id,
+            base,
+            best,
+            base as f64 / best as f64
+        );
+        group.bench_function(format!("{}_extended", net.id), |b| {
+            b.iter(|| black_box(run_net(&net, OptLevel::IfmTile).cycles()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_networks);
+criterion_main!(benches);

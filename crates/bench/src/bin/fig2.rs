@@ -1,0 +1,61 @@
+//! Regenerates **Fig. 2**: tanh mean-squared error under Q3.12
+//! quantization, as a function of interpolation range and number of
+//! intervals.
+//!
+//! Prints the `log10(MSE)` surface as a table (ranges × intervals) and
+//! a CSV block for plotting, plus the chosen design point against the
+//! paper's reported errors.
+
+use rnnasip_bench::paper;
+use rnnasip_nn::act::{design_point, sweep, FitMode, PlaFunc};
+
+fn main() {
+    let ranges = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let intervals = [1u32, 2, 4, 8, 16, 32, 64, 128];
+    let points = sweep(PlaFunc::Tanh, &ranges, &intervals, FitMode::LeastSquares);
+
+    println!("FIG. 2 — tanh log10(MSE) over interpolation range x #intervals (Q3.12)\n");
+    print!("{:>8} |", "range");
+    for m in intervals {
+        print!("{m:>8}");
+    }
+    println!("\n---------+{}", "-".repeat(8 * intervals.len()));
+    for &r in &ranges {
+        print!("{r:>8} |");
+        for &m in &intervals {
+            match points
+                .iter()
+                .find(|p| (p.range - r).abs() < 1e-12 && p.intervals == m)
+            {
+                Some(p) => print!("{:>8.2}", p.mse.log10()),
+                None => print!("{:>8}", "-"),
+            }
+        }
+        println!();
+    }
+
+    println!("\nCSV (range,intervals,mse,max_error):");
+    for p in &points {
+        println!(
+            "{},{},{:.3e},{:.3e}",
+            p.range, p.intervals, p.mse, p.max_error
+        );
+    }
+
+    let dp = design_point(PlaFunc::Tanh);
+    println!("\nDesign point (range ±4, 32 intervals):");
+    println!(
+        "  measured: MSE {:.3e}, max error {:.3e}",
+        dp.mse, dp.max_error
+    );
+    println!(
+        "  paper   : MSE {:.3e}, max error {:.3e}",
+        paper::PLA_ERROR.0,
+        paper::PLA_ERROR.1
+    );
+    let sp = design_point(PlaFunc::Sigmoid);
+    println!(
+        "  sigmoid : MSE {:.3e}, max error {:.3e}",
+        sp.mse, sp.max_error
+    );
+}

@@ -1,0 +1,34 @@
+//! Per-stage cycle profile of every benchmark network at the fully
+//! extended level — where each network actually spends its cycles
+//! (gate matvecs vs. update loops vs. im2col gathers vs. FC heads).
+
+use rnnasip_core::{KernelBackend, OptLevel};
+
+fn main() {
+    let backend = KernelBackend::new(OptLevel::IfmTile);
+    for net in rnnasip_rrm::suite() {
+        let (outputs, stages) = backend
+            .run_network_staged(&net.network, &net.input())
+            .unwrap_or_else(|e| panic!("{}: {e}", net.id));
+        let total: u64 = stages.iter().map(|s| s.report.cycles()).sum();
+        println!(
+            "{} {} — {} stages, {} cycles total, {} outputs",
+            net.tag,
+            net.id,
+            stages.len(),
+            total,
+            outputs.len()
+        );
+        for s in &stages {
+            println!(
+                "    {:<28} {:>9} cycles ({:>5.1}%)  {:>7} MACs  {:>6.3} cyc/MAC",
+                s.label,
+                s.report.cycles(),
+                100.0 * s.report.cycles() as f64 / total as f64,
+                s.report.mac_ops(),
+                s.report.cycles_per_mac()
+            );
+        }
+        println!();
+    }
+}

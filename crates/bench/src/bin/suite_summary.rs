@@ -1,0 +1,49 @@
+//! Prints the benchmark-suite inventory as a markdown table (the
+//! documentation companion of `rnnasip-rrm::suite()`): citation, task,
+//! kernel family, topology, MACs and activation counts per inference.
+
+use rnnasip_nn::Stage;
+
+fn topology(net: &rnnasip_rrm::BenchmarkNet) -> String {
+    net.network
+        .stages()
+        .iter()
+        .map(|s| match s {
+            Stage::Fc(l) => format!("fc{}x{}", l.n_out(), l.n_in()),
+            Stage::Lstm { layer, steps } => {
+                format!("lstm{}x{}(T={})", layer.n_in(), layer.n_hidden(), steps)
+            }
+            Stage::Conv(c) => format!(
+                "conv{}x{}x{}->{}k{}",
+                c.in_ch(),
+                c.in_h(),
+                c.in_w(),
+                c.out_ch(),
+                c.kh()
+            ),
+        })
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
+
+fn main() {
+    println!("| tag | id | kind | task | topology | MACs | tanh/sig |");
+    println!("|---|---|---|---|---|---|---|");
+    let suite = rnnasip_rrm::suite();
+    let mut total_macs = 0u64;
+    for net in &suite {
+        total_macs += net.network.mac_count();
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            net.tag,
+            net.id,
+            net.kind.label(),
+            net.task,
+            topology(net),
+            net.network.mac_count(),
+            net.network.act_count()
+        );
+    }
+    println!("\nsuite total: {total_macs} MACs per full-suite inference");
+    println!("(paper's Table I suite: ~1.62 M packed-pair MAC instructions)");
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Table I**: cycle and instruction count histograms for
+//! the entire RRM benchmark suite at every optimization level, plus the
+//! cumulative improvement row.
+
+use rnnasip_bench::{format_column, paper, run_suite};
+use rnnasip_core::OptLevel;
+
+fn main() {
+    println!("TABLE I — cycle and instruction counts, whole RRM suite");
+    println!("(paper columns a–e; counts in kilo-units)\n");
+    let mut base_cycles = 0u64;
+    let mut prev_cycles = 0u64;
+    for level in OptLevel::ALL {
+        let stats = run_suite(level);
+        println!("{}", format_column(level.column(), &stats, 6));
+        if base_cycles == 0 {
+            base_cycles = stats.cycles();
+            prev_cycles = stats.cycles();
+            println!("Impr.  baseline (1x)\n");
+        } else {
+            println!(
+                "Impr.  {:.1}x  ({:.2}x over previous level)\n",
+                base_cycles as f64 / stats.cycles() as f64,
+                prev_cycles as f64 / stats.cycles() as f64
+            );
+            prev_cycles = stats.cycles();
+        }
+    }
+    println!("Paper reference (suite speedups vs RV32IMC):");
+    for (tag, s) in paper::SUITE_SPEEDUPS {
+        println!("  ({tag}) {s}x");
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Table II**: the assembly of the fully-connected inner
+//! loop with output-FM tiling only (left) versus with the merged
+//! load-and-compute `pl.sdotsp.h` instruction (right), for a tile of
+//! four outputs.
+
+use rnnasip_core::kernels::fc::table2_listing;
+
+fn main() {
+    let (ofm, sdotsp) = table2_listing();
+    println!("TABLE II — FC inner loop, output tile of 4, 9 packed input pairs\n");
+    println!("-- with output-FM tiling only (pv.sdotsp.h, explicit weight loads):\n");
+    for line in ofm.lines() {
+        println!("    {line}");
+    }
+    println!("\n-- with the pl.sdotsp.h extension (weights streamed through the SPR pair):\n");
+    for line in sdotsp.lines() {
+        println!("    {line}");
+    }
+    let count = |s: &str, pat: &str| s.lines().filter(|l| l.contains(pat)).count();
+    println!("\nInner-loop load instructions per iteration:");
+    println!(
+        "  OFM tiling : {} loads + {} pv.sdotsp",
+        count(&ofm, "p.lw"),
+        count(&ofm, "pv.sdotsp")
+    );
+    println!(
+        "  pl.sdotsp  : {} loads + {} pl.sdotsp (the weight loads disappeared into the MACs)",
+        count(&sdotsp, "p.lw"),
+        count(&sdotsp, "pl.sdotsp")
+    );
+}

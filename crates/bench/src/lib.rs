@@ -1,0 +1,156 @@
+//! Shared harness code for the table/figure regeneration binaries and
+//! the Criterion benches.
+//!
+//! Each paper artifact has a binary:
+//!
+//! | Artifact | Binary |
+//! |---|---|
+//! | Table I (a–e cycle/instruction histograms) | `cargo run -p rnnasip-bench --bin table1` |
+//! | Table II (assembly comparison) | `cargo run -p rnnasip-bench --bin table2` |
+//! | Fig. 2 (tanh PLA error surface) | `cargo run -p rnnasip-bench --bin fig2` |
+//! | Fig. 3 (per-network speedups) | `cargo run -p rnnasip-bench --bin fig3` |
+//! | Section IV (throughput/power/area) | `cargo run -p rnnasip-bench --bin core_results` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rnnasip_core::{KernelBackend, OptLevel, RunReport};
+use rnnasip_rrm::BenchmarkNet;
+use rnnasip_sim::Stats;
+use std::collections::BTreeMap;
+
+/// Runs one network at one level (panics on kernel errors — the suite is
+/// known-good; failures indicate a regression worth crashing on).
+pub fn run_net(net: &BenchmarkNet, level: OptLevel) -> RunReport {
+    KernelBackend::new(level)
+        .run_network(&net.network, &net.input())
+        .unwrap_or_else(|e| panic!("{} at {level:?}: {e}", net.id))
+        .report
+}
+
+/// Runs the whole suite at one level and merges the statistics.
+pub fn run_suite(level: OptLevel) -> Stats {
+    let mut total = Stats::new();
+    for net in rnnasip_rrm::suite() {
+        let report = run_net(&net, level);
+        total.merge(report.stats());
+    }
+    total
+}
+
+/// Maps a simulator mnemonic to the row name Table I uses.
+pub fn paper_row_name(mnemonic: &str) -> String {
+    match mnemonic {
+        "p.lw!" => "lw!".into(),
+        "p.lh!" => "lh!".into(),
+        "p.lb!" => "lb!".into(),
+        "p.sw!" => "sw!".into(),
+        "p.sh!" => "sh!".into(),
+        "p.mac" | "p.msu" => "mac".into(),
+        "pl.tanh" | "pl.sig" => "tanh,sig".into(),
+        m if m.starts_with("pv.sdot") || m.starts_with("pv.dot") => "pv.sdot".into(),
+        "pl.sdotsp" => "pl.sdot".into(),
+        m if m.starts_with("lp.") => "lp.setup".into(),
+        other => other.into(),
+    }
+}
+
+/// Aggregates statistics into Table-I-style rows (paper naming), sorted
+/// by descending cycles.
+pub fn table_rows(stats: &Stats) -> Vec<(String, u64, u64)> {
+    let mut agg: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for (name, row) in stats.iter() {
+        let e = agg.entry(paper_row_name(name)).or_insert((0, 0));
+        e.0 += row.cycles;
+        e.1 += row.instrs;
+    }
+    let mut rows: Vec<(String, u64, u64)> = agg
+        .into_iter()
+        .map(|(name, (cycles, instrs))| (name, cycles, instrs))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    rows
+}
+
+/// Formats a Table-I column: the top `keep` rows plus an "oth." bucket
+/// and a total, in kilo-units with one decimal.
+pub fn format_column(title: &str, stats: &Stats, keep: usize) -> String {
+    let rows = table_rows(stats);
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>10}\n",
+        "Instr.", "kcycles", "kinstrs"
+    ));
+    let mut oth = (0u64, 0u64);
+    for (i, (name, cycles, instrs)) in rows.iter().enumerate() {
+        if i < keep {
+            out.push_str(&format!(
+                "{:<12} {:>10.1} {:>10.1}\n",
+                name,
+                *cycles as f64 / 1e3,
+                *instrs as f64 / 1e3
+            ));
+        } else {
+            oth.0 += cycles;
+            oth.1 += instrs;
+        }
+    }
+    if oth != (0, 0) {
+        out.push_str(&format!(
+            "{:<12} {:>10.1} {:>10.1}\n",
+            "oth.",
+            oth.0 as f64 / 1e3,
+            oth.1 as f64 / 1e3
+        ));
+    }
+    out.push_str(&format!(
+        "{:<12} {:>10.1} {:>10.1}\n",
+        "Σ",
+        stats.cycles() as f64 / 1e3,
+        stats.instrs() as f64 / 1e3
+    ));
+    out
+}
+
+/// The paper's reference numbers for comparison lines in the reports.
+pub mod paper {
+    /// Suite speedups over the RV32IMC baseline, Table I columns b–e.
+    pub const SUITE_SPEEDUPS: [(char, f64); 4] = [('b', 4.4), ('c', 8.4), ('d', 14.3), ('e', 15.0)];
+    /// Extended-core throughput (MMAC/s) at 380 MHz.
+    pub const THROUGHPUT_MMACS: f64 = 566.0;
+    /// Extended-core energy efficiency (GMAC/s/W).
+    pub const EFFICIENCY_GMACS_W: f64 = 218.0;
+    /// Baseline/extended power (mW).
+    pub const POWER_MW: (f64, f64) = (1.73, 2.61);
+    /// Extension area (kGE) and overhead fraction.
+    pub const AREA: (f64, f64) = (2.3, 0.034);
+    /// tanh PLA design-point error (MSE, max) as the paper reports it.
+    pub const PLA_ERROR: (f64, f64) = (9.81e-7, 3.8e-4);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_mapping_matches_paper_names() {
+        assert_eq!(paper_row_name("p.lw!"), "lw!");
+        assert_eq!(paper_row_name("pv.sdotsp"), "pv.sdot");
+        assert_eq!(paper_row_name("pl.sdotsp"), "pl.sdot");
+        assert_eq!(paper_row_name("pl.tanh"), "tanh,sig");
+        assert_eq!(paper_row_name("pl.sig"), "tanh,sig");
+        assert_eq!(paper_row_name("p.mac"), "mac");
+        assert_eq!(paper_row_name("addi"), "addi");
+    }
+
+    #[test]
+    fn format_column_totals() {
+        let mut s = Stats::new();
+        s.record("addi", 1000, 0);
+        s.record("p.lw!", 2000, 0);
+        let text = format_column("test", &s, 1);
+        assert!(text.contains("lw!"));
+        assert!(text.contains("oth."));
+        assert!(text.contains('Σ'));
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for kernel generation and execution.
+
+use core::fmt;
+use rnnasip_asm::AsmError;
+use rnnasip_sim::SimError;
+
+/// Errors raised while compiling or running a kernel.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Program assembly failed (almost always a generator bug).
+    Asm(AsmError),
+    /// The simulation faulted or ran out of cycles.
+    Sim(SimError),
+    /// A layer shape the kernels cannot handle (after padding).
+    Shape(String),
+    /// The memory layout did not fit in the configured TCDM size.
+    OutOfMemory {
+        /// Bytes requested beyond the TCDM capacity.
+        needed: usize,
+        /// Configured TCDM size.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Asm(e) => write!(f, "assembly failed: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CoreError::Shape(msg) => write!(f, "unsupported layer shape: {msg}"),
+            CoreError::OutOfMemory { needed, capacity } => {
+                write!(f, "data layout needs {needed} bytes, TCDM has {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Asm(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AsmError> for CoreError {
+    fn from(e: AsmError) -> Self {
+        CoreError::Asm(e)
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}

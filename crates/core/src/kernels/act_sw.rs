@@ -1,0 +1,183 @@
+//! Requantization, saturation and activation emission.
+//!
+//! Two flavours exist for the transcendental activations:
+//!
+//! * levels **c–e**: the single-cycle `pl.tanh` / `pl.sig` instructions,
+//! * levels **a–b**: a generated software routine implementing exactly
+//!   Algorithm 2 with the same LUT values the hardware unit bakes in
+//!   (staged into data memory by
+//!   [`DataLayout::stage_pla_luts`](crate::DataLayout::stage_pla_luts)),
+//!   so all levels remain bit-identical.
+
+use super::{regs, KernelCtx};
+use rnnasip_fixed::pla::SLOPE_FRAC_BITS;
+use rnnasip_isa::{BranchOp, Reg};
+use rnnasip_nn::Act;
+
+/// Emits `li` of the PLA LUT base registers for `func` (levels a–b call
+/// this once per loop, hoisting the constants out of the hot path).
+pub fn emit_pla_hoist(ctx: &mut KernelCtx<'_>, func: ActFunc) {
+    let (m_addr, q_addr) = match func {
+        ActFunc::Tanh => (ctx.luts.0, ctx.luts.1),
+        ActFunc::Sigmoid => (ctx.luts.2, ctx.luts.3),
+    };
+    ctx.asm.li(regs::LUT_M, m_addr as i32);
+    ctx.asm.li(regs::LUT_Q, q_addr as i32);
+}
+
+/// Which transcendental the software routine computes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ActFunc {
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+/// Emits the software PLA routine on the value in `v` (input: saturated
+/// Q3.12 in an i32 register; output replaces `v`).
+///
+/// Clobbers `t0`, `t1`, `t2`, `gp`, `tp`; requires [`emit_pla_hoist`] to
+/// have set `s6`/`s7` for the same function. Mirrors Algorithm 2:
+///
+/// 1. branch-free absolute value via the sign mask,
+/// 2. interval index by right shift, bound check against `M = 32`,
+/// 3. `y = (m·|x|) >> 14 + q` from the LUTs (or the converged `1.0`),
+/// 4. symmetry fold (negate for tanh, `1 − y` for sigmoid).
+pub fn emit_sw_pla(ctx: &mut KernelCtx<'_>, v: Reg, func: ActFunc) {
+    assert!(
+        ![regs::X0, regs::X1, regs::CNT, regs::WV0, regs::WV1].contains(&v),
+        "software PLA clobbers its scratch registers; pick another value register"
+    );
+    let a = &mut *ctx.asm;
+    let interp = a.new_label();
+    let fold = a.new_label();
+
+    // t0 = sign mask (-1 if negative); t1 = |x|.
+    a.srai(regs::X0, v, 31);
+    a.emit(rnnasip_isa::Instr::Op {
+        op: rnnasip_isa::AluOp::Xor,
+        rd: regs::X1,
+        rs1: v,
+        rs2: regs::X0,
+    });
+    a.sub(regs::X1, regs::X1, regs::X0);
+    // t2 = interval index; converged when id >= 32.
+    a.srai(regs::CNT, regs::X1, 9);
+    a.li(regs::WV0, 32);
+    a.branch(BranchOp::Bltu, regs::CNT, regs::WV0, interp);
+    a.li(regs::X1, 4096); // f(+inf) = 1.0 in Q3.12
+    a.j(fold);
+
+    a.bind(interp);
+    // Index the i16 LUTs: m = lut_m[id], q = lut_q[id].
+    a.slli(regs::CNT, regs::CNT, 1);
+    a.add(regs::WV0, regs::LUT_M, regs::CNT);
+    a.lh(regs::WV0, 0, regs::WV0);
+    a.add(regs::WV1, regs::LUT_Q, regs::CNT);
+    a.lh(regs::WV1, 0, regs::WV1);
+    // y = (m * |x|) >> 14 + q.
+    a.mul(regs::X1, regs::WV0, regs::X1);
+    a.srai(regs::X1, regs::X1, SLOPE_FRAC_BITS as i32);
+    a.add(regs::X1, regs::X1, regs::WV1);
+
+    a.bind(fold);
+    // ±y via the sign mask.
+    a.emit(rnnasip_isa::Instr::Op {
+        op: rnnasip_isa::AluOp::Xor,
+        rd: regs::X1,
+        rs1: regs::X1,
+        rs2: regs::X0,
+    });
+    a.sub(regs::X1, regs::X1, regs::X0);
+    if matches!(func, ActFunc::Sigmoid) {
+        // sig(-x) = 1 - sig(x): add 1.0 back for negative inputs.
+        a.emit(rnnasip_isa::Instr::OpImm {
+            op: rnnasip_isa::AluImmOp::Andi,
+            rd: regs::X0,
+            rs1: regs::X0,
+            imm: 4096,
+        });
+        a.add(regs::X1, regs::X1, regs::X0);
+    }
+    a.mv(v, regs::X1);
+}
+
+/// Emits baseline (RV32IMC) saturation of `v` to the i16 range using the
+/// hoisted `s8`/`s9` constants (see [`emit_sat_hoist_baseline`]).
+pub fn emit_clamp16_baseline(ctx: &mut KernelCtx<'_>, v: Reg) {
+    let a = &mut *ctx.asm;
+    let ok_hi = a.new_label();
+    let ok_lo = a.new_label();
+    a.branch(BranchOp::Blt, v, regs::SAT_HI, ok_hi);
+    a.mv(v, regs::SAT_HI);
+    a.bind(ok_hi);
+    a.branch(BranchOp::Bge, v, regs::SAT_LO, ok_lo);
+    a.mv(v, regs::SAT_LO);
+    a.bind(ok_lo);
+}
+
+/// Hoists the baseline saturation constants into `s8`/`s9`.
+pub fn emit_sat_hoist_baseline(ctx: &mut KernelCtx<'_>) {
+    ctx.asm.li(regs::SAT_HI, 32767);
+    ctx.asm.li(regs::SAT_LO, -32768);
+}
+
+/// Emits requantization (`>> 12`, saturate) and activation of the value
+/// in `v`, dispatching on the optimization level. Assumes the
+/// level-appropriate hoists have been emitted.
+pub fn emit_requant_act(ctx: &mut KernelCtx<'_>, v: Reg, act: Act) {
+    ctx.asm.srai(v, v, 12);
+    if ctx.level.has_xpulp() {
+        ctx.asm.clip(v, v, 16);
+    } else {
+        emit_clamp16_baseline(ctx, v);
+    }
+    match act {
+        Act::None => {}
+        Act::Relu => {
+            if ctx.level.has_xpulp() {
+                ctx.asm.emit(rnnasip_isa::Instr::PMax {
+                    rd: v,
+                    rs1: v,
+                    rs2: Reg::ZERO,
+                });
+            } else {
+                let a = &mut *ctx.asm;
+                let ok = a.new_label();
+                a.branch(BranchOp::Bge, v, Reg::ZERO, ok);
+                a.li(v, 0);
+                a.bind(ok);
+            }
+        }
+        Act::Tanh => {
+            if ctx.level.has_act_ext() {
+                ctx.asm.pl_tanh(v, v);
+            } else {
+                emit_sw_pla(ctx, v, ActFunc::Tanh);
+            }
+        }
+        Act::Sigmoid => {
+            if ctx.level.has_act_ext() {
+                ctx.asm.pl_sig(v, v);
+            } else {
+                emit_sw_pla(ctx, v, ActFunc::Sigmoid);
+            }
+        }
+    }
+}
+
+/// Hoists whatever constants [`emit_requant_act`] will need for this
+/// level/activation combination (saturation bounds, LUT bases).
+pub fn emit_requant_hoists(ctx: &mut KernelCtx<'_>, act: Act) {
+    if !ctx.level.has_xpulp() {
+        emit_sat_hoist_baseline(ctx);
+    }
+    if !ctx.level.has_act_ext() {
+        match act {
+            Act::Tanh => emit_pla_hoist(ctx, ActFunc::Tanh),
+            Act::Sigmoid => emit_pla_hoist(ctx, ActFunc::Sigmoid),
+            _ => {}
+        }
+    }
+}

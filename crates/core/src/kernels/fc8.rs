@@ -1,0 +1,187 @@
+//! INT8 matrix-vector kernels (future-work path).
+//!
+//! Two variants, both four MACs per SIMD instruction:
+//!
+//! * [`Int8Kernel::PvSdot`] — implementable on the *paper's* core:
+//!   output-FM tiling with explicit weight loads and `pv.sdotsp.b`
+//!   (the byte twin of the level-c schedule);
+//! * [`Int8Kernel::PlSdotB`] — this repository's hardware extension
+//!   `pl.sdotsp.b`, the byte twin of the paper's merged load-and-compute
+//!   instruction (level-d schedule, one input load per 4·N MACs).
+
+use super::act_sw::emit_requant_hoists;
+use super::{regs, KernelCtx, ACC_POOL, MAX_TILE, WP_POOL};
+use crate::error::CoreError;
+use rnnasip_isa::{DotOp, Instr, LoopIdx, Reg, SimdSize, StoreOp};
+use rnnasip_nn::Act;
+
+/// Which INT8 inner-loop schedule to generate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Int8Kernel {
+    /// `pv.sdotsp.b` with explicit weight loads (paper-core compatible).
+    PvSdot,
+    /// `pl.sdotsp.b` merged load-and-compute (extension hardware).
+    PlSdotB,
+}
+
+/// A staged INT8 matvec instance.
+#[derive(Clone, Copy, Debug)]
+pub struct Matvec8Spec {
+    /// Row-major i8 weights (`n_out × n_in` bytes, n_in a multiple of 4,
+    /// plus stream slack).
+    pub w_base: u32,
+    /// Pre-shifted i32 bias seeds (`bias << 6`).
+    pub bias32: u32,
+    /// Input vector (`n_in` bytes).
+    pub x_base: u32,
+    /// Output vector (`n_out` bytes).
+    pub out_base: u32,
+    /// Input width in bytes (multiple of 4).
+    pub n_in: usize,
+    /// Output count.
+    pub n_out: usize,
+    /// Activation (None/Relu).
+    pub act: Act,
+}
+
+/// Emits an INT8 matvec with the requested schedule.
+///
+/// # Errors
+///
+/// [`CoreError::Shape`] when `n_in` is not a multiple of four or shapes
+/// are empty.
+pub fn emit_matvec8(
+    ctx: &mut KernelCtx<'_>,
+    spec: &Matvec8Spec,
+    kernel: Int8Kernel,
+) -> Result<(), CoreError> {
+    if spec.n_out == 0 || spec.n_in == 0 {
+        return Err(CoreError::Shape("int8 matvec with empty shape".into()));
+    }
+    if !spec.n_in.is_multiple_of(4) {
+        return Err(CoreError::Shape(format!(
+            "int8 kernels need n_in % 4 == 0, got {}",
+            spec.n_in
+        )));
+    }
+    emit_requant_hoists(ctx, spec.act);
+    {
+        let a = &mut *ctx.asm;
+        a.li(regs::WP, spec.w_base as i32);
+        a.li(regs::ROWB, spec.n_in as i32);
+        a.li(regs::BP, spec.bias32 as i32);
+        a.li(regs::OP, spec.out_base as i32);
+    }
+    let mut remaining = spec.n_out;
+    while remaining > 0 {
+        let max = ctx.max_tile.clamp(1, MAX_TILE).min(remaining);
+        let n = if matches!(kernel, Int8Kernel::PlSdotB) && max >= 2 {
+            max & !1
+        } else {
+            max
+        };
+        emit_tile8(ctx, spec, kernel, n);
+        remaining -= n;
+    }
+    Ok(())
+}
+
+fn emit_tile8(ctx: &mut KernelCtx<'_>, spec: &Matvec8Spec, kernel: Int8Kernel, n: usize) {
+    let n_quads = spec.n_in / 4;
+    let a = &mut *ctx.asm;
+    a.mv(WP_POOL[0], regs::WP);
+    for j in 1..n {
+        a.add(WP_POOL[j], WP_POOL[j - 1], regs::ROWB);
+    }
+    a.add(regs::WP, WP_POOL[n - 1], regs::ROWB);
+    for (j, &acc) in ACC_POOL.iter().enumerate().take(n) {
+        a.lw(acc, 4 * j as i32, regs::BP);
+    }
+    a.addi(regs::BP, regs::BP, 4 * n as i32);
+    a.li(regs::XP, spec.x_base as i32);
+
+    match kernel {
+        Int8Kernel::PvSdot => {
+            a.li(regs::CNT, n_quads as i32);
+            let end = a.new_label();
+            a.lp_setup(LoopIdx::L0, regs::CNT, end);
+            a.lw_post(regs::X0, 4, regs::XP);
+            if n == 1 {
+                a.lw_post(regs::WV0, 4, WP_POOL[0]);
+                a.emit(Instr::PvDot {
+                    op: DotOp::SdotSp,
+                    size: SimdSize::Byte,
+                    rd: ACC_POOL[0],
+                    rs1: regs::WV0,
+                    rs2: regs::X0,
+                });
+            } else {
+                let wv = [regs::WV0, regs::WV1];
+                a.lw_post(wv[0], 4, WP_POOL[0]);
+                a.lw_post(wv[1], 4, WP_POOL[1]);
+                for j in 0..n {
+                    a.emit(Instr::PvDot {
+                        op: DotOp::SdotSp,
+                        size: SimdSize::Byte,
+                        rd: ACC_POOL[j],
+                        rs1: wv[j % 2],
+                        rs2: regs::X0,
+                    });
+                    if j + 2 < n {
+                        a.lw_post(wv[j % 2], 4, WP_POOL[j + 2]);
+                    }
+                }
+            }
+            a.bind(end);
+        }
+        Int8Kernel::PlSdotB => {
+            if n == 1 {
+                // Degenerate remainder: fall back to explicit loads.
+                a.li(regs::CNT, n_quads as i32);
+                let end = a.new_label();
+                a.lp_setup(LoopIdx::L0, regs::CNT, end);
+                a.lw_post(regs::X0, 4, regs::XP);
+                a.lw_post(regs::WV0, 4, WP_POOL[0]);
+                a.emit(Instr::PvDot {
+                    op: DotOp::SdotSp,
+                    size: SimdSize::Byte,
+                    rd: ACC_POOL[0],
+                    rs1: regs::WV0,
+                    rs2: regs::X0,
+                });
+                a.bind(end);
+            } else {
+                a.pl_sdotsp_b(0, Reg::ZERO, WP_POOL[0], Reg::ZERO);
+                a.pl_sdotsp_b(1, Reg::ZERO, WP_POOL[1], Reg::ZERO);
+                a.li(regs::CNT, n_quads as i32);
+                let end = a.new_label();
+                a.lp_setup(LoopIdx::L0, regs::CNT, end);
+                a.lw_post(regs::X0, 4, regs::XP);
+                for j in 0..n {
+                    a.pl_sdotsp_b((j % 2) as u8, ACC_POOL[j], WP_POOL[(j + 2) % n], regs::X0);
+                }
+                a.bind(end);
+            }
+        }
+    }
+
+    // Requantize (>> 6, clip to i8), activate, store bytes.
+    for &acc in ACC_POOL.iter().take(n) {
+        let a = &mut *ctx.asm;
+        a.srai(acc, acc, 6);
+        a.clip(acc, acc, 8);
+        if matches!(spec.act, Act::Relu) {
+            a.emit(Instr::PMax {
+                rd: acc,
+                rs1: acc,
+                rs2: Reg::ZERO,
+            });
+        }
+        a.emit(Instr::StorePostInc {
+            op: StoreOp::Sb,
+            rs2: acc,
+            rs1: regs::OP,
+            offset: 1,
+        });
+    }
+}

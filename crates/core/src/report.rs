@@ -1,0 +1,96 @@
+//! Run reports: cycles, instructions, MACs, and derived metrics.
+
+use rnnasip_sim::Stats;
+
+/// The outcome metrics of one kernel or network run.
+///
+/// Wraps the simulator's per-mnemonic [`Stats`] and adds the derived
+/// quantities the paper reports: cycles per MAC and MAC throughput at a
+/// given clock.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    stats: Stats,
+}
+
+impl RunReport {
+    /// Wraps simulator statistics.
+    pub fn new(stats: Stats) -> Self {
+        Self { stats }
+    }
+
+    /// The per-mnemonic statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Total cycles.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles()
+    }
+
+    /// Total retired instructions.
+    pub fn instrs(&self) -> u64 {
+        self.stats.instrs()
+    }
+
+    /// Total 16-bit MAC operations.
+    pub fn mac_ops(&self) -> u64 {
+        self.stats.mac_ops()
+    }
+
+    /// Cycles per MAC (lower is better; the extended core approaches 0.5
+    /// because `pl.sdotsp.h` retires two MACs per cycle).
+    pub fn cycles_per_mac(&self) -> f64 {
+        if self.mac_ops() == 0 {
+            f64::NAN
+        } else {
+            self.cycles() as f64 / self.mac_ops() as f64
+        }
+    }
+
+    /// Throughput in MMAC/s at clock frequency `f_hz`.
+    ///
+    /// At the paper's 380 MHz operating point the extended core reaches
+    /// 566 MMAC/s on the benchmark suite.
+    pub fn mmacs_at(&self, f_hz: f64) -> f64 {
+        if self.cycles() == 0 {
+            return 0.0;
+        }
+        self.mac_ops() as f64 / self.cycles() as f64 * f_hz / 1e6
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &RunReport) {
+        self.stats.merge(&other.stats);
+    }
+}
+
+impl From<Stats> for RunReport {
+    fn from(stats: Stats) -> Self {
+        Self::new(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = Stats::new();
+        // Two pl.sdotsp at 1 cycle each: 4 MACs in 2 cycles.
+        s.record("pl.sdot", 1, 2);
+        s.record("pl.sdot", 1, 2);
+        let r = RunReport::new(s);
+        assert_eq!(r.cycles_per_mac(), 0.5);
+        // 2 MAC/cycle * 380 MHz = 760 MMAC/s.
+        assert!((r.mmacs_at(380e6) - 760.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_nan_not_panic() {
+        let r = RunReport::default();
+        assert!(r.cycles_per_mac().is_nan());
+        assert_eq!(r.mmacs_at(380e6), 0.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Bit-exactness: every optimization level must produce *identical*
+//! Q3.12 outputs to the golden fixed-point models, for every kernel type
+//! and a range of shapes (including odd widths that force padding and
+//! shapes that exercise remainder tiles).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnnasip_core::{KernelBackend, OptLevel};
+use rnnasip_fixed::Q3p12;
+use rnnasip_nn::{Act, Conv2dLayer, FcLayer, LstmLayer, Matrix, Network, Stage};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn rand_q(rng: &mut StdRng, scale: f64) -> Q3p12 {
+    Q3p12::from_f64((rng.gen::<f64>() * 2.0 - 1.0) * scale)
+}
+
+fn rand_vec(rng: &mut StdRng, n: usize, scale: f64) -> Vec<Q3p12> {
+    (0..n).map(|_| rand_q(rng, scale)).collect()
+}
+
+fn rand_matrix(rng: &mut StdRng, rows: usize, cols: usize, scale: f64) -> Matrix {
+    Matrix::new(rows, cols, rand_vec(rng, rows * cols, scale))
+}
+
+fn fc_layer(rng: &mut StdRng, n_out: usize, n_in: usize, act: Act) -> FcLayer {
+    FcLayer::new(
+        rand_matrix(rng, n_out, n_in, 0.5),
+        rand_vec(rng, n_out, 0.5),
+        act,
+    )
+}
+
+#[test]
+fn fc_bit_exact_all_levels_and_shapes() {
+    let shapes = [
+        (1usize, 2usize),
+        (4, 8),
+        (10, 16), // exactly one full tile
+        (11, 16), // full tile + remainder 1
+        (13, 16), // full tile + odd remainder 3
+        (12, 6),  // tiny input
+        (7, 9),   // odd n_in: padding path
+        (3, 33),  // odd n_in, odd n_out
+        (25, 34), // multiple tiles, n_pairs odd (IFM leftover)
+    ];
+    let acts = [Act::None, Act::Relu, Act::Tanh, Act::Sigmoid];
+    let mut r = rng(2020);
+    for &(n_out, n_in) in &shapes {
+        for &act in &acts {
+            let layer = fc_layer(&mut r, n_out, n_in, act);
+            let input = rand_vec(&mut r, n_in, 1.5);
+            let expect = layer.forward_fixed(&input);
+            for level in OptLevel::ALL {
+                let run = KernelBackend::new(level)
+                    .run_fc(&layer, &input)
+                    .unwrap_or_else(|e| panic!("{level:?} {n_out}x{n_in} {act:?}: {e}"));
+                assert_eq!(
+                    run.outputs, expect,
+                    "level {level:?}, shape {n_out}x{n_in}, act {act:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fc_saturating_values_bit_exact() {
+    // Large weights and inputs drive the accumulator into saturation;
+    // the requantize/clip path must match the golden model exactly.
+    let mut r = rng(7);
+    let layer = FcLayer::new(
+        rand_matrix(&mut r, 6, 12, 7.9),
+        rand_vec(&mut r, 6, 7.9),
+        Act::None,
+    );
+    let input = rand_vec(&mut r, 12, 7.9);
+    let expect = layer.forward_fixed(&input);
+    for level in OptLevel::ALL {
+        let run = KernelBackend::new(level).run_fc(&layer, &input).unwrap();
+        assert_eq!(run.outputs, expect, "level {level:?}");
+    }
+}
+
+fn lstm_layer(rng: &mut StdRng, m: usize, n: usize) -> LstmLayer {
+    let wx = [
+        rand_matrix(rng, n, m, 0.5),
+        rand_matrix(rng, n, m, 0.5),
+        rand_matrix(rng, n, m, 0.5),
+        rand_matrix(rng, n, m, 0.5),
+    ];
+    let wh = [
+        rand_matrix(rng, n, n, 0.4),
+        rand_matrix(rng, n, n, 0.4),
+        rand_matrix(rng, n, n, 0.4),
+        rand_matrix(rng, n, n, 0.4),
+    ];
+    let bias = [
+        rand_vec(rng, n, 0.3),
+        rand_vec(rng, n, 0.3),
+        rand_vec(rng, n, 0.3),
+        rand_vec(rng, n, 0.3),
+    ];
+    LstmLayer::new(wx, wh, bias)
+}
+
+#[test]
+fn lstm_bit_exact_all_levels() {
+    let mut r = rng(42);
+    for (m, n, steps) in [(4usize, 6usize, 3usize), (8, 8, 5), (2, 12, 1)] {
+        let layer = lstm_layer(&mut r, m, n);
+        let seq: Vec<Vec<Q3p12>> = (0..steps).map(|_| rand_vec(&mut r, m, 1.0)).collect();
+        let expect = layer.forward_fixed(&seq);
+        for level in OptLevel::ALL {
+            let run = KernelBackend::new(level)
+                .run_lstm(&layer, &seq)
+                .unwrap_or_else(|e| panic!("{level:?} lstm {m}x{n}x{steps}: {e}"));
+            assert_eq!(run.outputs, expect, "level {level:?}, {m}x{n}x{steps}");
+        }
+    }
+}
+
+#[test]
+fn conv_bit_exact_all_levels() {
+    let mut r = rng(99);
+    // (in_ch, h, w, out_ch, kh, kw) — odd taps exercise gather padding.
+    for (in_ch, h, w, out_ch, kh, kw) in [
+        (1usize, 5usize, 5usize, 3usize, 3usize, 3usize),
+        (2, 6, 6, 4, 3, 3),
+        (3, 4, 5, 2, 2, 2),
+    ] {
+        let conv = Conv2dLayer::new(
+            in_ch,
+            h,
+            w,
+            out_ch,
+            kh,
+            kw,
+            rand_matrix(&mut r, out_ch, in_ch * kh * kw, 0.5),
+            rand_vec(&mut r, out_ch, 0.3),
+            Act::Relu,
+        );
+        let input = rand_vec(&mut r, conv.n_in(), 1.0);
+        let expect = conv.forward_fixed(&input);
+        for level in OptLevel::ALL {
+            let run = KernelBackend::new(level)
+                .run_conv(&conv, &input)
+                .unwrap_or_else(|e| panic!("{level:?} conv: {e}"));
+            assert_eq!(
+                run.outputs, expect,
+                "level {level:?}, conv {in_ch}x{h}x{w} -> {out_ch} ({kh}x{kw})"
+            );
+        }
+    }
+}
+
+#[test]
+fn network_pipelines_bit_exact() {
+    let mut r = rng(1234);
+    // MLP: fc-relu -> fc-sigmoid.
+    let mlp = Network::new(
+        "mlp",
+        vec![
+            Stage::Fc(fc_layer(&mut r, 12, 10, Act::Relu)),
+            Stage::Fc(fc_layer(&mut r, 4, 12, Act::Sigmoid)),
+        ],
+    );
+    let input = vec![rand_vec(&mut r, 10, 1.0)];
+    let expect = mlp.forward_fixed(&input);
+    for level in OptLevel::ALL {
+        let run = KernelBackend::new(level).run_network(&mlp, &input).unwrap();
+        assert_eq!(run.outputs, expect, "mlp at {level:?}");
+    }
+
+    // LSTM -> FC head.
+    let lstm = lstm_layer(&mut r, 4, 8);
+    let head = fc_layer(&mut r, 3, 8, Act::None);
+    let net = Network::new(
+        "lstm+fc",
+        vec![
+            Stage::Lstm {
+                layer: lstm,
+                steps: 4,
+            },
+            Stage::Fc(head),
+        ],
+    );
+    let seq: Vec<Vec<Q3p12>> = (0..4).map(|_| rand_vec(&mut r, 4, 1.0)).collect();
+    let expect = net.forward_fixed(&seq);
+    for level in OptLevel::ALL {
+        let run = KernelBackend::new(level).run_network(&net, &seq).unwrap();
+        assert_eq!(run.outputs, expect, "lstm+fc at {level:?}");
+    }
+
+    // Conv -> conv -> FC head (CNN pipeline with a runtime im2col).
+    let c1 = Conv2dLayer::new(
+        1,
+        6,
+        6,
+        4,
+        3,
+        3,
+        rand_matrix(&mut r, 4, 9, 0.5),
+        rand_vec(&mut r, 4, 0.2),
+        Act::Relu,
+    );
+    let c2 = Conv2dLayer::new(
+        4,
+        4,
+        4,
+        2,
+        2,
+        2,
+        rand_matrix(&mut r, 2, 16, 0.5),
+        rand_vec(&mut r, 2, 0.2),
+        Act::Relu,
+    );
+    let head = fc_layer(&mut r, 5, c2.n_out(), Act::None);
+    let net = Network::new(
+        "cnn",
+        vec![Stage::Conv(c1), Stage::Conv(c2), Stage::Fc(head)],
+    );
+    let input = vec![rand_vec(&mut r, 36, 1.0)];
+    let expect = net.forward_fixed(&input);
+    for level in OptLevel::ALL {
+        let run = KernelBackend::new(level).run_network(&net, &input).unwrap();
+        assert_eq!(run.outputs, expect, "cnn at {level:?}");
+    }
+}
+
+#[test]
+fn speedups_are_monotonic_through_level_d() {
+    // On a reasonably sized FC layer, each level through (d) must be
+    // faster than the previous one; (e) may tie or slightly regress on
+    // small layers (the paper observes the same).
+    let mut r = rng(5);
+    let layer = fc_layer(&mut r, 40, 64, Act::None);
+    let input = rand_vec(&mut r, 64, 1.0);
+    let mut cycles = Vec::new();
+    for level in OptLevel::ALL {
+        let run = KernelBackend::new(level).run_fc(&layer, &input).unwrap();
+        cycles.push(run.report.cycles());
+    }
+    assert!(cycles[0] > cycles[1], "xpulp beats baseline: {cycles:?}");
+    assert!(cycles[1] > cycles[2], "ofm beats xpulp: {cycles:?}");
+    assert!(cycles[2] > cycles[3], "sdotsp beats ofm: {cycles:?}");
+    // The overall paper-level factor: close to an order of magnitude.
+    let speedup = cycles[0] as f64 / cycles[3] as f64;
+    assert!(speedup > 8.0, "baseline/sdotsp speedup {speedup}");
+}
+
+#[test]
+fn strided_and_padded_conv_bit_exact() {
+    let mut r = rng(321);
+    // (in_ch, h, w, out_ch, kh, kw, stride, pad)
+    for (in_ch, h, w, out_ch, kh, kw, stride, pad) in [
+        (
+            1usize, 8usize, 8usize, 3usize, 3usize, 3usize, 2usize, 0usize,
+        ),
+        (2, 7, 7, 4, 3, 3, 1, 1), // "same" geometry
+        (1, 9, 9, 2, 3, 3, 3, 1),
+        (3, 6, 6, 2, 2, 2, 2, 0),
+    ] {
+        let conv = Conv2dLayer::with_geometry(
+            in_ch,
+            h,
+            w,
+            out_ch,
+            kh,
+            kw,
+            stride,
+            pad,
+            rand_matrix(&mut r, out_ch, in_ch * kh * kw, 0.5),
+            rand_vec(&mut r, out_ch, 0.3),
+            Act::Relu,
+        );
+        let input = rand_vec(&mut r, conv.n_in(), 1.0);
+        let expect = conv.forward_fixed(&input);
+        // Float reference must also agree within quantization noise.
+        let input_f: Vec<f64> = input.iter().map(|q| q.to_f64()).collect();
+        let float = conv.forward_f64(&input_f);
+        for (q, f) in expect.iter().zip(&float) {
+            assert!(
+                (q.to_f64() - f).abs() < 0.05,
+                "stride {stride} pad {pad}: golden fixed {} vs float {f}",
+                q.to_f64()
+            );
+        }
+        for level in OptLevel::ALL {
+            let run = KernelBackend::new(level)
+                .run_conv(&conv, &input)
+                .unwrap_or_else(|e| panic!("{level:?} strided conv: {e}"));
+            assert_eq!(
+                run.outputs, expect,
+                "level {level:?}, conv s{stride} p{pad} {in_ch}x{h}x{w}"
+            );
+        }
+    }
+}

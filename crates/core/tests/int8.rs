@@ -1,0 +1,108 @@
+//! INT8 extension path: bit-exactness of both `pv.sdotsp.b` and
+//! `pl.sdotsp.b` kernels against the Q1.6 golden model, and the expected
+//! throughput ordering (INT8 merged load-compute beats everything).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnnasip_core::{Int8Kernel, KernelBackend, OptLevel};
+use rnnasip_fixed::Q1p6;
+use rnnasip_nn::{Act, FcLayer8};
+
+fn rand_layer8(rng: &mut StdRng, n_out: usize, n_in: usize, act: Act) -> FcLayer8 {
+    let weights = (0..n_out * n_in)
+        .map(|_| Q1p6::from_f64(rng.gen::<f64>() - 0.5))
+        .collect();
+    let bias = (0..n_out)
+        .map(|_| Q1p6::from_f64((rng.gen::<f64>() - 0.5) * 0.5))
+        .collect();
+    FcLayer8::new(n_out, n_in, weights, bias, act)
+}
+
+fn rand_input8(rng: &mut StdRng, n: usize) -> Vec<Q1p6> {
+    (0..n)
+        .map(|_| Q1p6::from_f64((rng.gen::<f64>() - 0.5) * 2.0))
+        .collect()
+}
+
+#[test]
+fn int8_kernels_bit_exact() {
+    let mut rng = StdRng::seed_from_u64(88);
+    // Shapes include non-multiples of 4 (padding path) and remainder
+    // tiles.
+    for (n_out, n_in) in [(4usize, 8usize), (10, 16), (11, 18), (3, 7), (25, 20)] {
+        for act in [Act::None, Act::Relu] {
+            let layer = rand_layer8(&mut rng, n_out, n_in, act);
+            let input = rand_input8(&mut rng, n_in);
+            let expect = layer.forward_fixed(&input);
+            for kernel in [Int8Kernel::PvSdot, Int8Kernel::PlSdotB] {
+                let run = KernelBackend::new(OptLevel::IfmTile)
+                    .run_fc8(&layer, &input, kernel)
+                    .unwrap_or_else(|e| panic!("{kernel:?} {n_out}x{n_in}: {e}"));
+                assert_eq!(
+                    run.outputs, expect,
+                    "{kernel:?}, shape {n_out}x{n_in}, act {act:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn int8_saturating_accumulation_bit_exact() {
+    let layer = FcLayer8::new(2, 8, vec![Q1p6::MAX; 16], vec![Q1p6::MAX; 2], Act::None);
+    let input = vec![Q1p6::MAX; 8];
+    let expect = layer.forward_fixed(&input);
+    assert_eq!(expect[0], Q1p6::MAX, "precondition: saturates");
+    for kernel in [Int8Kernel::PvSdot, Int8Kernel::PlSdotB] {
+        let run = KernelBackend::new(OptLevel::IfmTile)
+            .run_fc8(&layer, &input, kernel)
+            .expect("runs");
+        assert_eq!(run.outputs, expect, "{kernel:?}");
+    }
+}
+
+#[test]
+fn int8_merged_load_compute_beats_16bit_and_explicit_loads() {
+    // Same logical layer at Q3.12 (level e) vs INT8 pv.sdotsp.b vs INT8
+    // pl.sdotsp.b: MACs/cycle must strictly improve.
+    let mut rng = StdRng::seed_from_u64(5);
+    let n_out = 64;
+    let n_in = 64;
+    let layer8 = rand_layer8(&mut rng, n_out, n_in, Act::Relu);
+    let input8 = rand_input8(&mut rng, n_in);
+
+    let pv = KernelBackend::new(OptLevel::IfmTile)
+        .run_fc8(&layer8, &input8, Int8Kernel::PvSdot)
+        .expect("pv kernel");
+    let pl = KernelBackend::new(OptLevel::IfmTile)
+        .run_fc8(&layer8, &input8, Int8Kernel::PlSdotB)
+        .expect("pl kernel");
+
+    // 16-bit reference of the same shape on the best 16-bit level.
+    let layer16 = rnnasip_rrm::seeded_fc_layer(n_in, n_out, 9);
+    let input16 = rnnasip_rrm::seeded_input(n_in, 10);
+    let q16 = KernelBackend::new(OptLevel::IfmTile)
+        .run_fc(&layer16, &input16)
+        .expect("16-bit");
+
+    let cpm = |r: &rnnasip_core::RunReport| r.cycles() as f64 / r.mac_ops() as f64;
+    let c16 = cpm(&q16.report);
+    let c_pv = cpm(&pv.report);
+    let c_pl = cpm(&pl.report);
+    assert!(
+        c_pv < c16,
+        "int8 pv.sdotsp.b ({c_pv:.3}) must beat 16-bit ({c16:.3}) cycles/MAC"
+    );
+    assert!(
+        c_pl < c_pv,
+        "pl.sdotsp.b ({c_pl:.3}) must beat explicit loads ({c_pv:.3})"
+    );
+    // The byte datapath peaks at 4 MACs/cycle steady-state; on this
+    // modest layer (tile setup + requant overheads included) it must
+    // still clear 2.2 — well beyond the 16-bit peak of 2.
+    assert!(
+        1.0 / c_pl > 2.2,
+        "merged INT8 reaches {:.2} MACs/cycle",
+        1.0 / c_pl
+    );
+}

@@ -1,0 +1,66 @@
+//! Property test: *any* well-formed FC layer is bit-exact on *any*
+//! optimization level. Shapes, weights, biases, activations and inputs
+//! are all randomized; the invariant is absolute equality with the
+//! golden Q3.12 model.
+
+use proptest::prelude::*;
+use rnnasip_core::{KernelBackend, OptLevel};
+use rnnasip_fixed::Q3p12;
+use rnnasip_nn::{Act, FcLayer, Matrix};
+
+fn arb_act() -> impl Strategy<Value = Act> {
+    prop_oneof![
+        Just(Act::None),
+        Just(Act::Relu),
+        Just(Act::Tanh),
+        Just(Act::Sigmoid),
+    ]
+}
+
+fn arb_level() -> impl Strategy<Value = OptLevel> {
+    prop_oneof![
+        Just(OptLevel::Baseline),
+        Just(OptLevel::Xpulp),
+        Just(OptLevel::OfmTile),
+        Just(OptLevel::SdotSp),
+        Just(OptLevel::IfmTile),
+    ]
+}
+
+fn arb_q(range: f64) -> impl Strategy<Value = Q3p12> {
+    (-range..range).prop_map(Q3p12::from_f64)
+}
+
+proptest! {
+    // Each case simulates a full kernel; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_fc_layer_is_bit_exact(
+        n_out in 1usize..24,
+        n_in in 1usize..40,
+        act in arb_act(),
+        level in arb_level(),
+        tile in 1usize..=10,
+        seed_weights in proptest::collection::vec(arb_q(4.0), 24 * 40),
+        seed_input in proptest::collection::vec(arb_q(4.0), 40),
+        seed_bias in proptest::collection::vec(arb_q(2.0), 24),
+    ) {
+        let weights: Vec<Q3p12> = seed_weights[..n_out * n_in].to_vec();
+        let bias: Vec<Q3p12> = seed_bias[..n_out].to_vec();
+        let input: Vec<Q3p12> = seed_input[..n_in].to_vec();
+        let layer = FcLayer::new(Matrix::new(n_out, n_in, weights), bias, act);
+        let expect = layer.forward_fixed(&input);
+        let run = KernelBackend::new(level)
+            .with_max_tile(tile)
+            .run_fc(&layer, &input)
+            .map_err(|e| TestCaseError::fail(format!(
+                "{level:?} tile {tile} {n_out}x{n_in} {act:?}: {e}"
+            )))?;
+        prop_assert_eq!(
+            run.outputs, expect,
+            "level {:?}, tile {}, shape {}x{}, act {:?}",
+            level, tile, n_out, n_in, act
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Activity extraction from simulator statistics.
+
+use rnnasip_sim::Stats;
+
+/// Per-run activity counts, the inputs of the power model.
+///
+/// Extracted from per-mnemonic [`Stats`]: memory mnemonics count as LSU
+/// accesses (`pl.sdotsp` counts both a MAC-unit use *and* an LSU access,
+/// its whole point), MAC operations come from the simulator's
+/// 16-bit-MAC accounting, and the remaining retired instructions are
+/// classed as control/ALU work.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Activity {
+    /// Total elapsed cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instrs: u64,
+    /// 16-bit multiply-accumulate operations.
+    pub mac_ops: u64,
+    /// Data-memory loads (including the implicit `pl.sdotsp` stream
+    /// loads).
+    pub loads: u64,
+    /// Data-memory stores.
+    pub stores: u64,
+    /// ALU/branch/control instructions (everything that is neither a
+    /// memory access nor a pure MAC-unit instruction).
+    pub alu_ops: u64,
+}
+
+impl Activity {
+    /// Extracts activities from per-mnemonic statistics.
+    pub fn from_stats(stats: &Stats) -> Self {
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        let mut mac_instrs = 0u64;
+        for (name, row) in stats.iter() {
+            if is_load_mnemonic(name) {
+                loads += row.instrs;
+            } else if is_store_mnemonic(name) {
+                stores += row.instrs;
+            }
+            if is_mac_mnemonic(name) {
+                mac_instrs += row.instrs;
+            }
+        }
+        let accounted = loads + stores + mac_instrs;
+        // pl.sdotsp is both a load and a MAC instruction; avoid double
+        // subtraction when computing the ALU remainder.
+        let sdotsp = stats.row("pl.sdotsp").instrs + stats.row("pl.sdotsp.b").instrs;
+        let alu_ops = stats.instrs().saturating_sub(accounted - sdotsp);
+        Self {
+            cycles: stats.cycles(),
+            instrs: stats.instrs(),
+            mac_ops: stats.mac_ops(),
+            loads,
+            stores,
+            alu_ops,
+        }
+    }
+
+    /// LSU accesses per cycle.
+    pub fn lsu_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (self.loads + self.stores) as f64 / self.cycles as f64
+    }
+
+    /// MAC operations per cycle (2.0 would be the `pl.sdotsp.h` peak).
+    pub fn macs_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.mac_ops as f64 / self.cycles as f64
+    }
+}
+
+fn is_load_mnemonic(name: &str) -> bool {
+    matches!(
+        name,
+        "lb" | "lh" | "lw" | "lbu" | "lhu" | "p.lb" | "p.lh" | "p.lw" | "p.lbu" | "p.lhu"
+    ) || name.starts_with("p.l") && name.ends_with('!')
+        || name.starts_with("pl.sdotsp")
+}
+
+fn is_store_mnemonic(name: &str) -> bool {
+    matches!(name, "sb" | "sh" | "sw") || name.starts_with("p.s") && name.ends_with('!')
+}
+
+fn is_mac_mnemonic(name: &str) -> bool {
+    name == "p.mac"
+        || name == "p.msu"
+        || name == "mul"
+        || name.starts_with("pv.dot")
+        || name.starts_with("pv.sdot")
+        || name.starts_with("pl.sdotsp")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let mut s = Stats::new();
+        s.record("p.lw!", 2, 0); // one stall cycle inside
+        s.record("pl.sdotsp", 1, 2);
+        s.record("p.sh!", 1, 0);
+        s.record("addi", 1, 0);
+        s.record("p.mac", 1, 1);
+        let a = Activity::from_stats(&s);
+        assert_eq!(a.loads, 2); // p.lw! + pl.sdotsp stream load
+        assert_eq!(a.stores, 1);
+        assert_eq!(a.mac_ops, 3);
+        assert_eq!(a.alu_ops, 1); // only the addi; pl.sdotsp is MAC+LSU work
+        assert_eq!(a.cycles, 6);
+    }
+
+    #[test]
+    fn empty_stats_are_all_zero() {
+        let a = Activity::from_stats(&Stats::new());
+        assert_eq!(a, Activity::default());
+        assert_eq!(a.macs_per_cycle(), 0.0);
+        assert_eq!(a.lsu_per_cycle(), 0.0);
+    }
+}

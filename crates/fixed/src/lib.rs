@@ -1,0 +1,53 @@
+//! Q-format fixed-point arithmetic for the RNNASIP reproduction.
+//!
+//! The paper encodes all weights and activations in **Q3.12**: a signed
+//! 16-bit value with 3 integer bits and 12 fractional bits, covering
+//! `[-8.0, 8.0)` with a resolution of `2^-12`. Multiply-accumulate
+//! operations widen into a 32-bit accumulator and are requantized back to
+//! Q3.12 with a plain arithmetic right shift by 12 (Algorithm 1, line 13),
+//! followed by saturation — exactly what the RI5CY `p.clip` datapath does.
+//!
+//! The types here are the *numerical ground truth* for the whole workspace:
+//! the instruction-set simulator ([`rnnasip-sim`]), the golden neural-network
+//! models ([`rnnasip-nn`]) and the kernel generators ([`rnnasip-core`]) all
+//! reduce to these operations, which is what makes bit-exactness testable.
+//!
+//! # Example
+//!
+//! ```
+//! use rnnasip_fixed::{Q3p12, Acc32};
+//!
+//! let w = Q3p12::from_f64(0.5);
+//! let x = Q3p12::from_f64(-1.25);
+//! let mut acc = Acc32::ZERO;
+//! acc = acc.mac(w, x);
+//! let y = acc.requantize();
+//! assert!((y.to_f64() - (-0.625)).abs() < 1e-3);
+//! ```
+//!
+//! [`rnnasip-sim`]: ../rnnasip_sim/index.html
+//! [`rnnasip-nn`]: ../rnnasip_nn/index.html
+//! [`rnnasip-core`]: ../rnnasip_core/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acc;
+pub mod pla;
+mod q;
+mod q8;
+mod v2s;
+mod v4s;
+
+pub use acc::Acc32;
+pub use pla::{hw_sig, hw_tanh};
+pub use q::{Fx16, Q1p14, Q3p12, Q7p8};
+pub use q8::{q3p12_to_q1p6, Fx8, Q1p6};
+pub use v2s::V2s;
+pub use v4s::V4s;
+
+/// Number of fractional bits in the paper's canonical Q3.12 format.
+pub const Q3P12_FRAC_BITS: u32 = 12;
+
+/// Scale factor (`2^12`) of the canonical Q3.12 format.
+pub const Q3P12_ONE: i32 = 1 << Q3P12_FRAC_BITS;

@@ -1,0 +1,363 @@
+//! Piecewise-linear approximation (PLA) of `tanh` and `sigmoid` on Q3.12.
+//!
+//! This module is the *hardware model* of the paper's `pl.tanh` / `pl.sig`
+//! unit (Section III-D, Algorithm 2):
+//!
+//! 1. take the absolute value of the Q3.12 operand (both functions are
+//!    symmetric around zero: `tanh(-x) = -tanh(x)`,
+//!    `sig(-x) = 1 - sig(x)`),
+//! 2. index one of `M` intervals of width `2^N` raw units by a right shift,
+//! 3. outside the interpolated range return the converged value
+//!    (`±1` / `{0, 1}`),
+//! 4. inside, evaluate `y = m·|x| + q` from two `M`-entry LUTs,
+//! 5. undo the symmetry fold.
+//!
+//! The shipped hardware configuration is the paper's chosen design point:
+//! interpolation range `[-4, 4]` and `M = 32` intervals (`N = 9`), for
+//! which the paper reports a tanh MSE of `9.81e-7` and a maximum error of
+//! `±3.8e-4`. [`PlaTable::fit`] supports arbitrary `(range, intervals)`
+//! pairs so the full Fig. 2 sweep can be regenerated, with either
+//! endpoint interpolation or least-squares fitting per interval.
+
+use crate::q::Q3p12;
+use std::sync::OnceLock;
+
+/// Which transcendental function a table approximates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PlaFunc {
+    /// Hyperbolic tangent: odd symmetry, converges to ±1.
+    Tanh,
+    /// Logistic sigmoid: `sig(-x) = 1 - sig(x)`, converges to {0, 1}.
+    Sigmoid,
+}
+
+impl PlaFunc {
+    /// The reference function in double precision.
+    pub fn reference(self, x: f64) -> f64 {
+        match self {
+            PlaFunc::Tanh => x.tanh(),
+            PlaFunc::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+}
+
+/// How LUT entries are fitted within each interval.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum FitMode {
+    /// Straight line through the interval endpoints (classical PLA).
+    Endpoint,
+    /// Least-squares linear fit over the Q3.12 grid points of the interval
+    /// (what minimises the MSE the paper's Fig. 2 reports).
+    #[default]
+    LeastSquares,
+}
+
+/// Fractional bits of the slope LUT entries (`m` in `y = m·|x| + q`).
+///
+/// Slopes of both functions are in `[0, 1]`, so Q1.14 keeps two guard
+/// bits of headroom while the 14-bit fraction keeps the product error
+/// below a Q3.12 ULP.
+pub const SLOPE_FRAC_BITS: u32 = 14;
+
+/// A fitted PLA configuration: the two `M`-entry LUTs plus geometry.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_fixed::pla::{FitMode, PlaFunc, PlaTable};
+/// use rnnasip_fixed::Q3p12;
+///
+/// let table = PlaTable::fit(PlaFunc::Tanh, 32, 9, FitMode::LeastSquares);
+/// let y = table.eval(Q3p12::from_f64(0.5));
+/// assert!((y.to_f64() - 0.5f64.tanh()).abs() < 1e-3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PlaTable {
+    func: PlaFunc,
+    /// Number of intervals `M`.
+    intervals: u32,
+    /// Interval width is `2^shift` raw Q3.12 units.
+    shift: u32,
+    /// Slopes in Q1.14 (see [`SLOPE_FRAC_BITS`]).
+    lut_m: Vec<i32>,
+    /// Intercepts in Q3.12.
+    lut_q: Vec<i32>,
+}
+
+impl PlaTable {
+    /// Fits a PLA table for `func` with `intervals` intervals of width
+    /// `2^shift` raw Q3.12 units, covering `[0, intervals · 2^shift)`.
+    ///
+    /// The paper's design point is `intervals = 32`, `shift = 9`
+    /// (range `32·512/4096 = 4.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals` is zero or the covered range exceeds the
+    /// Q3.12 domain (`intervals << shift > 32768`).
+    pub fn fit(func: PlaFunc, intervals: u32, shift: u32, mode: FitMode) -> Self {
+        assert!(intervals > 0, "need at least one interval");
+        assert!(
+            (intervals as u64) << shift <= 32768,
+            "interpolation range exceeds the Q3.12 domain"
+        );
+        let width = 1u32 << shift;
+        let scale = f64::from(1 << SLOPE_FRAC_BITS);
+        let mut lut_m = Vec::with_capacity(intervals as usize);
+        let mut lut_q = Vec::with_capacity(intervals as usize);
+        for i in 0..intervals {
+            let x0 = (i * width) as f64 / 4096.0;
+            let x1 = ((i + 1) * width) as f64 / 4096.0;
+            let (m, q) = match mode {
+                FitMode::Endpoint => {
+                    let (y0, y1) = (func.reference(x0), func.reference(x1));
+                    let m = (y1 - y0) / (x1 - x0);
+                    (m, y0 - m * x0)
+                }
+                FitMode::LeastSquares => least_squares(func, i * width, width),
+            };
+            lut_m.push((m * scale).round() as i32);
+            lut_q.push((q * 4096.0).round() as i32);
+        }
+        Self {
+            func,
+            intervals,
+            shift,
+            lut_m,
+            lut_q,
+        }
+    }
+
+    /// The approximated function.
+    pub fn func(&self) -> PlaFunc {
+        self.func
+    }
+
+    /// Number of intervals `M`.
+    pub fn intervals(&self) -> u32 {
+        self.intervals
+    }
+
+    /// The log2 of the interval width in raw Q3.12 units.
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// Upper end of the interpolated range as an `f64` (e.g. `4.0`).
+    pub fn range(&self) -> f64 {
+        ((self.intervals as u64) << self.shift) as f64 / 4096.0
+    }
+
+    /// Slope LUT entry `i` in Q1.14 (see [`SLOPE_FRAC_BITS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= intervals`.
+    pub fn slope(&self, i: u32) -> i32 {
+        self.lut_m[i as usize]
+    }
+
+    /// Intercept LUT entry `i` in Q3.12.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= intervals`.
+    pub fn intercept(&self, i: u32) -> i32 {
+        self.lut_q[i as usize]
+    }
+
+    /// Evaluates the approximation exactly as the hardware does
+    /// (Algorithm 2): integer LUT lookup, Q1.14 × Q3.12 product, shift,
+    /// symmetry fold.
+    pub fn eval(&self, x: Q3p12) -> Q3p12 {
+        let raw = x.raw() as i32;
+        let negative = raw < 0;
+        // |x|; Q3.12 MIN (-8.0) folds to MAX, deep in the converged region.
+        let abs = if negative {
+            (-(raw as i64)).min(i16::MAX as i64) as i32
+        } else {
+            raw
+        };
+        let id = (abs >> self.shift) as u32;
+        let y_pos = if id >= self.intervals {
+            4096 // converged: f(+inf) = 1.0 in Q3.12
+        } else {
+            let m = self.lut_m[id as usize];
+            let q = self.lut_q[id as usize];
+            ((m * abs) >> SLOPE_FRAC_BITS) + q
+        };
+        let y = match (self.func, negative) {
+            (PlaFunc::Tanh, false) => y_pos,
+            (PlaFunc::Tanh, true) => -y_pos,
+            (PlaFunc::Sigmoid, false) => y_pos,
+            (PlaFunc::Sigmoid, true) => 4096 - y_pos,
+        };
+        Q3p12::from_raw(y.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+    }
+
+    /// Mean squared error against the double-precision reference over the
+    /// whole Q3.12 grid in `[-8, 8)` (what Fig. 2 plots).
+    pub fn mse(&self) -> f64 {
+        let mut sum = 0.0;
+        for raw in i16::MIN..=i16::MAX {
+            let x = Q3p12::from_raw(raw);
+            let err = self.eval(x).to_f64() - self.func.reference(x.to_f64());
+            sum += err * err;
+        }
+        sum / 65536.0
+    }
+
+    /// Maximum absolute error against the double-precision reference over
+    /// the whole Q3.12 grid.
+    pub fn max_error(&self) -> f64 {
+        let mut max: f64 = 0.0;
+        for raw in i16::MIN..=i16::MAX {
+            let x = Q3p12::from_raw(raw);
+            let err = (self.eval(x).to_f64() - self.func.reference(x.to_f64())).abs();
+            max = max.max(err);
+        }
+        max
+    }
+}
+
+/// Least-squares linear fit of `func` over the Q3.12 grid points in
+/// `[start_raw, start_raw + width_raw)`.
+fn least_squares(func: PlaFunc, start_raw: u32, width_raw: u32) -> (f64, f64) {
+    let n = width_raw as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for raw in start_raw..start_raw + width_raw {
+        let x = raw as f64 / 4096.0;
+        let y = func.reference(x);
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        // Degenerate single-point interval: horizontal line.
+        return (0.0, sy / n);
+    }
+    let m = (n * sxy - sx * sy) / denom;
+    let q = (sy - m * sx) / n;
+    (m, q)
+}
+
+/// The hardware design point: 32 intervals, `N = 9` (range ±4).
+///
+/// These are the LUTs baked into the `pl.tanh`/`pl.sig` unit; the software
+/// PLA kernels (optimization levels *a* and *b*) stage the same entries
+/// into data memory so every optimization level is bit-identical.
+pub fn hw_table(func: PlaFunc) -> &'static PlaTable {
+    static TANH: OnceLock<PlaTable> = OnceLock::new();
+    static SIG: OnceLock<PlaTable> = OnceLock::new();
+    match func {
+        PlaFunc::Tanh => {
+            TANH.get_or_init(|| PlaTable::fit(PlaFunc::Tanh, 32, 9, FitMode::LeastSquares))
+        }
+        PlaFunc::Sigmoid => {
+            SIG.get_or_init(|| PlaTable::fit(PlaFunc::Sigmoid, 32, 9, FitMode::LeastSquares))
+        }
+    }
+}
+
+/// The `pl.tanh` instruction's exact result for a Q3.12 operand.
+///
+/// This is the single source of truth shared by the instruction-set
+/// simulator and the golden fixed-point models, which is what makes
+/// bit-exactness between them meaningful.
+pub fn hw_tanh(x: Q3p12) -> Q3p12 {
+    hw_table(PlaFunc::Tanh).eval(x)
+}
+
+/// The `pl.sig` instruction's exact result for a Q3.12 operand.
+pub fn hw_sig(x: Q3p12) -> Q3p12 {
+    hw_table(PlaFunc::Sigmoid).eval(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tanh_is_odd() {
+        // x = 0 is checked separately: the least-squares intercept of the
+        // first interval may be off by one LSB, which breaks exact oddness
+        // only at the origin.
+        for v in [-6.0, -2.5, -0.3, 0.3, 2.5, 6.0] {
+            let x = Q3p12::from_f64(v);
+            let neg = Q3p12::from_f64(-v);
+            assert_eq!(hw_tanh(x).raw(), -hw_tanh(neg).raw(), "at {v}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        for v in [-6.0, -2.5, -0.3, 0.3, 2.5, 6.0] {
+            let x = Q3p12::from_f64(v);
+            let neg = Q3p12::from_f64(-v);
+            assert_eq!(
+                hw_sig(x).raw() + hw_sig(neg).raw(),
+                4096,
+                "sig(x) + sig(-x) must be 1.0 at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn converged_region() {
+        assert_eq!(hw_tanh(Q3p12::from_f64(7.5)).raw(), 4096);
+        assert_eq!(hw_tanh(Q3p12::from_f64(-7.5)).raw(), -4096);
+        assert_eq!(hw_sig(Q3p12::from_f64(7.5)).raw(), 4096);
+        assert_eq!(hw_sig(Q3p12::from_f64(-7.5)).raw(), 0);
+        assert_eq!(hw_tanh(Q3p12::MIN).raw(), -4096);
+    }
+
+    #[test]
+    fn zero_maps_near_identity() {
+        // Within one Q3.12 LSB of the exact values tanh(0) = 0 and
+        // sig(0) = 0.5 (= 2048 raw).
+        assert!(hw_tanh(Q3p12::ZERO).raw().abs() <= 1);
+        assert!((hw_sig(Q3p12::ZERO).raw() - 2048).abs() <= 1);
+    }
+
+    #[test]
+    fn design_point_error_bounds() {
+        // The paper reports MSE 9.81e-7 and max error 3.8e-4 for the
+        // tanh design point; our least-squares fit must land in the same
+        // decade.
+        let t = PlaTable::fit(PlaFunc::Tanh, 32, 9, FitMode::LeastSquares);
+        let mse = t.mse();
+        let maxe = t.max_error();
+        assert!(mse < 5e-6, "tanh MSE {mse} too large");
+        assert!(maxe < 2e-3, "tanh max error {maxe} too large");
+    }
+
+    #[test]
+    fn more_intervals_reduce_error() {
+        let coarse = PlaTable::fit(PlaFunc::Tanh, 8, 11, FitMode::LeastSquares);
+        let fine = PlaTable::fit(PlaFunc::Tanh, 64, 8, FitMode::LeastSquares);
+        assert!(fine.mse() < coarse.mse());
+    }
+
+    #[test]
+    fn least_squares_beats_endpoint_mse() {
+        let ls = PlaTable::fit(PlaFunc::Tanh, 16, 10, FitMode::LeastSquares);
+        let ep = PlaTable::fit(PlaFunc::Tanh, 16, 10, FitMode::Endpoint);
+        assert!(ls.mse() <= ep.mse());
+    }
+
+    #[test]
+    fn range_accessor() {
+        let t = PlaTable::fit(PlaFunc::Tanh, 32, 9, FitMode::Endpoint);
+        assert_eq!(t.range(), 4.0);
+        assert_eq!(t.intervals(), 32);
+        assert_eq!(t.shift(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the Q3.12 domain")]
+    fn oversized_range_panics() {
+        let _ = PlaTable::fit(PlaFunc::Tanh, 128, 9, FitMode::Endpoint);
+    }
+}

@@ -1,0 +1,238 @@
+//! Signed 16-bit Q-format scalar type.
+
+use core::fmt;
+
+/// A signed 16-bit fixed-point number with `F` fractional bits.
+///
+/// The value represented is `raw / 2^F`. The paper's canonical format is
+/// [`Q3p12`] (`F = 12`, range `[-8, 8)`); [`Q7p8`] and [`Q1p14`] are provided
+/// for experiments with other quantization points (e.g. the activation LUT
+/// slope entries use higher fractional precision).
+///
+/// All arithmetic is *hardware-faithful*: conversions saturate to the i16
+/// range, multiplication widens to 32 bits, and requantization is an
+/// arithmetic right shift (truncation toward negative infinity), matching
+/// the RI5CY datapath the paper extends.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_fixed::Q3p12;
+///
+/// let a = Q3p12::from_f64(1.5);
+/// let b = Q3p12::from_f64(0.25);
+/// assert_eq!(a.saturating_add(b), Q3p12::from_f64(1.75));
+/// // Saturation at the top of the Q3.12 range:
+/// assert_eq!(Q3p12::from_f64(123.0), Q3p12::MAX);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fx16<const F: u32>(i16);
+
+/// The paper's canonical Q3.12 format: 3 integer bits, 12 fractional bits.
+pub type Q3p12 = Fx16<12>;
+
+/// Q7.8 format: 7 integer bits, 8 fractional bits.
+pub type Q7p8 = Fx16<8>;
+
+/// Q1.14 format: 1 integer bit, 14 fractional bits (used for LUT slopes).
+pub type Q1p14 = Fx16<14>;
+
+impl<const F: u32> Fx16<F> {
+    /// Number of fractional bits.
+    pub const FRAC_BITS: u32 = F;
+
+    /// The raw integer representing `1.0` (i.e. `2^F`).
+    ///
+    /// Note that for `F = 15` the value `1.0` itself is not representable;
+    /// this constant is still the correct scale factor.
+    pub const SCALE: i32 = 1 << F;
+
+    /// Smallest representable value (`-2^(15-F)`).
+    pub const MIN: Self = Self(i16::MIN);
+
+    /// Largest representable value (`2^(15-F) - 2^-F`).
+    pub const MAX: Self = Self(i16::MAX);
+
+    /// Zero.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a fixed-point number from its raw two's-complement bits.
+    #[inline]
+    pub const fn from_raw(raw: i16) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw two's-complement bits.
+    #[inline]
+    pub const fn raw(self) -> i16 {
+        self.0
+    }
+
+    /// Converts from `f64`, rounding to nearest and saturating to the
+    /// representable range.
+    ///
+    /// This mirrors the quantization step used when deploying a trained
+    /// floating-point network to the Q3.12 core (Section III-A).
+    #[inline]
+    pub fn from_f64(x: f64) -> Self {
+        let scaled = (x * Self::SCALE as f64).round();
+        Self(saturate_i32(scaled as i32))
+    }
+
+    /// Creates a fixed-point number from a raw `i32`, saturating to the
+    /// representable i16 range — the `p.clip rd, rs1, 16` operation.
+    #[inline]
+    pub fn from_i32_saturating(raw: i32) -> Self {
+        Self(saturate_i32(raw))
+    }
+
+    /// Converts to `f64` exactly.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / Self::SCALE as f64
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Wrapping addition — what a plain RISC-V `add` on sign-extended
+    /// halfwords followed by a halfword store does (no saturation).
+    #[inline]
+    pub fn wrapping_add(self, rhs: Self) -> Self {
+        Self(self.0.wrapping_add(rhs.0))
+    }
+
+    /// Saturating negation (`-MIN` saturates to `MAX`).
+    #[inline]
+    pub fn saturating_neg(self) -> Self {
+        Self(self.0.checked_neg().unwrap_or(i16::MAX))
+    }
+
+    /// Full-precision product of two fixed-point values as a raw `i32` with
+    /// `2F` fractional bits. This is exactly what the 16×16→32 multiplier
+    /// in the MAC unit produces.
+    #[inline]
+    pub fn widening_mul(self, rhs: Self) -> i32 {
+        self.0 as i32 * rhs.0 as i32
+    }
+
+    /// Fixed-point multiplication: widen, then requantize by an arithmetic
+    /// right shift of `F` (truncating), then saturate.
+    #[inline]
+    pub fn saturating_mul(self, rhs: Self) -> Self {
+        Self(saturate_i32(self.widening_mul(rhs) >> F))
+    }
+
+    /// Absolute value, saturating (`|MIN|` saturates to `MAX`).
+    #[inline]
+    pub fn saturating_abs(self) -> Self {
+        Self(self.0.checked_abs().unwrap_or(i16::MAX))
+    }
+
+    /// Reinterprets the same raw bits in a different Q format.
+    ///
+    /// This is a *free* transmute-style conversion (the numerical value is
+    /// rescaled by `2^(F-G)`); use it when an algorithm tracks the binary
+    /// point manually, as the kernel generators do.
+    #[inline]
+    pub fn rebits<const G: u32>(self) -> Fx16<G> {
+        Fx16::<G>::from_raw(self.0)
+    }
+}
+
+/// Saturates a 32-bit value to the i16 range — the `p.clip` operation.
+#[inline]
+pub(crate) fn saturate_i32(x: i32) -> i16 {
+    x.clamp(i16::MIN as i32, i16::MAX as i32) as i16
+}
+
+impl<const F: u32> fmt::Debug for Fx16<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fx16<{}>({} = {})", F, self.0, self.to_f64())
+    }
+}
+
+impl<const F: u32> fmt::Display for Fx16<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f64(), f)
+    }
+}
+
+impl<const F: u32> From<Fx16<F>> for f64 {
+    fn from(x: Fx16<F>) -> f64 {
+        x.to_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_f64_rounds_to_nearest() {
+        // 0.5 ulp in Q3.12 is 2^-13; exactly halfway rounds away from zero
+        // (f64::round semantics).
+        let x = Q3p12::from_f64(1.0 / 8192.0);
+        assert_eq!(x.raw(), 1);
+        let y = Q3p12::from_f64(-1.0 / 8192.0);
+        assert_eq!(y.raw(), -1);
+    }
+
+    #[test]
+    fn from_f64_saturates() {
+        assert_eq!(Q3p12::from_f64(100.0), Q3p12::MAX);
+        assert_eq!(Q3p12::from_f64(-100.0), Q3p12::MIN);
+        assert_eq!(Q3p12::from_f64(7.9999), Q3p12::MAX);
+    }
+
+    #[test]
+    fn round_trip_is_exact_on_grid() {
+        for raw in [-32768i16, -1, 0, 1, 4096, 32767] {
+            let x = Q3p12::from_raw(raw);
+            assert_eq!(Q3p12::from_f64(x.to_f64()), x);
+        }
+    }
+
+    #[test]
+    fn widening_mul_matches_integer_product() {
+        let a = Q3p12::from_raw(-20000);
+        let b = Q3p12::from_raw(30000);
+        assert_eq!(a.widening_mul(b), -20000i32 * 30000);
+    }
+
+    #[test]
+    fn saturating_mul_truncates_toward_neg_infinity() {
+        // -1 * smallest positive = -2^-24, which truncates to -2^-12, not 0.
+        let a = Q3p12::from_f64(-1.0);
+        let b = Q3p12::from_raw(1);
+        assert_eq!(a.saturating_mul(b).raw(), -1);
+    }
+
+    #[test]
+    fn neg_and_abs_saturate_at_min() {
+        assert_eq!(Q3p12::MIN.saturating_neg(), Q3p12::MAX);
+        assert_eq!(Q3p12::MIN.saturating_abs(), Q3p12::MAX);
+    }
+
+    #[test]
+    fn rebits_preserves_raw() {
+        let x = Q3p12::from_raw(1234);
+        let y: Q7p8 = x.rebits();
+        assert_eq!(y.raw(), 1234);
+    }
+
+    #[test]
+    fn one_constant() {
+        assert_eq!(Q3p12::SCALE, 4096);
+        assert_eq!(Q3p12::from_f64(1.0).raw(), 4096);
+    }
+}

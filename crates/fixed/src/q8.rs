@@ -1,0 +1,154 @@
+//! Signed 8-bit Q-format scalar type (the INT8 future-work path).
+//!
+//! The paper keeps 16-bit Q3.12 because it needs no retraining, but
+//! cites sub-byte quantization ([26], [27]) as the efficiency frontier.
+//! This module provides the 8-bit counterpart used by the repository's
+//! INT8 extension experiments: [`Q1p6`] values (range `[-2, 2)`,
+//! resolution `2^-6`) packed four to a word ([`V4s`](crate::V4s)) and
+//! consumed by `pv.sdotsp.b` / `pl.sdotsp.b` at four MACs per
+//! instruction.
+
+use core::fmt;
+
+/// A signed 8-bit fixed-point number with `F` fractional bits.
+///
+/// Mirrors [`Fx16`](crate::Fx16) at byte width. Products widen into an
+/// i32 accumulator; requantization shifts right by `F` and saturates to
+/// the i8 range.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_fixed::Q1p6;
+///
+/// let x = Q1p6::from_f64(0.5);
+/// assert_eq!(x.raw(), 32);
+/// assert_eq!(Q1p6::from_f64(5.0), Q1p6::MAX); // saturates
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fx8<const F: u32>(i8);
+
+/// The INT8 kernels' canonical format: 1 integer bit, 6 fractional bits.
+pub type Q1p6 = Fx8<6>;
+
+impl<const F: u32> Fx8<F> {
+    /// Number of fractional bits.
+    pub const FRAC_BITS: u32 = F;
+
+    /// The raw integer representing `1.0` (i.e. `2^F`).
+    pub const SCALE: i32 = 1 << F;
+
+    /// Smallest representable value.
+    pub const MIN: Self = Self(i8::MIN);
+
+    /// Largest representable value.
+    pub const MAX: Self = Self(i8::MAX);
+
+    /// Zero.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates from raw two's-complement bits.
+    #[inline]
+    pub const fn from_raw(raw: i8) -> Self {
+        Self(raw)
+    }
+
+    /// The raw bits.
+    #[inline]
+    pub const fn raw(self) -> i8 {
+        self.0
+    }
+
+    /// Converts from `f64`, rounding to nearest and saturating.
+    #[inline]
+    pub fn from_f64(x: f64) -> Self {
+        let scaled = (x * Self::SCALE as f64).round();
+        Self(scaled.clamp(i8::MIN as f64, i8::MAX as f64) as i8)
+    }
+
+    /// Converts to `f64` exactly.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / Self::SCALE as f64
+    }
+
+    /// Full-precision product as an i32 with `2F` fractional bits.
+    #[inline]
+    pub fn widening_mul(self, rhs: Self) -> i32 {
+        self.0 as i32 * rhs.0 as i32
+    }
+
+    /// Creates from a raw `i32`, saturating to the i8 range (the
+    /// `p.clip rd, rs1, 8` operation).
+    #[inline]
+    pub fn from_i32_saturating(raw: i32) -> Self {
+        Self(raw.clamp(i8::MIN as i32, i8::MAX as i32) as i8)
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl<const F: u32> fmt::Debug for Fx8<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fx8<{}>({} = {})", F, self.0, self.to_f64())
+    }
+}
+
+impl<const F: u32> fmt::Display for Fx8<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f64(), f)
+    }
+}
+
+/// Re-quantizes a Q3.12 value to Q1.6, saturating at the narrower range.
+///
+/// This is the weight-conversion step of the INT8 deployment flow: the
+/// value is rounded to the nearest Q1.6 step (`>> 6` with round-half-up).
+pub fn q3p12_to_q1p6(x: crate::Q3p12) -> Q1p6 {
+    let rounded = ((x.raw() as i32) + 32) >> 6;
+    Q1p6::from_i32_saturating(rounded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Q3p12;
+
+    #[test]
+    fn round_trip_on_grid() {
+        for raw in [-128i8, -1, 0, 1, 64, 127] {
+            let x = Q1p6::from_raw(raw);
+            assert_eq!(Q1p6::from_f64(x.to_f64()), x);
+        }
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(Q1p6::from_f64(10.0), Q1p6::MAX);
+        assert_eq!(Q1p6::from_f64(-10.0), Q1p6::MIN);
+        assert_eq!(Q1p6::from_i32_saturating(1000), Q1p6::MAX);
+    }
+
+    #[test]
+    fn q3p12_conversion_rounds() {
+        // 0.5 in Q3.12 = 2048 -> 32 in Q1.6.
+        assert_eq!(q3p12_to_q1p6(Q3p12::from_f64(0.5)).raw(), 32);
+        // Values beyond ±2 saturate.
+        assert_eq!(q3p12_to_q1p6(Q3p12::from_f64(3.0)), Q1p6::MAX);
+        assert_eq!(q3p12_to_q1p6(Q3p12::from_f64(-3.0)), Q1p6::MIN);
+        // Half-step rounds away from zero toward positive.
+        assert_eq!(q3p12_to_q1p6(Q3p12::from_raw(32)).raw(), 1);
+        assert_eq!(q3p12_to_q1p6(Q3p12::from_raw(31)).raw(), 0);
+    }
+
+    #[test]
+    fn widening_mul_matches_integers() {
+        let a = Q1p6::from_raw(-100);
+        let b = Q1p6::from_raw(99);
+        assert_eq!(a.widening_mul(b), -9900);
+    }
+}

@@ -1,0 +1,142 @@
+//! Packed `v2s` SIMD vector: two signed 16-bit lanes in one 32-bit word.
+//!
+//! The Xpulp extension views a 32-bit register as a vector of two signed
+//! halfwords (`v2s`). The paper packs two consecutive Q3.12 inputs
+//! `p(2ci), p(2ci+1)` and the matching weights into such vectors so that a
+//! single `pv.sdotsp.h` performs two MACs (Equation 7).
+
+use crate::{Acc32, Q3p12};
+use core::fmt;
+
+/// Two signed 16-bit lanes packed into a 32-bit word, little-endian lane
+/// order: lane 0 occupies bits `[15:0]`, lane 1 bits `[31:16]`.
+///
+/// This is the in-memory layout too: an array of `i16` loaded with `lw`
+/// yields element `2k` in lane 0 and `2k+1` in lane 1.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_fixed::{Q3p12, V2s, Acc32};
+///
+/// let x = V2s::pack(Q3p12::from_f64(1.0), Q3p12::from_f64(-0.5));
+/// let w = V2s::pack(Q3p12::from_f64(2.0), Q3p12::from_f64(4.0));
+/// // sdotsp: acc += x0*w0 + x1*w1 = 2.0 - 2.0 = 0
+/// let acc = x.sdotsp(w, Acc32::ZERO);
+/// assert_eq!(acc.requantize(), Q3p12::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct V2s(u32);
+
+impl V2s {
+    /// Packs two Q3.12 lanes (lane 0 = low halfword).
+    #[inline]
+    pub fn pack(lane0: Q3p12, lane1: Q3p12) -> Self {
+        Self((lane0.raw() as u16 as u32) | ((lane1.raw() as u16 as u32) << 16))
+    }
+
+    /// Creates a vector from raw 32-bit register contents.
+    #[inline]
+    pub const fn from_bits(bits: u32) -> Self {
+        Self(bits)
+    }
+
+    /// Raw 32-bit register contents.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Lane 0 (bits `[15:0]`), sign-extended.
+    #[inline]
+    pub fn lane0(self) -> Q3p12 {
+        Q3p12::from_raw(self.0 as u16 as i16)
+    }
+
+    /// Lane 1 (bits `[31:16]`), sign-extended.
+    #[inline]
+    pub fn lane1(self) -> Q3p12 {
+        Q3p12::from_raw((self.0 >> 16) as u16 as i16)
+    }
+
+    /// Signed sum-dot-product accumulate, the `pv.sdotsp.h` semantics:
+    /// `acc + lane0*rhs.lane0 + lane1*rhs.lane1` (wrapping).
+    #[inline]
+    #[must_use]
+    pub fn sdotsp(self, rhs: Self, acc: Acc32) -> Acc32 {
+        acc.mac(self.lane0(), rhs.lane0())
+            .mac(self.lane1(), rhs.lane1())
+    }
+
+    /// Signed dot-product (no accumulate), the `pv.dotsp.h` semantics.
+    #[inline]
+    pub fn dotsp(self, rhs: Self) -> Acc32 {
+        self.sdotsp(rhs, Acc32::ZERO)
+    }
+
+    /// Lane-wise saturating addition (`pv.add.h` on RI5CY wraps per lane;
+    /// we expose the wrapping form to stay hardware-faithful).
+    #[inline]
+    pub fn wrapping_add(self, rhs: Self) -> Self {
+        Self::pack(
+            self.lane0().wrapping_add(rhs.lane0()),
+            self.lane1().wrapping_add(rhs.lane1()),
+        )
+    }
+}
+
+impl fmt::Debug for V2s {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V2s[{}, {}]", self.lane0().raw(), self.lane1().raw())
+    }
+}
+
+impl From<[Q3p12; 2]> for V2s {
+    fn from(lanes: [Q3p12; 2]) -> Self {
+        Self::pack(lanes[0], lanes[1])
+    }
+}
+
+impl From<V2s> for [Q3p12; 2] {
+    fn from(v: V2s) -> Self {
+        [v.lane0(), v.lane1()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let v = V2s::pack(Q3p12::from_raw(-1), Q3p12::from_raw(12345));
+        assert_eq!(v.lane0().raw(), -1);
+        assert_eq!(v.lane1().raw(), 12345);
+        assert_eq!(v.bits(), 0x3039_FFFF);
+    }
+
+    #[test]
+    fn sdotsp_matches_scalar_macs() {
+        let a = V2s::pack(Q3p12::from_raw(-30000), Q3p12::from_raw(321));
+        let b = V2s::pack(Q3p12::from_raw(31000), Q3p12::from_raw(-4096));
+        let acc = a.sdotsp(b, Acc32::from_raw(99));
+        let expect = 99i64 + (-30000i64 * 31000) + (321i64 * -4096);
+        assert_eq!(acc.raw() as i64, expect);
+    }
+
+    #[test]
+    fn memory_layout_matches_halfword_array() {
+        // Two consecutive i16 values in little-endian memory, loaded as u32.
+        let mem: [i16; 2] = [100, -200];
+        let bytes = [
+            mem[0].to_le_bytes()[0],
+            mem[0].to_le_bytes()[1],
+            mem[1].to_le_bytes()[0],
+            mem[1].to_le_bytes()[1],
+        ];
+        let word = u32::from_le_bytes(bytes);
+        let v = V2s::from_bits(word);
+        assert_eq!(v.lane0().raw(), 100);
+        assert_eq!(v.lane1().raw(), -200);
+    }
+}

@@ -1,0 +1,120 @@
+//! Packed `v4s` SIMD vector: four signed 8-bit lanes in one 32-bit word.
+
+use crate::q8::Q1p6;
+use crate::Acc32;
+use core::fmt;
+
+/// Four signed 8-bit lanes packed into a 32-bit word, little-endian lane
+/// order (lane 0 in bits `[7:0]`) — the `pv.*.b` view of a register and
+/// the in-memory layout of an `i8` array loaded with `lw`.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_fixed::{Q1p6, V4s, Acc32};
+///
+/// let x = V4s::pack([Q1p6::from_f64(1.0); 4]);
+/// let w = V4s::pack([Q1p6::from_f64(0.5); 4]);
+/// let acc = x.sdotsp(w, Acc32::ZERO);
+/// // 4 lanes of 1.0*0.5 with 12 fractional bits: 4 * 64*32 = 8192.
+/// assert_eq!(acc.raw(), 8192);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct V4s(u32);
+
+impl V4s {
+    /// Packs four Q1.6 lanes (lane 0 = lowest byte).
+    #[inline]
+    pub fn pack(lanes: [Q1p6; 4]) -> Self {
+        Self(u32::from_le_bytes(lanes.map(|l| l.raw() as u8)))
+    }
+
+    /// Creates from raw register contents.
+    #[inline]
+    pub const fn from_bits(bits: u32) -> Self {
+        Self(bits)
+    }
+
+    /// Raw register contents.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Lane `i` (0–3), sign-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 3`.
+    #[inline]
+    pub fn lane(self, i: usize) -> Q1p6 {
+        assert!(i < 4, "lane index out of range");
+        Q1p6::from_raw(self.0.to_le_bytes()[i] as i8)
+    }
+
+    /// All four lanes.
+    #[inline]
+    pub fn lanes(self) -> [Q1p6; 4] {
+        self.0.to_le_bytes().map(|b| Q1p6::from_raw(b as i8))
+    }
+
+    /// Signed sum-dot-product accumulate — `pv.sdotsp.b` semantics:
+    /// `acc + Σ laneᵢ · rhs.laneᵢ` (wrapping).
+    #[inline]
+    #[must_use]
+    pub fn sdotsp(self, rhs: Self, acc: Acc32) -> Acc32 {
+        let mut sum = acc.raw();
+        for (a, b) in self.lanes().iter().zip(rhs.lanes()) {
+            sum = sum.wrapping_add(a.widening_mul(b));
+        }
+        Acc32::from_raw(sum)
+    }
+}
+
+impl fmt::Debug for V4s {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let l = self.lanes();
+        write!(
+            f,
+            "V4s[{}, {}, {}, {}]",
+            l[0].raw(),
+            l[1].raw(),
+            l[2].raw(),
+            l[3].raw()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_lane_round_trip() {
+        let lanes = [
+            Q1p6::from_raw(-128),
+            Q1p6::from_raw(-1),
+            Q1p6::from_raw(0),
+            Q1p6::from_raw(127),
+        ];
+        let v = V4s::pack(lanes);
+        assert_eq!(v.lanes(), lanes);
+        assert_eq!(v.lane(3).raw(), 127);
+    }
+
+    #[test]
+    fn sdotsp_matches_scalar() {
+        let a = V4s::pack([1, -2, 3, -4].map(Q1p6::from_raw));
+        let b = V4s::pack([5, 6, 7, 8].map(Q1p6::from_raw));
+        let acc = a.sdotsp(b, Acc32::from_raw(100));
+        assert_eq!(acc.raw(), 100 + 5 - 12 + 21 - 32);
+    }
+
+    #[test]
+    fn memory_layout_matches_byte_array() {
+        let bytes: [i8; 4] = [10, -20, 30, -40];
+        let word = u32::from_le_bytes(bytes.map(|b| b as u8));
+        let v = V4s::from_bits(word);
+        assert_eq!(v.lanes().map(|l| l.raw()), bytes);
+    }
+}

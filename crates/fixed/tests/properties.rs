@@ -1,0 +1,120 @@
+//! Property tests on the fixed-point foundation: the invariants every
+//! other crate builds on.
+
+use proptest::prelude::*;
+use rnnasip_fixed::pla::{FitMode, PlaFunc, PlaTable};
+use rnnasip_fixed::{q3p12_to_q1p6, Acc32, Q1p6, Q3p12, V2s, V4s};
+
+fn arb_q() -> impl Strategy<Value = Q3p12> {
+    any::<i16>().prop_map(Q3p12::from_raw)
+}
+
+fn arb_q8() -> impl Strategy<Value = Q1p6> {
+    any::<i8>().prop_map(Q1p6::from_raw)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Requantization always lands in the i16 range and equals the
+    /// arithmetic-shift reference.
+    #[test]
+    fn requantize_is_bounded_and_exact(raw in any::<i32>()) {
+        let q = Acc32::from_raw(raw).requantize();
+        let expect = (raw >> 12).clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        prop_assert_eq!(q.raw(), expect);
+    }
+
+    /// from_f64 round-trips every representable grid point exactly.
+    #[test]
+    fn f64_round_trip_on_grid(x in arb_q()) {
+        prop_assert_eq!(Q3p12::from_f64(x.to_f64()), x);
+    }
+
+    /// from_f64 is monotone.
+    #[test]
+    fn from_f64_is_monotone(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Q3p12::from_f64(lo) <= Q3p12::from_f64(hi));
+    }
+
+    /// Packed v2s dot product equals the scalar MACs.
+    #[test]
+    fn v2s_dot_matches_scalar(a0 in arb_q(), a1 in arb_q(), b0 in arb_q(), b1 in arb_q(), acc in any::<i32>()) {
+        let v = V2s::pack(a0, a1).sdotsp(V2s::pack(b0, b1), Acc32::from_raw(acc));
+        let expect = Acc32::from_raw(acc).mac(a0, b0).mac(a1, b1);
+        prop_assert_eq!(v, expect);
+    }
+
+    /// Packed v4s dot product equals the scalar sum.
+    #[test]
+    fn v4s_dot_matches_scalar(lanes_a in proptest::array::uniform4(arb_q8()),
+                              lanes_b in proptest::array::uniform4(arb_q8()),
+                              acc in any::<i32>()) {
+        let v = V4s::pack(lanes_a).sdotsp(V4s::pack(lanes_b), Acc32::from_raw(acc));
+        let mut expect = acc;
+        for (a, b) in lanes_a.iter().zip(&lanes_b) {
+            expect = expect.wrapping_add(a.widening_mul(*b));
+        }
+        prop_assert_eq!(v.raw(), expect);
+    }
+
+    /// The MAC chain equals the wide integer sum wrapped to i32.
+    #[test]
+    fn mac_chain_equals_wrapped_wide_sum(pairs in proptest::collection::vec((arb_q(), arb_q()), 0..64)) {
+        let mut acc = Acc32::ZERO;
+        let mut wide: i64 = 0;
+        for (w, x) in &pairs {
+            acc = acc.mac(*w, *x);
+            wide += (w.raw() as i64) * (x.raw() as i64);
+        }
+        prop_assert_eq!(acc.raw(), wide as i32);
+    }
+
+    /// Q3.12 -> Q1.6 conversion is monotone and bounded.
+    #[test]
+    fn q8_conversion_monotone(a in arb_q(), b in arb_q()) {
+        if a <= b {
+            prop_assert!(q3p12_to_q1p6(a) <= q3p12_to_q1p6(b));
+        }
+        let c = q3p12_to_q1p6(a);
+        prop_assert!((c.to_f64() - a.to_f64().clamp(-2.0, 2.0 - 1.0 / 64.0)).abs() <= 1.0 / 128.0 + 1e-9);
+    }
+
+    /// The hardware tanh stays in [-1, 1] and is odd (up to one LSB at
+    /// the origin); sigmoid stays in [0, 1].
+    #[test]
+    fn hw_activations_are_bounded(x in arb_q()) {
+        let t = rnnasip_fixed::hw_tanh(x);
+        prop_assert!(t.raw() >= -4096 && t.raw() <= 4096);
+        let s = rnnasip_fixed::hw_sig(x);
+        prop_assert!(s.raw() >= 0 && s.raw() <= 4096);
+        // Symmetry: sig(x) + sig(-x) == 1.0 exactly (construction).
+        if x.raw() != i16::MIN {
+            let nx = Q3p12::from_raw(-x.raw());
+            prop_assert_eq!(s.raw() + rnnasip_fixed::hw_sig(nx).raw(), 4096);
+        }
+    }
+
+    /// Both activations are monotone non-decreasing.
+    #[test]
+    fn hw_activations_are_monotone(a in arb_q(), b in arb_q()) {
+        if a <= b {
+            prop_assert!(rnnasip_fixed::hw_tanh(a) <= rnnasip_fixed::hw_tanh(b));
+            prop_assert!(rnnasip_fixed::hw_sig(a) <= rnnasip_fixed::hw_sig(b));
+        }
+    }
+}
+
+/// Table-level property: every fitted PLA approximates its reference
+/// within the interval-count-dependent bound.
+#[test]
+fn pla_error_shrinks_quadratically_with_intervals() {
+    let mut last = f64::MAX;
+    for (m, shift) in [(4u32, 12u32), (8, 11), (16, 10), (32, 9)] {
+        let t = PlaTable::fit(PlaFunc::Tanh, m, shift, FitMode::LeastSquares);
+        let e = t.max_error();
+        assert!(e < last, "error must shrink: {e} !< {last}");
+        last = e;
+    }
+}

@@ -1,0 +1,125 @@
+//! Control and status registers exposed by the simulated core.
+
+use core::fmt;
+
+/// A control/status register of the RNN-extended core.
+///
+/// Besides the standard machine-mode counters, the hardware-loop state is
+/// exposed read-only the way RI5CY exposes it, so that debug code can
+/// inspect loop progress.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Csr {
+    /// `mcycle` — lower 32 bits of the cycle counter (0xB00).
+    Mcycle,
+    /// `mcycleh` — upper 32 bits of the cycle counter (0xB80).
+    Mcycleh,
+    /// `minstret` — lower 32 bits of the retired-instruction counter (0xB02).
+    Minstret,
+    /// `minstreth` — upper 32 bits of the retired-instruction counter (0xB82).
+    Minstreth,
+    /// `lpstart0` — hardware-loop 0 start PC (custom, 0x800).
+    LpStart0,
+    /// `lpend0` — hardware-loop 0 end PC (custom, 0x801).
+    LpEnd0,
+    /// `lpcount0` — hardware-loop 0 remaining count (custom, 0x802).
+    LpCount0,
+    /// `lpstart1` — hardware-loop 1 start PC (custom, 0x804).
+    LpStart1,
+    /// `lpend1` — hardware-loop 1 end PC (custom, 0x805).
+    LpEnd1,
+    /// `lpcount1` — hardware-loop 1 remaining count (custom, 0x806).
+    LpCount1,
+    /// Any other CSR address, passed through unmodelled.
+    Other(u16),
+}
+
+impl Csr {
+    /// The 12-bit CSR address.
+    pub const fn addr(self) -> u16 {
+        match self {
+            Csr::Mcycle => 0xB00,
+            Csr::Mcycleh => 0xB80,
+            Csr::Minstret => 0xB02,
+            Csr::Minstreth => 0xB82,
+            Csr::LpStart0 => 0x800,
+            Csr::LpEnd0 => 0x801,
+            Csr::LpCount0 => 0x802,
+            Csr::LpStart1 => 0x804,
+            Csr::LpEnd1 => 0x805,
+            Csr::LpCount1 => 0x806,
+            Csr::Other(a) => a & 0xFFF,
+        }
+    }
+
+    /// Constructs from a 12-bit CSR address.
+    pub const fn from_addr(addr: u16) -> Self {
+        match addr {
+            0xB00 => Csr::Mcycle,
+            0xB80 => Csr::Mcycleh,
+            0xB02 => Csr::Minstret,
+            0xB82 => Csr::Minstreth,
+            0x800 => Csr::LpStart0,
+            0x801 => Csr::LpEnd0,
+            0x802 => Csr::LpCount0,
+            0x804 => Csr::LpStart1,
+            0x805 => Csr::LpEnd1,
+            0x806 => Csr::LpCount1,
+            a => Csr::Other(a & 0xFFF),
+        }
+    }
+
+    /// The conventional name, if this is a known CSR.
+    pub const fn name(self) -> Option<&'static str> {
+        match self {
+            Csr::Mcycle => Some("mcycle"),
+            Csr::Mcycleh => Some("mcycleh"),
+            Csr::Minstret => Some("minstret"),
+            Csr::Minstreth => Some("minstreth"),
+            Csr::LpStart0 => Some("lpstart0"),
+            Csr::LpEnd0 => Some("lpend0"),
+            Csr::LpCount0 => Some("lpcount0"),
+            Csr::LpStart1 => Some("lpstart1"),
+            Csr::LpEnd1 => Some("lpend1"),
+            Csr::LpCount1 => Some("lpcount1"),
+            Csr::Other(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(n) => f.write_str(n),
+            None => write!(f, "{:#05x}", self.addr()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_round_trip() {
+        for csr in [
+            Csr::Mcycle,
+            Csr::Mcycleh,
+            Csr::Minstret,
+            Csr::Minstreth,
+            Csr::LpStart0,
+            Csr::LpEnd0,
+            Csr::LpCount0,
+            Csr::LpStart1,
+            Csr::LpEnd1,
+            Csr::LpCount1,
+            Csr::Other(0x123),
+        ] {
+            assert_eq!(Csr::from_addr(csr.addr()), csr);
+        }
+    }
+
+    #[test]
+    fn other_masks_to_12_bits() {
+        assert_eq!(Csr::Other(0xF123).addr(), 0x123);
+    }
+}

@@ -1,0 +1,728 @@
+//! Binary decoder: the inverse of [`encode`](crate::encode()).
+
+use crate::csr::Csr;
+use crate::encode::{
+    pv_alu_funct5, pv_dot_funct5, F7_BITMANIP, F7_CLIP, F7_MACMSU, F7_SCALAR_DSP, OP_HWLOOP,
+    OP_RNN, OP_SIMD, OP_XPULP_LOAD, OP_XPULP_STORE,
+};
+use crate::instr::*;
+use crate::reg::Reg;
+use core::fmt;
+
+/// Error produced when a 32-bit word is not a valid instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#010x}: {}", self.word, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn err(word: u32, reason: &'static str) -> DecodeError {
+    DecodeError { word, reason }
+}
+
+#[inline]
+fn rd(w: u32) -> Reg {
+    Reg::from_bits(w >> 7)
+}
+#[inline]
+fn rs1(w: u32) -> Reg {
+    Reg::from_bits(w >> 15)
+}
+#[inline]
+fn rs2(w: u32) -> Reg {
+    Reg::from_bits(w >> 20)
+}
+#[inline]
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+#[inline]
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+/// Sign-extended 12-bit I-type immediate.
+#[inline]
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+/// Unsigned 12-bit I-type immediate (hardware-loop offsets/counts).
+#[inline]
+fn uimm_i(w: u32) -> u32 {
+    w >> 20
+}
+
+/// Sign-extended S-type immediate.
+#[inline]
+fn imm_s(w: u32) -> i32 {
+    let hi = (w as i32) >> 25; // sign-extended imm[11:5]
+    let lo = (w >> 7) & 0x1F;
+    (hi << 5) | lo as i32
+}
+
+/// Sign-extended B-type immediate.
+#[inline]
+fn imm_b(w: u32) -> i32 {
+    let imm12 = (w as i32) >> 31; // sign
+    let imm11 = (w >> 7) & 1;
+    let imm10_5 = (w >> 25) & 0x3F;
+    let imm4_1 = (w >> 8) & 0xF;
+    (imm12 << 12) | ((imm11 as i32) << 11) | ((imm10_5 as i32) << 5) | ((imm4_1 as i32) << 1)
+}
+
+/// Sign-extended J-type immediate.
+#[inline]
+fn imm_j(w: u32) -> i32 {
+    let imm20 = (w as i32) >> 31;
+    let imm19_12 = (w >> 12) & 0xFF;
+    let imm11 = (w >> 20) & 1;
+    let imm10_1 = (w >> 21) & 0x3FF;
+    (imm20 << 20) | ((imm19_12 as i32) << 12) | ((imm11 as i32) << 11) | ((imm10_1 as i32) << 1)
+}
+
+fn load_op(f3: u32) -> Option<LoadOp> {
+    Some(match f3 {
+        0b000 => LoadOp::Lb,
+        0b001 => LoadOp::Lh,
+        0b010 => LoadOp::Lw,
+        0b100 => LoadOp::Lbu,
+        0b101 => LoadOp::Lhu,
+        _ => return None,
+    })
+}
+
+fn store_op(f3: u32) -> Option<StoreOp> {
+    Some(match f3 {
+        0b000 => StoreOp::Sb,
+        0b001 => StoreOp::Sh,
+        0b010 => StoreOp::Sw,
+        _ => return None,
+    })
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the word does not correspond to any
+/// instruction this core implements (reserved opcode, bad funct fields, …).
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_isa::decode;
+///
+/// let instr = decode(0x0000_0013)?; // canonical NOP
+/// assert_eq!(instr.to_string(), "addi zero, zero, 0");
+/// # Ok::<(), rnnasip_isa::DecodeError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let opcode = word & 0x7F;
+    let f3 = funct3(word);
+    match opcode {
+        0x37 => Ok(Instr::Lui {
+            rd: rd(word),
+            imm20: ((word >> 12) & 0xFFFFF) as i32,
+        }),
+        0x17 => Ok(Instr::Auipc {
+            rd: rd(word),
+            imm20: ((word >> 12) & 0xFFFFF) as i32,
+        }),
+        0x6F => Ok(Instr::Jal {
+            rd: rd(word),
+            offset: imm_j(word),
+        }),
+        0x67 => {
+            if f3 != 0 {
+                return Err(err(word, "jalr requires funct3=0"));
+            }
+            Ok(Instr::Jalr {
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            })
+        }
+        0x63 => {
+            let op = match f3 {
+                0b000 => BranchOp::Beq,
+                0b001 => BranchOp::Bne,
+                0b100 => BranchOp::Blt,
+                0b101 => BranchOp::Bge,
+                0b110 => BranchOp::Bltu,
+                0b111 => BranchOp::Bgeu,
+                _ => return Err(err(word, "reserved branch funct3")),
+            };
+            Ok(Instr::Branch {
+                op,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_b(word),
+            })
+        }
+        0x03 => {
+            let op = load_op(f3).ok_or_else(|| err(word, "reserved load funct3"))?;
+            Ok(Instr::Load {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            })
+        }
+        0x23 => {
+            let op = store_op(f3).ok_or_else(|| err(word, "reserved store funct3"))?;
+            Ok(Instr::Store {
+                op,
+                rs2: rs2(word),
+                rs1: rs1(word),
+                offset: imm_s(word),
+            })
+        }
+        0x13 => {
+            let op = match f3 {
+                0b000 => AluImmOp::Addi,
+                0b010 => AluImmOp::Slti,
+                0b011 => AluImmOp::Sltiu,
+                0b100 => AluImmOp::Xori,
+                0b110 => AluImmOp::Ori,
+                0b111 => AluImmOp::Andi,
+                0b001 => {
+                    if funct7(word) != 0 {
+                        return Err(err(word, "bad slli funct7"));
+                    }
+                    return Ok(Instr::OpImm {
+                        op: AluImmOp::Slli,
+                        rd: rd(word),
+                        rs1: rs1(word),
+                        imm: ((word >> 20) & 0x1F) as i32,
+                    });
+                }
+                0b101 => {
+                    let op = match funct7(word) {
+                        0 => AluImmOp::Srli,
+                        0x20 => AluImmOp::Srai,
+                        _ => return Err(err(word, "bad shift funct7")),
+                    };
+                    return Ok(Instr::OpImm {
+                        op,
+                        rd: rd(word),
+                        rs1: rs1(word),
+                        imm: ((word >> 20) & 0x1F) as i32,
+                    });
+                }
+                _ => unreachable!("funct3 is 3 bits"),
+            };
+            Ok(Instr::OpImm {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm: imm_i(word),
+            })
+        }
+        0x33 => decode_op(word, f3),
+        0x0F => Ok(Instr::Fence),
+        0x73 => match f3 {
+            0b000 => match uimm_i(word) {
+                0 => Ok(Instr::Ecall),
+                1 => Ok(Instr::Ebreak),
+                _ => Err(err(word, "unsupported SYSTEM function")),
+            },
+            0b001 => Ok(Instr::Csr {
+                op: CsrOp::Csrrw,
+                rd: rd(word),
+                rs1: rs1(word),
+                csr: Csr::from_addr(uimm_i(word) as u16),
+            }),
+            0b010 => Ok(Instr::Csr {
+                op: CsrOp::Csrrs,
+                rd: rd(word),
+                rs1: rs1(word),
+                csr: Csr::from_addr(uimm_i(word) as u16),
+            }),
+            0b011 => Ok(Instr::Csr {
+                op: CsrOp::Csrrc,
+                rd: rd(word),
+                rs1: rs1(word),
+                csr: Csr::from_addr(uimm_i(word) as u16),
+            }),
+            _ => Err(err(word, "unsupported SYSTEM funct3")),
+        },
+        OP_XPULP_LOAD => {
+            if f3 == 0b111 {
+                let op = load_op(funct7(word) & 0x7)
+                    .ok_or_else(|| err(word, "reserved register-offset load type"))?;
+                Ok(Instr::LoadReg {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                })
+            } else {
+                let op = load_op(f3).ok_or_else(|| err(word, "reserved post-inc load type"))?;
+                Ok(Instr::LoadPostInc {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    offset: imm_i(word),
+                })
+            }
+        }
+        OP_XPULP_STORE => {
+            let op = store_op(f3).ok_or_else(|| err(word, "reserved post-inc store type"))?;
+            Ok(Instr::StorePostInc {
+                op,
+                rs2: rs2(word),
+                rs1: rs1(word),
+                offset: imm_s(word),
+            })
+        }
+        OP_HWLOOP => {
+            let l = LoopIdx::from_bit(rd(word).num() as u32);
+            match f3 {
+                0b000 => Ok(Instr::LpStarti {
+                    l,
+                    uimm: uimm_i(word),
+                }),
+                0b001 => Ok(Instr::LpEndi {
+                    l,
+                    uimm: uimm_i(word),
+                }),
+                0b010 => Ok(Instr::LpCount { l, rs1: rs1(word) }),
+                0b011 => Ok(Instr::LpCounti {
+                    l,
+                    uimm: uimm_i(word),
+                }),
+                0b100 => Ok(Instr::LpSetup {
+                    l,
+                    rs1: rs1(word),
+                    uimm: uimm_i(word),
+                }),
+                0b101 => Ok(Instr::LpSetupi {
+                    l,
+                    count: rs1(word).num() as u32,
+                    uimm: uimm_i(word),
+                }),
+                _ => Err(err(word, "reserved hardware-loop funct3")),
+            }
+        }
+        OP_SIMD => decode_simd(word),
+        OP_RNN => match f3 {
+            0b000 | 0b001 => Ok(Instr::PlSdotsp {
+                spr: f3 as u8,
+                size: SimdSize::Half,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            }),
+            0b100 | 0b101 => Ok(Instr::PlSdotsp {
+                spr: (f3 & 1) as u8,
+                size: SimdSize::Byte,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            }),
+            0b010 => Ok(Instr::PlTanh {
+                rd: rd(word),
+                rs1: rs1(word),
+            }),
+            0b011 => Ok(Instr::PlSig {
+                rd: rd(word),
+                rs1: rs1(word),
+            }),
+            _ => Err(err(word, "reserved RNN-extension funct3")),
+        },
+        _ => Err(err(word, "unknown opcode")),
+    }
+}
+
+fn decode_op(word: u32, f3: u32) -> Result<Instr, DecodeError> {
+    let f7 = funct7(word);
+    let (rd, rs1, rs2) = (rd(word), rs1(word), rs2(word));
+    match f7 {
+        0x00 | 0x20 => {
+            let op = match (f3, f7) {
+                (0b000, 0x00) => AluOp::Add,
+                (0b000, 0x20) => AluOp::Sub,
+                (0b001, 0x00) => AluOp::Sll,
+                (0b010, 0x00) => AluOp::Slt,
+                (0b011, 0x00) => AluOp::Sltu,
+                (0b100, 0x00) => AluOp::Xor,
+                (0b101, 0x00) => AluOp::Srl,
+                (0b101, 0x20) => AluOp::Sra,
+                (0b110, 0x00) => AluOp::Or,
+                (0b111, 0x00) => AluOp::And,
+                _ => return Err(err(word, "reserved OP funct3/funct7")),
+            };
+            Ok(Instr::Op { op, rd, rs1, rs2 })
+        }
+        0x01 => {
+            let op = match f3 {
+                0b000 => MulDivOp::Mul,
+                0b001 => MulDivOp::Mulh,
+                0b010 => MulDivOp::Mulhsu,
+                0b011 => MulDivOp::Mulhu,
+                0b100 => MulDivOp::Div,
+                0b101 => MulDivOp::Divu,
+                0b110 => MulDivOp::Rem,
+                0b111 => MulDivOp::Remu,
+                _ => unreachable!(),
+            };
+            Ok(Instr::MulDiv { op, rd, rs1, rs2 })
+        }
+        F7_MACMSU => match f3 {
+            0b000 => Ok(Instr::Mac { rd, rs1, rs2 }),
+            0b001 => Ok(Instr::Msu { rd, rs1, rs2 }),
+            _ => Err(err(word, "reserved mac/msu funct3")),
+        },
+        F7_SCALAR_DSP => match f3 {
+            0b000 => Ok(Instr::PMin { rd, rs1, rs2 }),
+            0b001 => Ok(Instr::PMax { rd, rs1, rs2 }),
+            0b010 => Ok(Instr::PAbs { rd, rs1 }),
+            0b011 => Ok(Instr::ExtHs { rd, rs1 }),
+            0b100 => Ok(Instr::ExtHz { rd, rs1 }),
+            0b101 => Ok(Instr::ExtBs { rd, rs1 }),
+            0b110 => Ok(Instr::ExtBz { rd, rs1 }),
+            _ => Err(err(word, "reserved scalar-DSP funct3")),
+        },
+        F7_BITMANIP => match f3 {
+            0b000 => Ok(Instr::Ff1 { rd, rs1 }),
+            0b001 => Ok(Instr::Fl1 { rd, rs1 }),
+            0b010 => Ok(Instr::Cnt { rd, rs1 }),
+            0b011 => Ok(Instr::Clb { rd, rs1 }),
+            0b100 => Ok(Instr::Ror { rd, rs1, rs2 }),
+            _ => Err(err(word, "reserved bit-manipulation funct3")),
+        },
+        F7_CLIP => {
+            let bits = rs2.num().wrapping_add(1);
+            match f3 {
+                0b000 => Ok(Instr::Clip { rd, rs1, bits }),
+                0b001 => Ok(Instr::ClipU { rd, rs1, bits }),
+                _ => Err(err(word, "reserved clip funct3")),
+            }
+        }
+        _ => Err(err(word, "reserved OP funct7")),
+    }
+}
+
+fn decode_simd(word: u32) -> Result<Instr, DecodeError> {
+    let f5 = word >> 27;
+    let f3 = funct3(word);
+    let (rd, rs1, rs2) = (rd(word), rs1(word), rs2(word));
+    let size = match f3 & 1 {
+        0 => SimdSize::Half,
+        _ => SimdSize::Byte,
+    };
+    let mode = match f3 >> 1 {
+        0b00 => SimdMode::Vv,
+        0b10 => SimdMode::Sc,
+        0b11 => {
+            // Reconstruct the sign-extended 6-bit immediate from
+            // {bit 25, rs2 field}.
+            let raw = ((word >> 20) & 0x1F) | (((word >> 25) & 1) << 5);
+            let imm = ((raw << 2) as u8 as i8) >> 2;
+            SimdMode::Sci(imm)
+        }
+        _ => return Err(err(word, "reserved SIMD mode")),
+    };
+    let alu_op = |f5: u32| -> Option<PvAluOp> {
+        [
+            PvAluOp::Add,
+            PvAluOp::Sub,
+            PvAluOp::Avg,
+            PvAluOp::Min,
+            PvAluOp::Max,
+            PvAluOp::Srl,
+            PvAluOp::Sra,
+            PvAluOp::Sll,
+            PvAluOp::Or,
+            PvAluOp::Xor,
+            PvAluOp::And,
+            PvAluOp::Abs,
+        ]
+        .into_iter()
+        .find(|&op| pv_alu_funct5(op) == f5)
+    };
+    let dot_op = |f5: u32| -> Option<DotOp> {
+        [
+            DotOp::DotUp,
+            DotOp::DotUsp,
+            DotOp::DotSp,
+            DotOp::SdotUp,
+            DotOp::SdotUsp,
+            DotOp::SdotSp,
+        ]
+        .into_iter()
+        .find(|&op| pv_dot_funct5(op) == f5)
+    };
+    if let Some(op) = alu_op(f5) {
+        // Unary abs exists only in vector form; its scalar/immediate
+        // modes are reserved encodings. In vector form rs2 is ignored
+        // and canonicalised to x0 so round-trips hold.
+        if matches!(op, PvAluOp::Abs) && !matches!(mode, SimdMode::Vv) {
+            return Err(err(word, "pv.abs supports only vector mode"));
+        }
+        let rs2 = if matches!(op, PvAluOp::Abs) {
+            Reg::ZERO
+        } else {
+            rs2
+        };
+        let rs2 = if matches!(mode, SimdMode::Sci(_)) {
+            Reg::ZERO
+        } else {
+            rs2
+        };
+        Ok(Instr::PvAlu {
+            op,
+            size,
+            mode,
+            rd,
+            rs1,
+            rs2,
+        })
+    } else if let Some(op) = dot_op(f5) {
+        if !matches!(mode, SimdMode::Vv) {
+            return Err(err(word, "dot products support only vector mode"));
+        }
+        Ok(Instr::PvDot {
+            op,
+            size,
+            rd,
+            rs1,
+            rs2,
+        })
+    } else {
+        Err(err(word, "reserved SIMD funct5"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    fn round_trip(i: Instr) {
+        let w = encode(&i);
+        let d = decode(w).unwrap_or_else(|e| panic!("{e} for {i:?}"));
+        assert_eq!(d, i, "word {w:#010x}");
+    }
+
+    #[test]
+    fn round_trip_representative_sample() {
+        use Instr::*;
+        let samples = [
+            Lui {
+                rd: Reg::A0,
+                imm20: 0xFFFFF,
+            },
+            Auipc {
+                rd: Reg::T3,
+                imm20: 1,
+            },
+            Jal {
+                rd: Reg::RA,
+                offset: -2048,
+            },
+            Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            },
+            Branch {
+                op: BranchOp::Bltu,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: -4096,
+            },
+            Load {
+                op: LoadOp::Lhu,
+                rd: Reg::S1,
+                rs1: Reg::SP,
+                offset: 2047,
+            },
+            Store {
+                op: StoreOp::Sh,
+                rs2: Reg::T6,
+                rs1: Reg::GP,
+                offset: -2048,
+            },
+            OpImm {
+                op: AluImmOp::Srai,
+                rd: Reg::A5,
+                rs1: Reg::A5,
+                imm: 31,
+            },
+            Op {
+                op: AluOp::Sub,
+                rd: Reg::S11,
+                rs1: Reg::S10,
+                rs2: Reg::S9,
+            },
+            MulDiv {
+                op: MulDivOp::Remu,
+                rd: Reg::A1,
+                rs1: Reg::A2,
+                rs2: Reg::A3,
+            },
+            Fence,
+            Ecall,
+            Ebreak,
+            Csr {
+                op: CsrOp::Csrrs,
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                csr: crate::csr::Csr::Mcycle,
+            },
+            LoadPostInc {
+                op: LoadOp::Lw,
+                rd: Reg::A4,
+                rs1: Reg::A5,
+                offset: 4,
+            },
+            LoadReg {
+                op: LoadOp::Lh,
+                rd: Reg::A4,
+                rs1: Reg::A5,
+                rs2: Reg::A6,
+            },
+            StorePostInc {
+                op: StoreOp::Sh,
+                rs2: Reg::T0,
+                rs1: Reg::T1,
+                offset: 2,
+            },
+            LpStarti {
+                l: LoopIdx::L0,
+                uimm: 12,
+            },
+            LpEndi {
+                l: LoopIdx::L1,
+                uimm: 4095,
+            },
+            LpCount {
+                l: LoopIdx::L0,
+                rs1: Reg::A0,
+            },
+            LpCounti {
+                l: LoopIdx::L1,
+                uimm: 100,
+            },
+            LpSetup {
+                l: LoopIdx::L0,
+                rs1: Reg::T2,
+                uimm: 16,
+            },
+            LpSetupi {
+                l: LoopIdx::L1,
+                count: 31,
+                uimm: 9,
+            },
+            Mac {
+                rd: Reg::T0,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            },
+            Msu {
+                rd: Reg::T1,
+                rs1: Reg::A2,
+                rs2: Reg::A3,
+            },
+            Clip {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                bits: 16,
+            },
+            ClipU {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                bits: 8,
+            },
+            ExtHs {
+                rd: Reg::A0,
+                rs1: Reg::A2,
+            },
+            PAbs {
+                rd: Reg::S2,
+                rs1: Reg::S3,
+            },
+            PMin {
+                rd: Reg::S2,
+                rs1: Reg::S3,
+                rs2: Reg::S4,
+            },
+            PvAlu {
+                op: PvAluOp::Add,
+                size: SimdSize::Half,
+                mode: SimdMode::Vv,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            PvAlu {
+                op: PvAluOp::Sra,
+                size: SimdSize::Byte,
+                mode: SimdMode::Sci(-32),
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::ZERO,
+            },
+            PvAlu {
+                op: PvAluOp::Max,
+                size: SimdSize::Half,
+                mode: SimdMode::Sc,
+                rd: Reg::T5,
+                rs1: Reg::T4,
+                rs2: Reg::T3,
+            },
+            PvDot {
+                op: DotOp::SdotSp,
+                size: SimdSize::Half,
+                rd: Reg::T0,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            },
+            PvDot {
+                op: DotOp::DotUp,
+                size: SimdSize::Byte,
+                rd: Reg::T1,
+                rs1: Reg::A2,
+                rs2: Reg::A3,
+            },
+            PlSdotsp {
+                spr: 1,
+                size: SimdSize::Half,
+                rd: Reg::T0,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            },
+            PlTanh {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+            },
+            PlSig {
+                rd: Reg::A2,
+                rs1: Reg::A3,
+            },
+        ];
+        for i in samples {
+            round_trip(i);
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(decode(0xFFFF_FFFF).is_err());
+        assert!(decode(0x0000_0000).is_err());
+        // Reserved branch funct3 (010).
+        assert!(decode(0x0000_2063).is_err());
+    }
+}

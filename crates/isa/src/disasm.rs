@@ -1,0 +1,165 @@
+//! Textual disassembly (`Display` for [`Instr`]).
+//!
+//! The output format is what the assembler in `rnnasip-asm` parses, so
+//! `parse(format(i)) == i` round-trips (control-flow offsets are printed
+//! numerically, relative to the instruction).
+
+use crate::instr::*;
+use core::fmt;
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match *self {
+            Lui { rd, imm20 } => write!(f, "lui {rd}, {:#x}", imm20 as u32 & 0xFFFFF),
+            Auipc { rd, imm20 } => write!(f, "auipc {rd}, {:#x}", imm20 as u32 & 0xFFFFF),
+            Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => write!(f, "{} {rs1}, {rs2}, {offset}", op.mnemonic()),
+            Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => write!(f, "{} {rd}, {offset}({rs1})", op.mnemonic()),
+            Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => write!(f, "{} {rs2}, {offset}({rs1})", op.mnemonic()),
+            OpImm { op, rd, rs1, imm } => write!(f, "{} {rd}, {rs1}, {imm}", op.mnemonic()),
+            Op { op, rd, rs1, rs2 } => write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic()),
+            MulDiv { op, rd, rs1, rs2 } => write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic()),
+            Fence => f.write_str("fence"),
+            Ecall => f.write_str("ecall"),
+            Ebreak => f.write_str("ebreak"),
+            Csr { op, rd, rs1, csr } => write!(f, "{} {rd}, {csr}, {rs1}", op.mnemonic()),
+            LoadPostInc {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => write!(f, "p.{} {rd}, {offset}({rs1}!)", op.mnemonic()),
+            LoadReg { op, rd, rs1, rs2 } => {
+                write!(f, "p.{} {rd}, {rs2}({rs1})", op.mnemonic())
+            }
+            StorePostInc {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => write!(f, "p.{} {rs2}, {offset}({rs1}!)", op.mnemonic()),
+            LpStarti { l, uimm } => write!(f, "lp.starti {}, {uimm}", l.index()),
+            LpEndi { l, uimm } => write!(f, "lp.endi {}, {uimm}", l.index()),
+            LpCount { l, rs1 } => write!(f, "lp.count {}, {rs1}", l.index()),
+            LpCounti { l, uimm } => write!(f, "lp.counti {}, {uimm}", l.index()),
+            LpSetup { l, rs1, uimm } => write!(f, "lp.setup {}, {rs1}, {uimm}", l.index()),
+            LpSetupi { l, count, uimm } => {
+                write!(f, "lp.setupi {}, {count}, {uimm}", l.index())
+            }
+            Mac { rd, rs1, rs2 } => write!(f, "p.mac {rd}, {rs1}, {rs2}"),
+            Msu { rd, rs1, rs2 } => write!(f, "p.msu {rd}, {rs1}, {rs2}"),
+            Clip { rd, rs1, bits } => write!(f, "p.clip {rd}, {rs1}, {bits}"),
+            ClipU { rd, rs1, bits } => write!(f, "p.clipu {rd}, {rs1}, {bits}"),
+            ExtHs { rd, rs1 } => write!(f, "p.exths {rd}, {rs1}"),
+            ExtHz { rd, rs1 } => write!(f, "p.exthz {rd}, {rs1}"),
+            ExtBs { rd, rs1 } => write!(f, "p.extbs {rd}, {rs1}"),
+            ExtBz { rd, rs1 } => write!(f, "p.extbz {rd}, {rs1}"),
+            PAbs { rd, rs1 } => write!(f, "p.abs {rd}, {rs1}"),
+            Ff1 { rd, rs1 } => write!(f, "p.ff1 {rd}, {rs1}"),
+            Fl1 { rd, rs1 } => write!(f, "p.fl1 {rd}, {rs1}"),
+            Cnt { rd, rs1 } => write!(f, "p.cnt {rd}, {rs1}"),
+            Clb { rd, rs1 } => write!(f, "p.clb {rd}, {rs1}"),
+            Ror { rd, rs1, rs2 } => write!(f, "p.ror {rd}, {rs1}, {rs2}"),
+            PMin { rd, rs1, rs2 } => write!(f, "p.min {rd}, {rs1}, {rs2}"),
+            PMax { rd, rs1, rs2 } => write!(f, "p.max {rd}, {rs1}, {rs2}"),
+            PvAlu {
+                op,
+                size,
+                mode,
+                rd,
+                rs1,
+                rs2,
+            } => match mode {
+                SimdMode::Vv if matches!(op, PvAluOp::Abs) => {
+                    write!(f, "{}.{} {rd}, {rs1}", op.mnemonic(), size.suffix())
+                }
+                SimdMode::Vv => write!(f, "{}.{} {rd}, {rs1}, {rs2}", op.mnemonic(), size.suffix()),
+                SimdMode::Sc => write!(
+                    f,
+                    "{}.sc.{} {rd}, {rs1}, {rs2}",
+                    op.mnemonic(),
+                    size.suffix()
+                ),
+                SimdMode::Sci(imm) => write!(
+                    f,
+                    "{}.sci.{} {rd}, {rs1}, {imm}",
+                    op.mnemonic(),
+                    size.suffix()
+                ),
+            },
+            PvDot {
+                op,
+                size,
+                rd,
+                rs1,
+                rs2,
+            } => write!(f, "{}.{} {rd}, {rs1}, {rs2}", op.mnemonic(), size.suffix()),
+            PlSdotsp {
+                spr,
+                size,
+                rd,
+                rs1,
+                rs2,
+            } => write!(f, "pl.sdotsp.{}.{spr} {rd}, {rs1}, {rs2}", size.suffix()),
+            PlTanh { rd, rs1 } => write!(f, "pl.tanh {rd}, {rs1}"),
+            PlSig { rd, rs1 } => write!(f, "pl.sig {rd}, {rs1}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn formats_match_papers_notation() {
+        let i = Instr::PlSdotsp {
+            spr: 0,
+            size: SimdSize::Half,
+            rd: Reg::T0,
+            rs1: Reg::A2,
+            rs2: Reg::A3,
+        };
+        assert_eq!(i.to_string(), "pl.sdotsp.h.0 t0, a2, a3");
+        let i = Instr::LoadPostInc {
+            op: LoadOp::Lw,
+            rd: Reg::A4,
+            rs1: Reg::A5,
+            offset: 4,
+        };
+        assert_eq!(i.to_string(), "p.lw a4, 4(a5!)");
+        let i = Instr::LpSetupi {
+            l: LoopIdx::L0,
+            count: 9,
+            uimm: 32,
+        };
+        assert_eq!(i.to_string(), "lp.setupi 0, 9, 32");
+        let i = Instr::PvAlu {
+            op: PvAluOp::Sra,
+            size: SimdSize::Half,
+            mode: SimdMode::Sci(12),
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            rs2: Reg::ZERO,
+        };
+        assert_eq!(i.to_string(), "pv.sra.sci.h a0, a0, 12");
+    }
+}

@@ -1,0 +1,60 @@
+//! Instruction-set model for the RNN-extended RISC-V core.
+//!
+//! This crate defines the instructions understood by the simulated core of
+//! the RNNASIP reproduction:
+//!
+//! * **RV32I** base integer ISA and **RV32M** multiply/divide,
+//! * a decoder/encoder for the common **RV32C** compressed subset
+//!   (expanded to their 32-bit semantics; tracked for code-size fidelity),
+//! * the **Xpulp** extensions RI5CY provides and the paper's software
+//!   optimizations rely on: two-level hardware loops, post-increment
+//!   loads/stores, packed 16/8-bit SIMD with sum-dot-products, `p.mac`,
+//!   clips and sign extensions,
+//! * the paper's **RNN extension**: `pl.sdotsp.h.0/1` (merged
+//!   load-and-compute through two special-purpose registers) and the
+//!   single-cycle `pl.tanh` / `pl.sig` activations.
+//!
+//! Encodings are bit-exact for RV32IMC. For Xpulp and the RNN extension the
+//! encodings use the RISC-V *custom* opcode space with a self-consistent,
+//! documented layout (see [`encode`]); they are RI5CY-flavoured but not
+//! guaranteed bit-compatible with CV32E40P binaries. Internal consistency
+//! (`decode(encode(i)) == i`) is enforced by property tests, which is the
+//! contract the assembler and simulator build on.
+//!
+//! # Example
+//!
+//! ```
+//! use rnnasip_isa::{decode, encode, Instr, Reg};
+//!
+//! let instr = Instr::OpImm {
+//!     op: rnnasip_isa::AluImmOp::Addi,
+//!     rd: Reg::A0,
+//!     rs1: Reg::A1,
+//!     imm: -4,
+//! };
+//! let word = encode(&instr);
+//! assert_eq!(decode(word)?, instr);
+//! assert_eq!(instr.to_string(), "addi a0, a1, -4");
+//! # Ok::<(), rnnasip_isa::DecodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csr;
+mod decode;
+mod disasm;
+mod encode;
+mod instr;
+mod reg;
+mod rvc;
+
+pub use csr::Csr;
+pub use decode::{decode, DecodeError};
+pub use encode::encode;
+pub use instr::{
+    AluImmOp, AluOp, BranchOp, CsrOp, DotOp, Instr, LoadOp, LoopIdx, MulDivOp, PvAluOp, SimdMode,
+    SimdSize, StoreOp,
+};
+pub use reg::{ParseRegError, Reg};
+pub use rvc::{compress, decode_compressed, is_compressed};

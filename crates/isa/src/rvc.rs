@@ -1,0 +1,754 @@
+//! RV32C compressed-instruction support.
+//!
+//! RI5CY executes RV32IMC; compressed instructions matter for *code size*
+//! (and hence I-cache behaviour), not semantics — every 16-bit form expands
+//! to a 32-bit instruction. This module provides:
+//!
+//! * [`decode_compressed`] — expand a 16-bit word to its [`Instr`],
+//! * [`compress`] — the inverse used by the assembler when compression is
+//!   requested: produce the 16-bit form if one exists for this instruction.
+//!
+//! The supported subset is the standard RV32C set minus the floating-point
+//! forms (the core has no FPU in our model): `c.addi4spn`, `c.lw`, `c.sw`,
+//! `c.nop/c.addi`, `c.jal`, `c.li`, `c.addi16sp`, `c.lui`, `c.srli`,
+//! `c.srai`, `c.andi`, `c.sub`, `c.xor`, `c.or`, `c.and`, `c.j`, `c.beqz`,
+//! `c.bnez`, `c.slli`, `c.lwsp`, `c.jr`, `c.mv`, `c.ebreak`, `c.jalr`,
+//! `c.add`, `c.swsp`.
+
+use crate::decode::DecodeError;
+use crate::instr::*;
+use crate::reg::Reg;
+
+fn err(word: u16, reason: &'static str) -> DecodeError {
+    DecodeError {
+        word: word as u32,
+        reason,
+    }
+}
+
+/// Compressed 3-bit register field: maps 0–7 to `x8`–`x15`.
+#[inline]
+fn reg3(bits: u16) -> Reg {
+    Reg::from_bits(8 + (bits as u32 & 0x7))
+}
+
+#[inline]
+fn bit(word: u16, n: u32) -> u32 {
+    ((word >> n) & 1) as u32
+}
+
+#[inline]
+fn bits(word: u16, hi: u32, lo: u32) -> u32 {
+    ((word as u32) >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+/// Sign-extends the low `n` bits of `v`.
+#[inline]
+fn sext(v: u32, n: u32) -> i32 {
+    let shift = 32 - n;
+    ((v << shift) as i32) >> shift
+}
+
+/// Returns `true` if the 16-bit word is a compressed instruction
+/// (i.e. its two low bits are not `11`).
+#[inline]
+pub fn is_compressed(low_half: u16) -> bool {
+    low_half & 0b11 != 0b11
+}
+
+/// Expands a 16-bit compressed instruction to its 32-bit semantics.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for reserved or unsupported (e.g. FP) encodings.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_isa::decode_compressed;
+///
+/// // c.addi a0, 1 == 0x0505
+/// let i = decode_compressed(0x0505)?;
+/// assert_eq!(i.to_string(), "addi a0, a0, 1");
+/// # Ok::<(), rnnasip_isa::DecodeError>(())
+/// ```
+pub fn decode_compressed(word: u16) -> Result<Instr, DecodeError> {
+    let op = word & 0b11;
+    let funct3 = bits(word, 15, 13);
+    match (op, funct3) {
+        (0b00, 0b000) => {
+            // c.addi4spn rd', nzuimm
+            let imm = (bits(word, 12, 11) << 4)
+                | (bits(word, 10, 7) << 6)
+                | (bit(word, 6) << 2)
+                | (bit(word, 5) << 3);
+            if imm == 0 {
+                return Err(err(word, "c.addi4spn with zero immediate is reserved"));
+            }
+            Ok(Instr::OpImm {
+                op: AluImmOp::Addi,
+                rd: reg3(word >> 2),
+                rs1: Reg::SP,
+                imm: imm as i32,
+            })
+        }
+        (0b00, 0b010) => {
+            // c.lw rd', uimm(rs1')
+            let imm = (bits(word, 12, 10) << 3) | (bit(word, 6) << 2) | (bit(word, 5) << 6);
+            Ok(Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg3(word >> 2),
+                rs1: reg3(word >> 7),
+                offset: imm as i32,
+            })
+        }
+        (0b00, 0b110) => {
+            // c.sw rs2', uimm(rs1')
+            let imm = (bits(word, 12, 10) << 3) | (bit(word, 6) << 2) | (bit(word, 5) << 6);
+            Ok(Instr::Store {
+                op: StoreOp::Sw,
+                rs2: reg3(word >> 2),
+                rs1: reg3(word >> 7),
+                offset: imm as i32,
+            })
+        }
+        (0b01, 0b000) => {
+            // c.nop / c.addi
+            let rd = Reg::from_bits(bits(word, 11, 7));
+            let imm = sext((bit(word, 12) << 5) | bits(word, 6, 2), 6);
+            Ok(Instr::OpImm {
+                op: AluImmOp::Addi,
+                rd,
+                rs1: rd,
+                imm,
+            })
+        }
+        (0b01, 0b001) | (0b01, 0b101) => {
+            // c.jal (links ra) / c.j
+            let imm = (bit(word, 12) << 11)
+                | (bit(word, 11) << 4)
+                | (bits(word, 10, 9) << 8)
+                | (bit(word, 8) << 10)
+                | (bit(word, 7) << 6)
+                | (bit(word, 6) << 7)
+                | (bits(word, 5, 3) << 1)
+                | (bit(word, 2) << 5);
+            let offset = sext(imm, 12);
+            let rd = if funct3 == 0b001 { Reg::RA } else { Reg::ZERO };
+            Ok(Instr::Jal { rd, offset })
+        }
+        (0b01, 0b010) => {
+            // c.li
+            let rd = Reg::from_bits(bits(word, 11, 7));
+            let imm = sext((bit(word, 12) << 5) | bits(word, 6, 2), 6);
+            Ok(Instr::OpImm {
+                op: AluImmOp::Addi,
+                rd,
+                rs1: Reg::ZERO,
+                imm,
+            })
+        }
+        (0b01, 0b011) => {
+            let rd = Reg::from_bits(bits(word, 11, 7));
+            if rd == Reg::SP {
+                // c.addi16sp
+                let imm = (bit(word, 12) << 9)
+                    | (bit(word, 6) << 4)
+                    | (bit(word, 5) << 6)
+                    | (bits(word, 4, 3) << 7)
+                    | (bit(word, 2) << 5);
+                let imm = sext(imm, 10);
+                if imm == 0 {
+                    return Err(err(word, "c.addi16sp with zero immediate is reserved"));
+                }
+                Ok(Instr::OpImm {
+                    op: AluImmOp::Addi,
+                    rd: Reg::SP,
+                    rs1: Reg::SP,
+                    imm,
+                })
+            } else {
+                // c.lui
+                let imm = sext((bit(word, 12) << 5) | bits(word, 6, 2), 6);
+                if imm == 0 {
+                    return Err(err(word, "c.lui with zero immediate is reserved"));
+                }
+                Ok(Instr::Lui {
+                    rd,
+                    imm20: imm & 0xFFFFF,
+                })
+            }
+        }
+        (0b01, 0b100) => {
+            let rd = reg3(word >> 7);
+            match bits(word, 11, 10) {
+                0b00 | 0b01 => {
+                    // c.srli / c.srai
+                    if bit(word, 12) != 0 {
+                        return Err(err(word, "shamt[5] must be zero on RV32"));
+                    }
+                    let shamt = bits(word, 6, 2) as i32;
+                    let op = if bits(word, 11, 10) == 0 {
+                        AluImmOp::Srli
+                    } else {
+                        AluImmOp::Srai
+                    };
+                    Ok(Instr::OpImm {
+                        op,
+                        rd,
+                        rs1: rd,
+                        imm: shamt,
+                    })
+                }
+                0b10 => {
+                    // c.andi
+                    let imm = sext((bit(word, 12) << 5) | bits(word, 6, 2), 6);
+                    Ok(Instr::OpImm {
+                        op: AluImmOp::Andi,
+                        rd,
+                        rs1: rd,
+                        imm,
+                    })
+                }
+                0b11 => {
+                    if bit(word, 12) != 0 {
+                        return Err(err(word, "reserved RV64 compressed op"));
+                    }
+                    let rs2 = reg3(word >> 2);
+                    let op = match bits(word, 6, 5) {
+                        0b00 => AluOp::Sub,
+                        0b01 => AluOp::Xor,
+                        0b10 => AluOp::Or,
+                        _ => AluOp::And,
+                    };
+                    Ok(Instr::Op {
+                        op,
+                        rd,
+                        rs1: rd,
+                        rs2,
+                    })
+                }
+                _ => unreachable!(),
+            }
+        }
+        (0b01, 0b110) | (0b01, 0b111) => {
+            // c.beqz / c.bnez
+            let imm = (bit(word, 12) << 8)
+                | (bits(word, 11, 10) << 3)
+                | (bits(word, 6, 5) << 6)
+                | (bits(word, 4, 3) << 1)
+                | (bit(word, 2) << 5);
+            let offset = sext(imm, 9);
+            let op = if funct3 == 0b110 {
+                BranchOp::Beq
+            } else {
+                BranchOp::Bne
+            };
+            Ok(Instr::Branch {
+                op,
+                rs1: reg3(word >> 7),
+                rs2: Reg::ZERO,
+                offset,
+            })
+        }
+        (0b10, 0b000) => {
+            // c.slli
+            if bit(word, 12) != 0 {
+                return Err(err(word, "shamt[5] must be zero on RV32"));
+            }
+            let rd = Reg::from_bits(bits(word, 11, 7));
+            let shamt = bits(word, 6, 2) as i32;
+            Ok(Instr::OpImm {
+                op: AluImmOp::Slli,
+                rd,
+                rs1: rd,
+                imm: shamt,
+            })
+        }
+        (0b10, 0b010) => {
+            // c.lwsp
+            let rd = Reg::from_bits(bits(word, 11, 7));
+            if rd.is_zero() {
+                return Err(err(word, "c.lwsp with rd=x0 is reserved"));
+            }
+            let imm = (bit(word, 12) << 5) | (bits(word, 6, 4) << 2) | (bits(word, 3, 2) << 6);
+            Ok(Instr::Load {
+                op: LoadOp::Lw,
+                rd,
+                rs1: Reg::SP,
+                offset: imm as i32,
+            })
+        }
+        (0b10, 0b100) => {
+            let r1 = Reg::from_bits(bits(word, 11, 7));
+            let r2 = Reg::from_bits(bits(word, 6, 2));
+            match (bit(word, 12), r1.is_zero(), r2.is_zero()) {
+                (0, false, true) => Ok(Instr::Jalr {
+                    rd: Reg::ZERO,
+                    rs1: r1,
+                    offset: 0,
+                }), // c.jr
+                (0, false, false) => Ok(Instr::Op {
+                    op: AluOp::Add,
+                    rd: r1,
+                    rs1: Reg::ZERO,
+                    rs2: r2,
+                }), // c.mv
+                (1, true, true) => Ok(Instr::Ebreak), // c.ebreak
+                (1, false, true) => Ok(Instr::Jalr {
+                    rd: Reg::RA,
+                    rs1: r1,
+                    offset: 0,
+                }), // c.jalr
+                (1, false, false) => Ok(Instr::Op {
+                    op: AluOp::Add,
+                    rd: r1,
+                    rs1: r1,
+                    rs2: r2,
+                }), // c.add
+                _ => Err(err(word, "reserved compressed encoding")),
+            }
+        }
+        (0b10, 0b110) => {
+            // c.swsp
+            let imm = (bits(word, 12, 9) << 2) | (bits(word, 8, 7) << 6);
+            Ok(Instr::Store {
+                op: StoreOp::Sw,
+                rs2: Reg::from_bits(bits(word, 6, 2)),
+                rs1: Reg::SP,
+                offset: imm as i32,
+            })
+        }
+        _ => Err(err(word, "unsupported compressed encoding")),
+    }
+}
+
+/// Produces the 16-bit compressed form of an instruction, if one exists.
+///
+/// The assembler calls this when compression is enabled; `None` means the
+/// instruction must be emitted in its 32-bit form. Note that `c.jal`/`c.j`
+/// offsets are PC-relative, so the caller must only compress once layout is
+/// final (or accept the conservative no-compression of control flow, which
+/// is what `rnnasip-asm` does for label-based jumps).
+pub fn compress(instr: &Instr) -> Option<u16> {
+    use Instr::*;
+    match *instr {
+        OpImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1,
+            imm,
+        } => {
+            if rd == rs1 && (-32..32).contains(&imm) {
+                // c.addi (c.nop when rd=x0, imm=0)
+                let imm = imm as u32;
+                return Some(
+                    0x0001
+                        | (((imm >> 5) & 1) as u16) << 12
+                        | (rd.num() as u16) << 7
+                        | ((imm & 0x1F) as u16) << 2,
+                );
+            }
+            if rs1.is_zero() && (-32..32).contains(&imm) {
+                // c.li
+                let imm = imm as u32;
+                return Some(
+                    0x4001
+                        | (((imm >> 5) & 1) as u16) << 12
+                        | (rd.num() as u16) << 7
+                        | ((imm & 0x1F) as u16) << 2,
+                );
+            }
+            if rs1 == Reg::SP && rd.is_compressible() && imm > 0 && imm < 1024 && imm % 4 == 0 {
+                // c.addi4spn
+                let u = imm as u32;
+                return Some(
+                    ((((u >> 4) & 0x3) as u16) << 11)
+                        | (((u >> 6) & 0xF) as u16) << 7
+                        | (((u >> 2) & 0x1) as u16) << 6
+                        | (((u >> 3) & 0x1) as u16) << 5
+                        | ((rd.num() - 8) as u16) << 2,
+                );
+            }
+            None
+        }
+        OpImm {
+            op: AluImmOp::Slli,
+            rd,
+            rs1,
+            imm,
+        } if rd == rs1 && !rd.is_zero() && (0..32).contains(&imm) => {
+            Some(0x0002 | (rd.num() as u16) << 7 | (imm as u16 & 0x1F) << 2)
+        }
+        OpImm { op, rd, rs1, imm }
+            if rd == rs1
+                && rd.is_compressible()
+                && matches!(op, AluImmOp::Srli | AluImmOp::Srai)
+                && (0..32).contains(&imm) =>
+        {
+            let f2 = if matches!(op, AluImmOp::Srli) { 0 } else { 1 };
+            Some(0x8001 | (f2 << 10) | ((rd.num() - 8) as u16) << 7 | (imm as u16 & 0x1F) << 2)
+        }
+        OpImm {
+            op: AluImmOp::Andi,
+            rd,
+            rs1,
+            imm,
+        } if rd == rs1 && rd.is_compressible() && (-32..32).contains(&imm) => {
+            let u = imm as u32;
+            Some(
+                0x8801
+                    | (((u >> 5) & 1) as u16) << 12
+                    | ((rd.num() - 8) as u16) << 7
+                    | ((u & 0x1F) as u16) << 2,
+            )
+        }
+        Op { op, rd, rs1, rs2 } => {
+            if rd == rs1 && rd.is_compressible() && rs2.is_compressible() {
+                let f2 = match op {
+                    AluOp::Sub => Some(0u16),
+                    AluOp::Xor => Some(1),
+                    AluOp::Or => Some(2),
+                    AluOp::And => Some(3),
+                    _ => None,
+                };
+                if let Some(f2) = f2 {
+                    return Some(
+                        0x8C01
+                            | ((rd.num() - 8) as u16) << 7
+                            | f2 << 5
+                            | ((rs2.num() - 8) as u16) << 2,
+                    );
+                }
+            }
+            if matches!(op, AluOp::Add) && !rd.is_zero() && !rs2.is_zero() {
+                if rs1.is_zero() {
+                    // c.mv
+                    return Some(0x8002 | (rd.num() as u16) << 7 | (rs2.num() as u16) << 2);
+                }
+                if rs1 == rd {
+                    // c.add
+                    return Some(0x9002 | (rd.num() as u16) << 7 | (rs2.num() as u16) << 2);
+                }
+            }
+            None
+        }
+        Load {
+            op: LoadOp::Lw,
+            rd,
+            rs1,
+            offset,
+        } => {
+            if rs1 == Reg::SP && !rd.is_zero() && (0..256).contains(&offset) && offset % 4 == 0 {
+                // c.lwsp
+                let u = offset as u32;
+                return Some(
+                    0x4002
+                        | (((u >> 5) & 1) as u16) << 12
+                        | (rd.num() as u16) << 7
+                        | (((u >> 2) & 0x7) as u16) << 4
+                        | (((u >> 6) & 0x3) as u16) << 2,
+                );
+            }
+            if rd.is_compressible()
+                && rs1.is_compressible()
+                && (0..128).contains(&offset)
+                && offset % 4 == 0
+            {
+                // c.lw
+                let u = offset as u32;
+                return Some(
+                    0x4000
+                        | (((u >> 3) & 0x7) as u16) << 10
+                        | ((rs1.num() - 8) as u16) << 7
+                        | (((u >> 2) & 1) as u16) << 6
+                        | (((u >> 6) & 1) as u16) << 5
+                        | ((rd.num() - 8) as u16) << 2,
+                );
+            }
+            None
+        }
+        Store {
+            op: StoreOp::Sw,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            if rs1 == Reg::SP && (0..256).contains(&offset) && offset % 4 == 0 {
+                // c.swsp
+                let u = offset as u32;
+                return Some(
+                    0xC002
+                        | (((u >> 2) & 0xF) as u16) << 9
+                        | (((u >> 6) & 0x3) as u16) << 7
+                        | (rs2.num() as u16) << 2,
+                );
+            }
+            if rs2.is_compressible()
+                && rs1.is_compressible()
+                && (0..128).contains(&offset)
+                && offset % 4 == 0
+            {
+                // c.sw
+                let u = offset as u32;
+                return Some(
+                    0xC000
+                        | (((u >> 3) & 0x7) as u16) << 10
+                        | ((rs1.num() - 8) as u16) << 7
+                        | (((u >> 2) & 1) as u16) << 6
+                        | (((u >> 6) & 1) as u16) << 5
+                        | ((rs2.num() - 8) as u16) << 2,
+                );
+            }
+            None
+        }
+        Jal { rd, offset }
+            if (rd == Reg::RA || rd.is_zero())
+                && (-2048..2048).contains(&offset)
+                && offset % 2 == 0 =>
+        {
+            let u = offset as u32;
+            let base: u16 = if rd == Reg::RA { 0x2001 } else { 0xA001 };
+            Some(
+                base | (((u >> 11) & 1) as u16) << 12
+                    | (((u >> 4) & 1) as u16) << 11
+                    | (((u >> 8) & 0x3) as u16) << 9
+                    | (((u >> 10) & 1) as u16) << 8
+                    | (((u >> 6) & 1) as u16) << 7
+                    | (((u >> 7) & 1) as u16) << 6
+                    | (((u >> 1) & 0x7) as u16) << 3
+                    | (((u >> 5) & 1) as u16) << 2,
+            )
+        }
+        Jalr { rd, rs1, offset } if offset == 0 && !rs1.is_zero() => {
+            if rd.is_zero() {
+                Some(0x8002 | (rs1.num() as u16) << 7) // c.jr
+            } else if rd == Reg::RA {
+                Some(0x9002 | (rs1.num() as u16) << 7) // c.jalr
+            } else {
+                None
+            }
+        }
+        Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } if rs2.is_zero()
+            && rs1.is_compressible()
+            && matches!(op, BranchOp::Beq | BranchOp::Bne)
+            && (-256..256).contains(&offset)
+            && offset % 2 == 0 =>
+        {
+            let u = offset as u32;
+            let base: u16 = if matches!(op, BranchOp::Beq) {
+                0xC001
+            } else {
+                0xE001
+            };
+            Some(
+                base | (((u >> 8) & 1) as u16) << 12
+                    | (((u >> 3) & 0x3) as u16) << 10
+                    | ((rs1.num() - 8) as u16) << 7
+                    | (((u >> 6) & 0x3) as u16) << 5
+                    | (((u >> 1) & 0x3) as u16) << 3
+                    | (((u >> 5) & 1) as u16) << 2,
+            )
+        }
+        Lui { rd, imm20 } if !rd.is_zero() && rd != Reg::SP && imm20 != 0 => {
+            // c.lui accepts nzimm[17:12] as a sign-extended 6-bit value.
+            let low6 = imm20 & 0x3F;
+            let sext6 = (low6 << 26) >> 26;
+            if (sext6 & 0xFFFFF) == imm20 {
+                let u = low6 as u32;
+                return Some(
+                    0x6001
+                        | (((u >> 5) & 1) as u16) << 12
+                        | (rd.num() as u16) << 7
+                        | ((u & 0x1F) as u16) << 2,
+                );
+            }
+            None
+        }
+        Ebreak => Some(0x9002),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every compressible instruction must expand back to itself.
+    #[test]
+    fn compress_expand_round_trip() {
+        let samples = [
+            Instr::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 1,
+            },
+            Instr::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                imm: -5,
+            },
+            Instr::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A2,
+                rs1: Reg::SP,
+                imm: 16,
+            },
+            Instr::OpImm {
+                op: AluImmOp::Slli,
+                rd: Reg::T0,
+                rs1: Reg::T0,
+                imm: 12,
+            },
+            Instr::OpImm {
+                op: AluImmOp::Srai,
+                rd: Reg::A5,
+                rs1: Reg::A5,
+                imm: 12,
+            },
+            Instr::OpImm {
+                op: AluImmOp::Andi,
+                rd: Reg::S0,
+                rs1: Reg::S0,
+                imm: -1,
+            },
+            Instr::Op {
+                op: AluOp::Sub,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            },
+            Instr::Op {
+                op: AluOp::Add,
+                rd: Reg::T1,
+                rs1: Reg::ZERO,
+                rs2: Reg::T2,
+            },
+            Instr::Op {
+                op: AluOp::Add,
+                rd: Reg::T1,
+                rs1: Reg::T1,
+                rs2: Reg::T2,
+            },
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: Reg::A0,
+                rs1: Reg::SP,
+                offset: 8,
+            },
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                offset: 64,
+            },
+            Instr::Store {
+                op: StoreOp::Sw,
+                rs2: Reg::S1,
+                rs1: Reg::SP,
+                offset: 252,
+            },
+            Instr::Store {
+                op: StoreOp::Sw,
+                rs2: Reg::A3,
+                rs1: Reg::A2,
+                offset: 4,
+            },
+            Instr::Jal {
+                rd: Reg::ZERO,
+                offset: -2048,
+            },
+            Instr::Jal {
+                rd: Reg::RA,
+                offset: 2046,
+            },
+            Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            },
+            Instr::Jalr {
+                rd: Reg::RA,
+                rs1: Reg::A0,
+                offset: 0,
+            },
+            Instr::Branch {
+                op: BranchOp::Beq,
+                rs1: Reg::A0,
+                rs2: Reg::ZERO,
+                offset: -256,
+            },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: Reg::A5,
+                rs2: Reg::ZERO,
+                offset: 254,
+            },
+            Instr::Lui {
+                rd: Reg::A0,
+                imm20: 31,
+            },
+            Instr::Lui {
+                rd: Reg::A0,
+                imm20: 0xFFFE0,
+            },
+            Instr::Ebreak,
+        ];
+        for i in samples {
+            let c = compress(&i).unwrap_or_else(|| panic!("{i} should compress"));
+            assert!(is_compressed(c), "{i} -> {c:#06x}");
+            let back = decode_compressed(c).unwrap_or_else(|e| panic!("{e} for {i}"));
+            assert_eq!(back, i, "compressed word {c:#06x}");
+        }
+    }
+
+    #[test]
+    fn non_compressible_forms_return_none() {
+        // Offset not a multiple of four.
+        assert!(compress(&Instr::Load {
+            op: LoadOp::Lw,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            offset: 2,
+        })
+        .is_none());
+        // Register outside the compressed window.
+        assert!(compress(&Instr::Op {
+            op: AluOp::Sub,
+            rd: Reg::T0,
+            rs1: Reg::T0,
+            rs2: Reg::T1,
+        })
+        .is_none());
+        // Immediate out of range.
+        assert!(compress(&Instr::OpImm {
+            op: AluImmOp::Addi,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 100,
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn reserved_encodings_rejected() {
+        // c.addi4spn with zero immediate.
+        assert!(decode_compressed(0x0000).is_err());
+        // c.lwsp with rd = x0.
+        assert!(decode_compressed(0x4002).is_err());
+    }
+
+    #[test]
+    fn word_boundary_detection() {
+        assert!(is_compressed(0x0001));
+        assert!(!is_compressed(0x0003));
+        assert!(!is_compressed(0x0013));
+    }
+}

@@ -1,0 +1,331 @@
+//! Property tests: `decode(encode(i)) == i` over the whole instruction
+//! space, and `decode_compressed(compress(i)) == i` whenever a compressed
+//! form exists.
+
+use proptest::prelude::*;
+use rnnasip_isa::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|n| Reg::new(n).expect("in range"))
+}
+
+fn arb_branch_op() -> impl Strategy<Value = BranchOp> {
+    prop_oneof![
+        Just(BranchOp::Beq),
+        Just(BranchOp::Bne),
+        Just(BranchOp::Blt),
+        Just(BranchOp::Bge),
+        Just(BranchOp::Bltu),
+        Just(BranchOp::Bgeu),
+    ]
+}
+
+fn arb_load_op() -> impl Strategy<Value = LoadOp> {
+    prop_oneof![
+        Just(LoadOp::Lb),
+        Just(LoadOp::Lh),
+        Just(LoadOp::Lw),
+        Just(LoadOp::Lbu),
+        Just(LoadOp::Lhu),
+    ]
+}
+
+fn arb_store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)]
+}
+
+fn arb_alu_imm_op() -> impl Strategy<Value = AluImmOp> {
+    prop_oneof![
+        Just(AluImmOp::Addi),
+        Just(AluImmOp::Slti),
+        Just(AluImmOp::Sltiu),
+        Just(AluImmOp::Xori),
+        Just(AluImmOp::Ori),
+        Just(AluImmOp::Andi),
+    ]
+}
+
+fn arb_shift_op() -> impl Strategy<Value = AluImmOp> {
+    prop_oneof![
+        Just(AluImmOp::Slli),
+        Just(AluImmOp::Srli),
+        Just(AluImmOp::Srai),
+    ]
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+    ]
+}
+
+fn arb_muldiv_op() -> impl Strategy<Value = MulDivOp> {
+    prop_oneof![
+        Just(MulDivOp::Mul),
+        Just(MulDivOp::Mulh),
+        Just(MulDivOp::Mulhsu),
+        Just(MulDivOp::Mulhu),
+        Just(MulDivOp::Div),
+        Just(MulDivOp::Divu),
+        Just(MulDivOp::Rem),
+        Just(MulDivOp::Remu),
+    ]
+}
+
+fn arb_loop_idx() -> impl Strategy<Value = LoopIdx> {
+    prop_oneof![Just(LoopIdx::L0), Just(LoopIdx::L1)]
+}
+
+fn arb_simd_size() -> impl Strategy<Value = SimdSize> {
+    prop_oneof![Just(SimdSize::Half), Just(SimdSize::Byte)]
+}
+
+fn arb_pv_alu_op() -> impl Strategy<Value = PvAluOp> {
+    prop_oneof![
+        Just(PvAluOp::Add),
+        Just(PvAluOp::Sub),
+        Just(PvAluOp::Avg),
+        Just(PvAluOp::Min),
+        Just(PvAluOp::Max),
+        Just(PvAluOp::Srl),
+        Just(PvAluOp::Sra),
+        Just(PvAluOp::Sll),
+        Just(PvAluOp::Or),
+        Just(PvAluOp::Xor),
+        Just(PvAluOp::And),
+    ]
+}
+
+fn arb_dot_op() -> impl Strategy<Value = DotOp> {
+    prop_oneof![
+        Just(DotOp::DotUp),
+        Just(DotOp::DotUsp),
+        Just(DotOp::DotSp),
+        Just(DotOp::SdotUp),
+        Just(DotOp::SdotUsp),
+        Just(DotOp::SdotSp),
+    ]
+}
+
+/// Generates instructions in canonical form (the form the decoder emits).
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_reg(), 0i32..0x100000).prop_map(|(rd, imm20)| Instr::Lui { rd, imm20 }),
+        (arb_reg(), 0i32..0x100000).prop_map(|(rd, imm20)| Instr::Auipc { rd, imm20 }),
+        (arb_reg(), (-0x100000i32..0x100000).prop_map(|o| o & !1))
+            .prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
+        (arb_reg(), arb_reg(), -2048i32..2048).prop_map(|(rd, rs1, offset)| Instr::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
+        (
+            arb_branch_op(),
+            arb_reg(),
+            arb_reg(),
+            (-4096i32..4096).prop_map(|o| o & !1)
+        )
+            .prop_map(|(op, rs1, rs2, offset)| Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset
+            }),
+        (arb_load_op(), arb_reg(), arb_reg(), -2048i32..2048).prop_map(|(op, rd, rs1, offset)| {
+            Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            }
+        }),
+        (arb_store_op(), arb_reg(), arb_reg(), -2048i32..2048).prop_map(
+            |(op, rs2, rs1, offset)| Instr::Store {
+                op,
+                rs2,
+                rs1,
+                offset
+            }
+        ),
+        (arb_alu_imm_op(), arb_reg(), arb_reg(), -2048i32..2048)
+            .prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
+        (arb_shift_op(), arb_reg(), arb_reg(), 0i32..32)
+            .prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Op {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_muldiv_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::MulDiv { op, rd, rs1, rs2 }),
+        (arb_load_op(), arb_reg(), arb_reg(), -2048i32..2048).prop_map(|(op, rd, rs1, offset)| {
+            Instr::LoadPostInc {
+                op,
+                rd,
+                rs1,
+                offset,
+            }
+        }),
+        (arb_load_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::LoadReg { op, rd, rs1, rs2 }),
+        (arb_store_op(), arb_reg(), arb_reg(), -2048i32..2048).prop_map(
+            |(op, rs2, rs1, offset)| Instr::StorePostInc {
+                op,
+                rs2,
+                rs1,
+                offset
+            }
+        ),
+        (arb_loop_idx(), 0u32..4096).prop_map(|(l, uimm)| Instr::LpStarti { l, uimm }),
+        (arb_loop_idx(), 0u32..4096).prop_map(|(l, uimm)| Instr::LpEndi { l, uimm }),
+        (arb_loop_idx(), arb_reg()).prop_map(|(l, rs1)| Instr::LpCount { l, rs1 }),
+        (arb_loop_idx(), 0u32..4096).prop_map(|(l, uimm)| Instr::LpCounti { l, uimm }),
+        (arb_loop_idx(), arb_reg(), 0u32..4096).prop_map(|(l, rs1, uimm)| Instr::LpSetup {
+            l,
+            rs1,
+            uimm
+        }),
+        (arb_loop_idx(), 0u32..32, 0u32..4096).prop_map(|(l, count, uimm)| Instr::LpSetupi {
+            l,
+            count,
+            uimm
+        }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Mac { rd, rs1, rs2 }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Msu { rd, rs1, rs2 }),
+        (arb_reg(), arb_reg(), 1u8..=32).prop_map(|(rd, rs1, bits)| Instr::Clip { rd, rs1, bits }),
+        (arb_reg(), arb_reg(), 1u8..=32).prop_map(|(rd, rs1, bits)| Instr::ClipU { rd, rs1, bits }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::ExtHs { rd, rs1 }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::ExtHz { rd, rs1 }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::ExtBs { rd, rs1 }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::ExtBz { rd, rs1 }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::PAbs { rd, rs1 }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::Ff1 { rd, rs1 }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::Fl1 { rd, rs1 }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::Cnt { rd, rs1 }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::Clb { rd, rs1 }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Ror { rd, rs1, rs2 }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::PMin { rd, rs1, rs2 }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::PMax { rd, rs1, rs2 }),
+        // SIMD ALU, vector-vector and scalar modes.
+        (
+            arb_pv_alu_op(),
+            arb_simd_size(),
+            prop_oneof![Just(SimdMode::Vv), Just(SimdMode::Sc)],
+            arb_reg(),
+            arb_reg(),
+            arb_reg()
+        )
+            .prop_map(|(op, size, mode, rd, rs1, rs2)| Instr::PvAlu {
+                op,
+                size,
+                mode,
+                rd,
+                rs1,
+                rs2
+            }),
+        // SIMD ALU immediate mode: rs2 canonically x0.
+        (
+            arb_pv_alu_op(),
+            arb_simd_size(),
+            -32i8..32,
+            arb_reg(),
+            arb_reg()
+        )
+            .prop_map(|(op, size, imm, rd, rs1)| Instr::PvAlu {
+                op,
+                size,
+                mode: SimdMode::Sci(imm),
+                rd,
+                rs1,
+                rs2: Reg::ZERO
+            }),
+        // Unary abs: rs2 canonically x0.
+        (arb_simd_size(), arb_reg(), arb_reg()).prop_map(|(size, rd, rs1)| Instr::PvAlu {
+            op: PvAluOp::Abs,
+            size,
+            mode: SimdMode::Vv,
+            rd,
+            rs1,
+            rs2: Reg::ZERO
+        }),
+        (
+            arb_dot_op(),
+            arb_simd_size(),
+            arb_reg(),
+            arb_reg(),
+            arb_reg()
+        )
+            .prop_map(|(op, size, rd, rs1, rs2)| Instr::PvDot {
+                op,
+                size,
+                rd,
+                rs1,
+                rs2
+            }),
+        (0u8..2, arb_simd_size(), arb_reg(), arb_reg(), arb_reg()).prop_map(
+            |(spr, size, rd, rs1, rs2)| Instr::PlSdotsp {
+                spr,
+                size,
+                rd,
+                rs1,
+                rs2
+            }
+        ),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::PlTanh { rd, rs1 }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::PlSig { rd, rs1 }),
+        Just(Instr::Fence),
+        Just(Instr::Ecall),
+        Just(Instr::Ebreak),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn encode_decode_round_trip(instr in arb_instr()) {
+        let word = encode(&instr);
+        let decoded = decode(word).map_err(|e| {
+            TestCaseError::fail(format!("{e} (instr {instr:?})"))
+        })?;
+        prop_assert_eq!(decoded, instr);
+    }
+
+    #[test]
+    fn compressed_round_trip(instr in arb_instr()) {
+        if let Some(half) = compress(&instr) {
+            prop_assert!(is_compressed(half));
+            let expanded = decode_compressed(half).map_err(|e| {
+                TestCaseError::fail(format!("{e} (instr {instr:?})"))
+            })?;
+            prop_assert_eq!(expanded, instr);
+        }
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decode_compressed_never_panics(word in any::<u16>()) {
+        let _ = decode_compressed(word);
+    }
+
+    #[test]
+    fn disasm_is_nonempty_and_stable(instr in arb_instr()) {
+        let text = instr.to_string();
+        prop_assert!(!text.is_empty());
+        prop_assert_eq!(text.clone(), instr.to_string());
+    }
+}

@@ -1,0 +1,114 @@
+//! Activation-function error evaluation (the Fig. 2 reproduction).
+//!
+//! The paper sweeps the piecewise-linear interpolation design space —
+//! interpolation range × number of intervals, under Q3.12 quantization —
+//! and reports the tanh mean-squared error surface (Fig. 2). This module
+//! regenerates that surface from the hardware model in
+//! [`rnnasip_fixed::pla`].
+
+pub use rnnasip_fixed::pla::{FitMode, PlaFunc, PlaTable};
+
+/// One point of the Fig. 2 sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Upper end of the interpolation range (e.g. `4.0`).
+    pub range: f64,
+    /// Number of interpolation intervals `M`.
+    pub intervals: u32,
+    /// Mean squared error over the whole Q3.12 grid.
+    pub mse: f64,
+    /// Maximum absolute error over the whole Q3.12 grid.
+    pub max_error: f64,
+}
+
+/// Sweeps PLA configurations over ranges and interval counts.
+///
+/// Ranges and intervals must both be powers of two times the Q3.12
+/// resolution, expressed here as `(intervals, shift)` pairs where the
+/// covered range is `intervals * 2^shift / 4096`. This helper takes the
+/// caller-friendly form: a list of ranges (each a power of two between
+/// `2^-3` and `8`) and a list of interval counts (powers of two), and
+/// skips combinations that don't fit the Q3.12 domain.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_nn::act::{sweep, FitMode, PlaFunc};
+///
+/// let points = sweep(PlaFunc::Tanh, &[2.0, 4.0], &[16, 32], FitMode::LeastSquares);
+/// assert_eq!(points.len(), 4);
+/// // More intervals at the same range: error shrinks.
+/// assert!(points[1].mse <= points[0].mse);
+/// ```
+pub fn sweep(
+    func: PlaFunc,
+    ranges: &[f64],
+    interval_counts: &[u32],
+    mode: FitMode,
+) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &range in ranges {
+        let range_raw = (range * 4096.0).round() as u64;
+        if range_raw == 0 || !range_raw.is_power_of_two() || range_raw > 32768 {
+            continue;
+        }
+        for &m in interval_counts {
+            if m == 0 || !m.is_power_of_two() || u64::from(m) > range_raw {
+                continue;
+            }
+            let shift = (range_raw / u64::from(m)).trailing_zeros();
+            let table = PlaTable::fit(func, m, shift, mode);
+            out.push(SweepPoint {
+                range,
+                intervals: m,
+                mse: table.mse(),
+                max_error: table.max_error(),
+            });
+        }
+    }
+    out
+}
+
+/// The paper's chosen design point, for reference in reports:
+/// range ±4, 32 intervals (MSE 9.81·10⁻⁷ and max error ±3.8·10⁻⁴ in the
+/// paper's measurement).
+pub fn design_point(func: PlaFunc) -> SweepPoint {
+    let table = PlaTable::fit(func, 32, 9, FitMode::LeastSquares);
+    SweepPoint {
+        range: 4.0,
+        intervals: 32,
+        mse: table.mse(),
+        max_error: table.max_error(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_skips_invalid_combinations() {
+        // Range 16 exceeds Q3.12; range 3 is not a power of two.
+        let pts = sweep(PlaFunc::Tanh, &[16.0, 3.0], &[8], FitMode::Endpoint);
+        assert!(pts.is_empty());
+        // More intervals than raw steps is impossible.
+        let pts = sweep(PlaFunc::Tanh, &[1.0 / 4096.0], &[8], FitMode::Endpoint);
+        assert!(pts.is_empty());
+    }
+
+    #[test]
+    fn error_decreases_with_range_until_convergence() {
+        // tanh(1) = 0.76: a ±1 range truncates far too early, so widening
+        // the range to ±4 must reduce the error dramatically.
+        let pts = sweep(PlaFunc::Tanh, &[1.0, 4.0], &[32], FitMode::LeastSquares);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[1].mse < pts[0].mse / 10.0);
+    }
+
+    #[test]
+    fn design_point_matches_paper_decade() {
+        let p = design_point(PlaFunc::Tanh);
+        assert!(p.mse < 1e-5, "MSE {}", p.mse);
+        assert!(p.max_error < 5e-3, "max {}", p.max_error);
+    }
+}

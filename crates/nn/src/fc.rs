@@ -1,0 +1,229 @@
+//! Fully-connected (MLP) layer.
+
+use crate::matrix::Matrix;
+use rnnasip_fixed::{hw_sig, hw_tanh, Acc32, Q3p12};
+
+/// Activation applied after a layer's matrix-vector product.
+///
+/// The fixed-point `Tanh`/`Sigmoid` variants use the *hardware* PLA unit
+/// ([`rnnasip_fixed::hw_tanh`] / [`rnnasip_fixed::hw_sig`]) so kernel
+/// output is bit-exact against this model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Act {
+    /// No activation (linear output layer).
+    #[default]
+    None,
+    /// Rectified linear unit: `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent (PLA hardware unit in fixed point).
+    Tanh,
+    /// Logistic sigmoid (PLA hardware unit in fixed point).
+    Sigmoid,
+}
+
+impl Act {
+    /// Applies the activation in Q3.12, exactly as the kernels do.
+    pub fn apply_fixed(self, x: Q3p12) -> Q3p12 {
+        match self {
+            Act::None => x,
+            Act::Relu => {
+                if x.raw() < 0 {
+                    Q3p12::ZERO
+                } else {
+                    x
+                }
+            }
+            Act::Tanh => hw_tanh(x),
+            Act::Sigmoid => hw_sig(x),
+        }
+    }
+
+    /// Applies the exact activation in double precision.
+    pub fn apply_f64(self, x: f64) -> f64 {
+        match self {
+            Act::None => x,
+            Act::Relu => x.max(0.0),
+            Act::Tanh => x.tanh(),
+            Act::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+}
+
+/// A fully-connected layer: `o = act(b + W·x)` with `W ∈ R^{n_out × n_in}`.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_fixed::Q3p12;
+/// use rnnasip_nn::{Act, FcLayer, Matrix};
+///
+/// let layer = FcLayer::new(
+///     Matrix::from_f64(1, 2, &[1.0, -1.0]),
+///     vec![Q3p12::from_f64(0.5)],
+///     Act::None,
+/// );
+/// let out = layer.forward_fixed(&[Q3p12::from_f64(2.0), Q3p12::from_f64(1.0)]);
+/// assert_eq!(out[0], Q3p12::from_f64(1.5));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FcLayer {
+    weights: Matrix,
+    bias: Vec<Q3p12>,
+    act: Act,
+}
+
+impl FcLayer {
+    /// Creates a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != weights.rows()`.
+    pub fn new(weights: Matrix, bias: Vec<Q3p12>, act: Act) -> Self {
+        assert_eq!(bias.len(), weights.rows(), "bias length mismatch");
+        Self { weights, bias, act }
+    }
+
+    /// Number of input neurons.
+    pub fn n_in(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of output neurons.
+    pub fn n_out(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[Q3p12] {
+        &self.bias
+    }
+
+    /// The activation.
+    pub fn act(&self) -> Act {
+        self.act
+    }
+
+    /// MAC operations per forward pass.
+    pub fn mac_count(&self) -> u64 {
+        self.weights.mac_count()
+    }
+
+    /// Bit-exact fixed-point forward pass: 32-bit accumulation seeded with
+    /// `bias << 12`, `>> 12` requantization with saturation, hardware
+    /// activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != n_in()`.
+    pub fn forward_fixed(&self, input: &[Q3p12]) -> Vec<Q3p12> {
+        assert_eq!(input.len(), self.n_in(), "input length mismatch");
+        (0..self.n_out())
+            .map(|o| {
+                let mut acc = Acc32::from_bias(self.bias[o]);
+                for (w, x) in self.weights.row(o).iter().zip(input) {
+                    acc = acc.mac(*w, *x);
+                }
+                self.act.apply_fixed(acc.requantize())
+            })
+            .collect()
+    }
+
+    /// Double-precision forward pass on dequantized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != n_in()`.
+    pub fn forward_f64(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.n_in(), "input length mismatch");
+        (0..self.n_out())
+            .map(|o| {
+                let sum: f64 = self
+                    .weights
+                    .row(o)
+                    .iter()
+                    .zip(input)
+                    .map(|(w, x)| w.to_f64() * x)
+                    .sum();
+                self.act.apply_f64(sum + self.bias[o].to_f64())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_layer(act: Act) -> FcLayer {
+        FcLayer::new(
+            Matrix::from_f64(2, 4, &[0.5, -0.25, 1.0, 0.0, -1.5, 2.0, 0.125, -0.5]),
+            vec![Q3p12::from_f64(0.25), Q3p12::from_f64(-1.0)],
+            act,
+        )
+    }
+
+    #[test]
+    fn fixed_matches_f64_within_quantization() {
+        let layer = simple_layer(Act::None);
+        let input_f = [0.5, -1.0, 0.75, 2.0];
+        let input_q: Vec<Q3p12> = input_f.iter().map(|&v| Q3p12::from_f64(v)).collect();
+        let fixed = layer.forward_fixed(&input_q);
+        let float = layer.forward_f64(&input_f);
+        for (q, f) in fixed.iter().zip(&float) {
+            assert!((q.to_f64() - f).abs() < 1e-2, "{} vs {}", q.to_f64(), f);
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negative_outputs() {
+        let layer = simple_layer(Act::Relu);
+        let input: Vec<Q3p12> = [1.0, 1.0, 0.0, 1.0]
+            .iter()
+            .map(|&v| Q3p12::from_f64(v))
+            .collect();
+        let out = layer.forward_fixed(&input);
+        // Output 1 pre-activation: -1.5 + 2.0 - 0.5 - 1.0 = -1.0 -> ReLU 0.
+        assert_eq!(out[1], Q3p12::ZERO);
+        assert!(out[0].raw() >= 0);
+    }
+
+    #[test]
+    fn sigmoid_uses_hardware_unit() {
+        let layer = FcLayer::new(
+            Matrix::from_f64(1, 2, &[1.0, 0.0]),
+            vec![Q3p12::ZERO],
+            Act::Sigmoid,
+        );
+        let x = Q3p12::from_f64(0.75);
+        let out = layer.forward_fixed(&[x, Q3p12::ZERO]);
+        assert_eq!(out[0], rnnasip_fixed::hw_sig(x));
+    }
+
+    #[test]
+    fn bias_only_layer() {
+        let layer = FcLayer::new(
+            Matrix::zeros(3, 2),
+            vec![
+                Q3p12::from_f64(-0.5),
+                Q3p12::from_f64(0.0),
+                Q3p12::from_f64(3.25),
+            ],
+            Act::None,
+        );
+        let out = layer.forward_fixed(&[Q3p12::from_f64(1.0); 2]);
+        assert_eq!(out[0], Q3p12::from_f64(-0.5));
+        assert_eq!(out[2], Q3p12::from_f64(3.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn wrong_input_length_panics() {
+        let layer = simple_layer(Act::None);
+        let _ = layer.forward_fixed(&[Q3p12::ZERO; 3]);
+    }
+}

@@ -1,0 +1,224 @@
+//! INT8 fully-connected layer (the future-work quantization path).
+//!
+//! The paper stays at Q3.12 to avoid retraining but points to 8-bit
+//! inference as the next efficiency step (Section II-A, refs [26], [27]).
+//! [`FcLayer8`] provides the golden model: Q1.6 weights and activations,
+//! i32 accumulation, `>> 6` requantization with saturation to i8 —
+//! matching the `pv.sdotsp.b` / `pl.sdotsp.b` kernels four-MACs-per-
+//! instruction datapath.
+
+use crate::fc::{Act, FcLayer};
+use rnnasip_fixed::{q3p12_to_q1p6, Q1p6, Q3p12};
+
+/// A fully-connected layer quantized to Q1.6 (INT8).
+///
+/// Activations are limited to `None`/`Relu`: the hardware PLA unit is a
+/// Q3.12 device, and the INT8 path targets ReLU-dominated MLPs.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_fixed::Q1p6;
+/// use rnnasip_nn::{Act, FcLayer8};
+///
+/// let layer = FcLayer8::new(
+///     2, 2,
+///     vec![Q1p6::from_f64(1.0), Q1p6::ZERO, Q1p6::ZERO, Q1p6::from_f64(-1.0)],
+///     vec![Q1p6::ZERO; 2],
+///     Act::Relu,
+/// );
+/// let out = layer.forward_fixed(&[Q1p6::from_f64(0.5), Q1p6::from_f64(0.5)]);
+/// assert_eq!(out[0], Q1p6::from_f64(0.5));
+/// assert_eq!(out[1], Q1p6::ZERO); // ReLU clamps -0.5
+/// ```
+#[derive(Clone, Debug)]
+pub struct FcLayer8 {
+    n_out: usize,
+    n_in: usize,
+    /// Row-major weights (`n_out × n_in`).
+    weights: Vec<Q1p6>,
+    bias: Vec<Q1p6>,
+    act: Act,
+}
+
+impl FcLayer8 {
+    /// Creates a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or on a `Tanh`/`Sigmoid` activation (the
+    /// INT8 path supports `None`/`Relu` only).
+    pub fn new(n_out: usize, n_in: usize, weights: Vec<Q1p6>, bias: Vec<Q1p6>, act: Act) -> Self {
+        assert_eq!(weights.len(), n_out * n_in, "weight length");
+        assert_eq!(bias.len(), n_out, "bias length");
+        assert!(
+            matches!(act, Act::None | Act::Relu),
+            "INT8 layers support None/Relu activations only"
+        );
+        Self {
+            n_out,
+            n_in,
+            weights,
+            bias,
+            act,
+        }
+    }
+
+    /// Quantizes a Q3.12 layer to Q1.6 (weights saturate at ±2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source layer uses a transcendental activation.
+    pub fn quantize_from(layer: &FcLayer) -> Self {
+        let weights = layer
+            .weights()
+            .data()
+            .iter()
+            .map(|&w| q3p12_to_q1p6(w))
+            .collect();
+        let bias = layer.bias().iter().map(|&b| q3p12_to_q1p6(b)).collect();
+        Self::new(layer.n_out(), layer.n_in(), weights, bias, layer.act())
+    }
+
+    /// Input width.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Output width.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// One weight row (the stream of one output neuron).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= n_out`.
+    pub fn row(&self, row: usize) -> &[Q1p6] {
+        assert!(row < self.n_out, "row out of range");
+        &self.weights[row * self.n_in..(row + 1) * self.n_in]
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[Q1p6] {
+        &self.bias
+    }
+
+    /// The activation.
+    pub fn act(&self) -> Act {
+        self.act
+    }
+
+    /// MACs per forward pass.
+    pub fn mac_count(&self) -> u64 {
+        (self.n_out * self.n_in) as u64
+    }
+
+    /// Bit-exact INT8 forward pass: `acc = (bias << 6) + Σ w·x`,
+    /// requantized `>> 6` with saturation to i8, then ReLU if configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != n_in`.
+    pub fn forward_fixed(&self, input: &[Q1p6]) -> Vec<Q1p6> {
+        assert_eq!(input.len(), self.n_in, "input length mismatch");
+        (0..self.n_out)
+            .map(|o| {
+                let mut acc: i32 = (self.bias[o].raw() as i32) << 6;
+                for (w, x) in self.row(o).iter().zip(input) {
+                    acc = acc.wrapping_add(w.widening_mul(*x));
+                }
+                let y = Q1p6::from_i32_saturating(acc >> 6);
+                match self.act {
+                    Act::Relu if y.raw() < 0 => Q1p6::ZERO,
+                    _ => y,
+                }
+            })
+            .collect()
+    }
+
+    /// Double-precision reference on dequantized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != n_in`.
+    pub fn forward_f64(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.n_in, "input length mismatch");
+        (0..self.n_out)
+            .map(|o| {
+                let sum: f64 = self
+                    .row(o)
+                    .iter()
+                    .zip(input)
+                    .map(|(w, x)| w.to_f64() * x)
+                    .sum();
+                self.act.apply_f64(sum + self.bias[o].to_f64())
+            })
+            .collect()
+    }
+}
+
+/// Quantizes a Q3.12 activation vector to Q1.6.
+pub fn quantize_input8(input: &[Q3p12]) -> Vec<Q1p6> {
+    input.iter().map(|&x| q3p12_to_q1p6(x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    fn q16_layer() -> FcLayer {
+        let weights: Vec<f64> = (0..24).map(|i| ((i % 9) as f64 - 4.0) / 8.0).collect();
+        FcLayer::new(
+            Matrix::from_f64(4, 6, &weights),
+            vec![Q3p12::from_f64(0.125); 4],
+            Act::Relu,
+        )
+    }
+
+    #[test]
+    fn quantized_layer_tracks_the_q3p12_original() {
+        let l16 = q16_layer();
+        let l8 = FcLayer8::quantize_from(&l16);
+        let input16: Vec<Q3p12> = (0..6)
+            .map(|i| Q3p12::from_f64((i as f64 - 2.0) / 4.0))
+            .collect();
+        let out16 = l16.forward_fixed(&input16);
+        let out8 = l8.forward_fixed(&quantize_input8(&input16));
+        for (a, b) in out16.iter().zip(&out8) {
+            assert!(
+                (a.to_f64() - b.to_f64()).abs() < 0.1,
+                "{} vs {}",
+                a.to_f64(),
+                b.to_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn int8_matches_float_within_quantization_noise() {
+        let l8 = FcLayer8::quantize_from(&q16_layer());
+        let input_f: Vec<f64> = vec![0.5, -0.25, 0.75, 0.0, -0.5, 0.25];
+        let input_q: Vec<Q1p6> = input_f.iter().map(|&v| Q1p6::from_f64(v)).collect();
+        let qf = l8.forward_fixed(&input_q);
+        let ff = l8.forward_f64(&input_f);
+        for (q, f) in qf.iter().zip(&ff) {
+            assert!((q.to_f64() - f).abs() < 0.1, "{} vs {}", q.to_f64(), f);
+        }
+    }
+
+    #[test]
+    fn saturation_at_q1p6_bounds() {
+        let l8 = FcLayer8::new(1, 2, vec![Q1p6::MAX, Q1p6::MAX], vec![Q1p6::MAX], Act::None);
+        let out = l8.forward_fixed(&[Q1p6::MAX, Q1p6::MAX]);
+        assert_eq!(out[0], Q1p6::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "None/Relu")]
+    fn transcendental_activation_rejected() {
+        let _ = FcLayer8::new(1, 2, vec![Q1p6::ZERO; 2], vec![Q1p6::ZERO], Act::Tanh);
+    }
+}

@@ -1,0 +1,393 @@
+//! Network serialization: a compact, self-describing binary format for
+//! deploying externally trained weights.
+//!
+//! The paper's deployment flow is *train in float → quantize to Q3.12 →
+//! run on the core, no retraining*. This module is the hand-off point:
+//! a training pipeline dumps its network in this format, and the kernel
+//! backend consumes it unchanged.
+//!
+//! # Format (version 1, little-endian)
+//!
+//! ```text
+//! magic   "RNNA"            4 bytes
+//! version u16 = 1
+//! stages  u16
+//! per stage: tag u8 (0 = FC, 1 = LSTM, 2 = Conv), then:
+//!   FC:   act u8, n_out u32, n_in u32, weights (n_out·n_in i16),
+//!         bias (n_out i16)
+//!   LSTM: steps u32, n_in u32, n_hidden u32, then per gate (o,f,i,g):
+//!         wx (n·m i16), wh (n·n i16), bias (n i16)
+//!   Conv: act u8, in_ch/in_h/in_w/out_ch/kh/kw/stride/pad (u32 each),
+//!         weights (out_ch·in_ch·kh·kw i16), bias (out_ch i16)
+//! name    u16 length + UTF-8 bytes (after all stages)
+//! ```
+
+use crate::{Act, Conv2dLayer, FcLayer, LstmLayer, Matrix, Network, Stage};
+use core::fmt;
+use rnnasip_fixed::Q3p12;
+
+const MAGIC: &[u8; 4] = b"RNNA";
+const VERSION: u16 = 1;
+
+/// Errors produced while decoding a serialized network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The magic bytes or version did not match.
+    BadHeader,
+    /// The byte stream ended mid-field.
+    Truncated,
+    /// An unknown stage tag or activation code.
+    BadTag(u8),
+    /// The stage list was empty or the name was not UTF-8.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::BadHeader => write!(f, "not an RNNA v{VERSION} network file"),
+            LoadError::Truncated => write!(f, "unexpected end of network data"),
+            LoadError::BadTag(t) => write!(f, "unknown stage/activation tag {t}"),
+            LoadError::Malformed(what) => write!(f, "malformed network data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn act_code(act: Act) -> u8 {
+    match act {
+        Act::None => 0,
+        Act::Relu => 1,
+        Act::Tanh => 2,
+        Act::Sigmoid => 3,
+    }
+}
+
+fn act_from(code: u8) -> Result<Act, LoadError> {
+    Ok(match code {
+        0 => Act::None,
+        1 => Act::Relu,
+        2 => Act::Tanh,
+        3 => Act::Sigmoid,
+        other => return Err(LoadError::BadTag(other)),
+    })
+}
+
+fn put_q(out: &mut Vec<u8>, values: &[Q3p12]) {
+    for v in values {
+        out.extend_from_slice(&v.raw().to_le_bytes());
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serializes a network to its binary image.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_nn::io::{load_network, save_network};
+///
+/// let net = rnnasip_nn::Network::new(
+///     "toy",
+///     vec![rnnasip_nn::Stage::Fc(rnnasip_nn::FcLayer::new(
+///         rnnasip_nn::Matrix::zeros(2, 4),
+///         vec![rnnasip_fixed::Q3p12::ZERO; 2],
+///         rnnasip_nn::Act::Relu,
+///     ))],
+/// );
+/// let bytes = save_network(&net);
+/// let back = load_network(&bytes)?;
+/// assert_eq!(back.name(), "toy");
+/// assert_eq!(back.n_in(), 4);
+/// # Ok::<(), rnnasip_nn::io::LoadError>(())
+/// ```
+pub fn save_network(net: &Network) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(net.stages().len() as u16).to_le_bytes());
+    for stage in net.stages() {
+        match stage {
+            Stage::Fc(l) => {
+                out.push(0);
+                out.push(act_code(l.act()));
+                put_u32(&mut out, l.n_out() as u32);
+                put_u32(&mut out, l.n_in() as u32);
+                put_q(&mut out, l.weights().data());
+                put_q(&mut out, l.bias());
+            }
+            Stage::Lstm { layer, steps } => {
+                out.push(1);
+                put_u32(&mut out, *steps as u32);
+                put_u32(&mut out, layer.n_in() as u32);
+                put_u32(&mut out, layer.n_hidden() as u32);
+                for g in 0..4 {
+                    put_q(&mut out, layer.wx(g).data());
+                    put_q(&mut out, layer.wh(g).data());
+                    put_q(&mut out, layer.bias(g));
+                }
+            }
+            Stage::Conv(c) => {
+                out.push(2);
+                out.push(act_code(c.act()));
+                for v in [
+                    c.in_ch(),
+                    c.in_h(),
+                    c.in_w(),
+                    c.out_ch(),
+                    c.kh(),
+                    c.kw(),
+                    c.stride(),
+                    c.pad(),
+                ] {
+                    put_u32(&mut out, v as u32);
+                }
+                put_q(&mut out, c.weights().data());
+                put_q(&mut out, c.bias());
+            }
+        }
+    }
+    let name = net.name().as_bytes();
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name);
+    out
+}
+
+/// Cursor over the serialized bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
+        let end = self.pos.checked_add(n).ok_or(LoadError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(LoadError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, LoadError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, LoadError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, LoadError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn q_vec(&mut self, n: usize) -> Result<Vec<Q3p12>, LoadError> {
+        let b = self.take(2 * n)?;
+        Ok(b.chunks_exact(2)
+            .map(|c| Q3p12::from_raw(i16::from_le_bytes([c[0], c[1]])))
+            .collect())
+    }
+
+    fn matrix(&mut self, rows: usize, cols: usize) -> Result<Matrix, LoadError> {
+        Ok(Matrix::new(rows, cols, self.q_vec(rows * cols)?))
+    }
+}
+
+/// Deserializes a network.
+///
+/// # Errors
+///
+/// [`LoadError`] for truncated, corrupted or version-mismatched data.
+pub fn load_network(bytes: &[u8]) -> Result<Network, LoadError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC || r.u16()? != VERSION {
+        return Err(LoadError::BadHeader);
+    }
+    let n_stages = r.u16()? as usize;
+    if n_stages == 0 {
+        return Err(LoadError::Malformed("zero stages"));
+    }
+    let mut stages = Vec::with_capacity(n_stages);
+    for _ in 0..n_stages {
+        match r.u8()? {
+            0 => {
+                let act = act_from(r.u8()?)?;
+                let n_out = r.u32()? as usize;
+                let n_in = r.u32()? as usize;
+                let weights = r.matrix(n_out, n_in)?;
+                let bias = r.q_vec(n_out)?;
+                stages.push(Stage::Fc(FcLayer::new(weights, bias, act)));
+            }
+            1 => {
+                let steps = r.u32()? as usize;
+                let m = r.u32()? as usize;
+                let n = r.u32()? as usize;
+                let mut wx = Vec::with_capacity(4);
+                let mut wh = Vec::with_capacity(4);
+                let mut bias = Vec::with_capacity(4);
+                for _ in 0..4 {
+                    wx.push(r.matrix(n, m)?);
+                    wh.push(r.matrix(n, n)?);
+                    bias.push(r.q_vec(n)?);
+                }
+                let wx: [Matrix; 4] = wx.try_into().expect("four gates");
+                let wh: [Matrix; 4] = wh.try_into().expect("four gates");
+                let bias: [Vec<Q3p12>; 4] = bias.try_into().expect("four gates");
+                stages.push(Stage::Lstm {
+                    layer: LstmLayer::new(wx, wh, bias),
+                    steps,
+                });
+            }
+            2 => {
+                let act = act_from(r.u8()?)?;
+                let geo: Vec<usize> = (0..8)
+                    .map(|_| r.u32().map(|v| v as usize))
+                    .collect::<Result<_, _>>()?;
+                let (in_ch, in_h, in_w, out_ch, kh, kw, stride, pad) = (
+                    geo[0], geo[1], geo[2], geo[3], geo[4], geo[5], geo[6], geo[7],
+                );
+                let weights = r.matrix(out_ch, in_ch * kh * kw)?;
+                let bias = r.q_vec(out_ch)?;
+                stages.push(Stage::Conv(Conv2dLayer::with_geometry(
+                    in_ch, in_h, in_w, out_ch, kh, kw, stride, pad, weights, bias, act,
+                )));
+            }
+            other => return Err(LoadError::BadTag(other)),
+        }
+    }
+    let name_len = r.u16()? as usize;
+    let name = std::str::from_utf8(r.take(name_len)?)
+        .map_err(|_| LoadError::Malformed("name is not UTF-8"))?
+        .to_owned();
+    Ok(Network::new(name, stages))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn q(rng: &mut StdRng) -> Q3p12 {
+        Q3p12::from_f64(rng.gen::<f64>() - 0.5)
+    }
+
+    fn sample_network() -> Network {
+        let mut r = StdRng::seed_from_u64(9);
+        let n = 4;
+        let m = 2;
+        let mat = |r: &mut StdRng, rows: usize, cols: usize| {
+            Matrix::new(rows, cols, (0..rows * cols).map(|_| q(r)).collect())
+        };
+        let lstm = LstmLayer::new(
+            [
+                mat(&mut r, n, m),
+                mat(&mut r, n, m),
+                mat(&mut r, n, m),
+                mat(&mut r, n, m),
+            ],
+            [
+                mat(&mut r, n, n),
+                mat(&mut r, n, n),
+                mat(&mut r, n, n),
+                mat(&mut r, n, n),
+            ],
+            [
+                (0..n).map(|_| q(&mut r)).collect(),
+                (0..n).map(|_| q(&mut r)).collect(),
+                (0..n).map(|_| q(&mut r)).collect(),
+                (0..n).map(|_| q(&mut r)).collect(),
+            ],
+        );
+        let fc = FcLayer::new(
+            mat(&mut r, 3, n),
+            (0..3).map(|_| q(&mut r)).collect(),
+            Act::Sigmoid,
+        );
+        Network::new(
+            "sample",
+            vec![
+                Stage::Lstm {
+                    layer: lstm,
+                    steps: 3,
+                },
+                Stage::Fc(fc),
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_inference() {
+        let net = sample_network();
+        let bytes = save_network(&net);
+        let back = load_network(&bytes).expect("loads");
+        assert_eq!(back.name(), "sample");
+        // Bit-identical inference, the only equality that matters.
+        let seq: Vec<Vec<Q3p12>> = (0..3)
+            .map(|t| vec![Q3p12::from_f64(0.1 * t as f64), Q3p12::from_f64(-0.2)])
+            .collect();
+        assert_eq!(net.forward_fixed(&seq), back.forward_fixed(&seq));
+    }
+
+    #[test]
+    fn conv_geometry_round_trips() {
+        let conv = Conv2dLayer::with_geometry(
+            2,
+            6,
+            6,
+            3,
+            3,
+            3,
+            2,
+            1,
+            Matrix::zeros(3, 18),
+            vec![Q3p12::ZERO; 3],
+            Act::Relu,
+        );
+        let net = Network::new("conv", vec![Stage::Conv(conv)]);
+        let back = load_network(&save_network(&net)).expect("loads");
+        match &back.stages()[0] {
+            Stage::Conv(c) => {
+                assert_eq!(c.stride(), 2);
+                assert_eq!(c.pad(), 1);
+                assert_eq!(c.out_h(), 3);
+            }
+            other => panic!("wrong stage {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_and_truncation_errors() {
+        assert!(matches!(
+            load_network(b"XXXX\x01\x00"),
+            Err(LoadError::BadHeader)
+        ));
+        let net = sample_network();
+        let bytes = save_network(&net);
+        // Every truncation point fails cleanly.
+        for cut in [0, 3, 6, 10, bytes.len() - 1] {
+            assert!(load_network(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // A flipped stage tag is caught.
+        let mut bad = bytes.clone();
+        bad[8] = 9;
+        assert!(matches!(load_network(&bad), Err(LoadError::BadTag(9))));
+    }
+
+    #[test]
+    fn whole_benchmark_suite_could_round_trip() {
+        // The format must cover every stage shape the suite uses; a tiny
+        // stand-in of each kind is enough to lock the schema.
+        let net = sample_network();
+        let bytes = save_network(&net);
+        assert!(bytes.len() > 100);
+        assert_eq!(&bytes[..4], b"RNNA");
+    }
+}

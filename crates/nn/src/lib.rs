@@ -1,0 +1,38 @@
+//! Golden neural-network models for the RNNASIP reproduction.
+//!
+//! The RRM benchmark suite (Section II-C of the paper) uses three kernel
+//! types: fully-connected layers, LSTMs and CNN layers. This crate
+//! provides each of them twice:
+//!
+//! * a **bit-exact Q3.12 model** that performs precisely the arithmetic
+//!   the optimized RISC-V kernels perform — 16×16→32 MACs, `>> 12`
+//!   requantization with saturation, and the hardware piecewise-linear
+//!   `tanh`/`sig` unit ([`rnnasip_fixed::pla`]). Kernel output from the
+//!   instruction-set simulator is asserted *equal* to this model.
+//! * a **double-precision reference** (`forward_f64`) using dequantized
+//!   weights and exact activations, used to bound the end-to-end
+//!   quantization error (the paper's claim that Q3.12 needs no retraining).
+//!
+//! [`Network`] composes stages into the benchmark networks, and
+//! [`act`] evaluates piecewise-linear activation error surfaces for the
+//! Fig. 2 reproduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod act;
+pub mod io;
+
+mod conv;
+mod fc;
+mod fc8;
+mod lstm;
+mod matrix;
+mod network;
+
+pub use conv::Conv2dLayer;
+pub use fc::{Act, FcLayer};
+pub use fc8::{quantize_input8, FcLayer8};
+pub use lstm::{LstmLayer, LstmState, GATE_NAMES};
+pub use matrix::Matrix;
+pub use network::{Network, Stage};

@@ -1,0 +1,305 @@
+//! Long short-term memory layer (Equations 1–6 of the paper).
+
+use crate::matrix::Matrix;
+use rnnasip_fixed::{hw_sig, hw_tanh, Acc32, Q3p12};
+
+/// Gate order used throughout: output, forget, input, cell-candidate —
+/// the order the paper lists Equations (1)–(4) in.
+pub const GATE_NAMES: [&str; 4] = ["o", "f", "i", "g"];
+
+/// The recurrent state `(h, c)` of an LSTM layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LstmState {
+    /// Hidden state `h_t`, length `n_hidden`.
+    pub h: Vec<Q3p12>,
+    /// Cell state `c_t`, length `n_hidden`.
+    pub c: Vec<Q3p12>,
+}
+
+impl LstmState {
+    /// All-zero initial state.
+    pub fn zeros(n_hidden: usize) -> Self {
+        Self {
+            h: vec![Q3p12::ZERO; n_hidden],
+            c: vec![Q3p12::ZERO; n_hidden],
+        }
+    }
+}
+
+/// An LSTM layer with `n_in` inputs and `n_hidden` memory cells:
+///
+/// ```text
+/// o_t = sig (W_o x_t + U_o h_{t-1} + b_o)
+/// f_t = sig (W_f x_t + U_f h_{t-1} + b_f)
+/// i_t = sig (W_i x_t + U_i h_{t-1} + b_i)
+/// g_t = tanh(W_c x_t + U_c h_{t-1} + b_c)
+/// c_t = f_t ∘ c_{t-1} + i_t ∘ g_t
+/// h_t = o_t ∘ tanh(c_t)
+/// ```
+///
+/// The fixed-point step performs the same arithmetic the optimized
+/// kernels perform: each gate pre-activation is a 32-bit accumulation
+/// over the concatenated `[x, h]` stream requantized once; Hadamard
+/// products are 16×16→32 multiplies shifted right by 12; the cell update
+/// is computed in 32 bits and saturated once.
+#[derive(Clone, Debug)]
+pub struct LstmLayer {
+    /// Gate weight matrices over the input, indexed by [`GATE_NAMES`]
+    /// order; each is `n_hidden × n_in`.
+    wx: [Matrix; 4],
+    /// Gate weight matrices over the previous hidden state;
+    /// each is `n_hidden × n_hidden`.
+    wh: [Matrix; 4],
+    /// Gate biases; each of length `n_hidden`.
+    bias: [Vec<Q3p12>; 4],
+}
+
+impl LstmLayer {
+    /// Creates an LSTM layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shapes are inconsistent.
+    pub fn new(wx: [Matrix; 4], wh: [Matrix; 4], bias: [Vec<Q3p12>; 4]) -> Self {
+        let n_hidden = wx[0].rows();
+        let n_in = wx[0].cols();
+        for g in 0..4 {
+            assert_eq!(wx[g].rows(), n_hidden, "wx[{g}] rows");
+            assert_eq!(wx[g].cols(), n_in, "wx[{g}] cols");
+            assert_eq!(wh[g].rows(), n_hidden, "wh[{g}] rows");
+            assert_eq!(wh[g].cols(), n_hidden, "wh[{g}] cols");
+            assert_eq!(bias[g].len(), n_hidden, "bias[{g}] length");
+        }
+        Self { wx, wh, bias }
+    }
+
+    /// Number of input neurons.
+    pub fn n_in(&self) -> usize {
+        self.wx[0].cols()
+    }
+
+    /// Number of memory cells / hidden units.
+    pub fn n_hidden(&self) -> usize {
+        self.wx[0].rows()
+    }
+
+    /// Input weight matrix of gate `g` (in [`GATE_NAMES`] order).
+    pub fn wx(&self, g: usize) -> &Matrix {
+        &self.wx[g]
+    }
+
+    /// Recurrent weight matrix of gate `g`.
+    pub fn wh(&self, g: usize) -> &Matrix {
+        &self.wh[g]
+    }
+
+    /// Bias of gate `g`.
+    pub fn bias(&self, g: usize) -> &[Q3p12] {
+        &self.bias[g]
+    }
+
+    /// MAC operations per time step.
+    pub fn mac_count_per_step(&self) -> u64 {
+        (0..4)
+            .map(|g| self.wx[g].mac_count() + self.wh[g].mac_count())
+            .sum()
+    }
+
+    /// Activation-function evaluations per time step
+    /// (`4·n` gate activations plus `n` cell tanh).
+    pub fn act_count_per_step(&self) -> u64 {
+        5 * self.n_hidden() as u64
+    }
+
+    /// One bit-exact fixed-point time step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n_in()` or the state size mismatches.
+    pub fn step_fixed(&self, x: &[Q3p12], state: &LstmState) -> LstmState {
+        let n = self.n_hidden();
+        assert_eq!(x.len(), self.n_in(), "input length mismatch");
+        assert_eq!(state.h.len(), n, "state length mismatch");
+
+        // Gate pre-activations, requantized once per gate output.
+        let mut gates: [Vec<Q3p12>; 4] = Default::default();
+        for (g, gate) in gates.iter_mut().enumerate() {
+            *gate = (0..n)
+                .map(|j| {
+                    let mut acc = Acc32::from_bias(self.bias[g][j]);
+                    for (w, xi) in self.wx[g].row(j).iter().zip(x) {
+                        acc = acc.mac(*w, *xi);
+                    }
+                    for (u, hk) in self.wh[g].row(j).iter().zip(&state.h) {
+                        acc = acc.mac(*u, *hk);
+                    }
+                    let pre = acc.requantize();
+                    if g == 3 {
+                        hw_tanh(pre)
+                    } else {
+                        hw_sig(pre)
+                    }
+                })
+                .collect();
+        }
+        let (o, f, i, g) = (&gates[0], &gates[1], &gates[2], &gates[3]);
+
+        // c_t = f ∘ c + i ∘ g, computed in 32 bits, saturated once.
+        let c: Vec<Q3p12> = (0..n)
+            .map(|j| {
+                let fc = f[j].widening_mul(state.c[j]) >> 12;
+                let ig = i[j].widening_mul(g[j]) >> 12;
+                Q3p12::from_i32_saturating(fc + ig)
+            })
+            .collect();
+
+        // h_t = o ∘ tanh(c_t), one Hadamard with requantization.
+        let h: Vec<Q3p12> = (0..n)
+            .map(|j| {
+                let t = hw_tanh(c[j]);
+                Acc32::from_raw(o[j].widening_mul(t)).requantize()
+            })
+            .collect();
+
+        LstmState { h, c }
+    }
+
+    /// One double-precision time step on dequantized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn step_f64(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let n = self.n_hidden();
+        assert_eq!(x.len(), self.n_in(), "input length mismatch");
+        assert_eq!(h_prev.len(), n, "state length mismatch");
+        let gate = |g: usize, j: usize| -> f64 {
+            let wx: f64 = self.wx[g]
+                .row(j)
+                .iter()
+                .zip(x)
+                .map(|(w, v)| w.to_f64() * v)
+                .sum();
+            let wh: f64 = self.wh[g]
+                .row(j)
+                .iter()
+                .zip(h_prev)
+                .map(|(w, v)| w.to_f64() * v)
+                .sum();
+            wx + wh + self.bias[g][j].to_f64()
+        };
+        let sig = |v: f64| 1.0 / (1.0 + (-v).exp());
+        let mut h = vec![0.0; n];
+        let mut c = vec![0.0; n];
+        for j in 0..n {
+            let o = sig(gate(0, j));
+            let f = sig(gate(1, j));
+            let i = sig(gate(2, j));
+            let g = gate(3, j).tanh();
+            c[j] = f * c_prev[j] + i * g;
+            h[j] = o * c[j].tanh();
+        }
+        (h, c)
+    }
+
+    /// Runs a whole fixed-point sequence from the zero state, returning
+    /// the final hidden state (what the benchmark networks feed forward).
+    pub fn forward_fixed(&self, sequence: &[Vec<Q3p12>]) -> Vec<Q3p12> {
+        let mut state = LstmState::zeros(self.n_hidden());
+        for x in sequence {
+            state = self.step_fixed(x, &state);
+        }
+        state.h
+    }
+
+    /// Double-precision counterpart of [`forward_fixed`](Self::forward_fixed).
+    pub fn forward_f64(&self, sequence: &[Vec<f64>]) -> Vec<f64> {
+        let n = self.n_hidden();
+        let (mut h, mut c) = (vec![0.0; n], vec![0.0; n]);
+        for x in sequence {
+            let (h2, c2) = self.step_f64(x, &h, &c);
+            h = h2;
+            c = c2;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic LSTM for tests.
+    fn tiny_lstm() -> LstmLayer {
+        let n = 2;
+        let m = 2;
+        let mk = |vals: &[f64]| Matrix::from_f64(n, m, vals);
+        let wx = [
+            mk(&[0.5, -0.5, 0.25, 0.25]),
+            mk(&[1.0, 0.0, 0.0, 1.0]),
+            mk(&[0.5, 0.5, -0.25, 0.75]),
+            mk(&[0.3, -0.3, 0.6, 0.1]),
+        ];
+        let wh = [
+            mk(&[0.1, 0.0, 0.0, 0.1]),
+            mk(&[0.2, 0.1, -0.1, 0.2]),
+            mk(&[0.0, 0.3, 0.3, 0.0]),
+            mk(&[-0.2, 0.2, 0.2, -0.2]),
+        ];
+        let bias = [
+            vec![Q3p12::from_f64(0.1); n],
+            vec![Q3p12::from_f64(0.2); n],
+            vec![Q3p12::from_f64(-0.1); n],
+            vec![Q3p12::from_f64(0.0); n],
+        ];
+        LstmLayer::new(wx, wh, bias)
+    }
+
+    #[test]
+    fn zero_input_zero_state_gives_small_output() {
+        let lstm = tiny_lstm();
+        let out = lstm.step_fixed(&[Q3p12::ZERO; 2], &LstmState::zeros(2));
+        // h = sig(b_o) * tanh(sig(b_i) * tanh(b_c)); with b_c = 0 the cell
+        // candidate is ~0, so h must be near zero.
+        for h in &out.h {
+            assert!(h.to_f64().abs() < 0.05, "h = {}", h.to_f64());
+        }
+    }
+
+    #[test]
+    fn fixed_tracks_float_reference() {
+        let lstm = tiny_lstm();
+        let seq_f: Vec<Vec<f64>> = vec![vec![0.5, -0.25], vec![1.0, 0.5], vec![-0.75, 0.25]];
+        let seq_q: Vec<Vec<Q3p12>> = seq_f
+            .iter()
+            .map(|v| v.iter().map(|&x| Q3p12::from_f64(x)).collect())
+            .collect();
+        let hf = lstm.forward_f64(&seq_f);
+        let hq = lstm.forward_fixed(&seq_q);
+        for (q, f) in hq.iter().zip(&hf) {
+            assert!(
+                (q.to_f64() - f).abs() < 0.02,
+                "fixed {} vs float {}",
+                q.to_f64(),
+                f
+            );
+        }
+    }
+
+    #[test]
+    fn state_evolves_over_time() {
+        let lstm = tiny_lstm();
+        let x: Vec<Q3p12> = vec![Q3p12::from_f64(1.0), Q3p12::from_f64(-1.0)];
+        let s1 = lstm.step_fixed(&x, &LstmState::zeros(2));
+        let s2 = lstm.step_fixed(&x, &s1);
+        assert_ne!(s1, s2, "state must change across steps");
+    }
+
+    #[test]
+    fn mac_and_act_counts() {
+        let lstm = tiny_lstm();
+        // 4 gates * (2*2 + 2*2) = 32 MACs per step; 5*2 activations.
+        assert_eq!(lstm.mac_count_per_step(), 32);
+        assert_eq!(lstm.act_count_per_step(), 10);
+    }
+}

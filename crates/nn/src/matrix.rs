@@ -1,0 +1,115 @@
+//! Row-major Q3.12 matrix.
+
+use rnnasip_fixed::Q3p12;
+
+/// A dense row-major matrix of Q3.12 weights.
+///
+/// Row `o` holds the weights of output neuron `o` — the layout the
+/// optimized kernels stream with post-increment loads (one pointer per
+/// output-tile row, Table II).
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_fixed::Q3p12;
+/// use rnnasip_nn::Matrix;
+///
+/// let m = Matrix::from_f64(2, 3, &[1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.get(1, 2), Q3p12::from_f64(0.5));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Q3p12>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major Q3.12 data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<Q3p12>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::new(rows, cols, vec![Q3p12::ZERO; rows * cols])
+    }
+
+    /// Quantizes row-major `f64` data to Q3.12.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_f64(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Self::new(
+            rows,
+            cols,
+            data.iter().map(|&v| Q3p12::from_f64(v)).collect(),
+        )
+    }
+
+    /// Number of rows (output neurons).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (input neurons).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, row: usize, col: usize) -> Q3p12 {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col]
+    }
+
+    /// One row as a slice (the weight stream of one output neuron).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn row(&self, row: usize) -> &[Q3p12] {
+        assert!(row < self.rows, "row out of range");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The raw row-major data.
+    pub fn data(&self) -> &[Q3p12] {
+        &self.data
+    }
+
+    /// Total number of multiply-accumulates of one mat-vec product.
+    pub fn mac_count(&self) -> u64 {
+        (self.rows * self.cols) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_layout() {
+        let m = Matrix::from_f64(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.row(1)[0], Q3p12::from_f64(3.0));
+        assert_eq!(m.get(0, 1), Q3p12::from_f64(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_panics() {
+        let _ = Matrix::from_f64(2, 2, &[1.0]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Networks: sequences of stages, as used by the RRM benchmark suite.
+
+use crate::conv::Conv2dLayer;
+use crate::fc::FcLayer;
+use crate::lstm::LstmLayer;
+use rnnasip_fixed::Q3p12;
+
+/// One stage of a [`Network`].
+// Stages are built once per network and iterated, never stored in bulk;
+// boxing the LSTM variant would only add indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum Stage {
+    /// A fully-connected layer.
+    Fc(FcLayer),
+    /// An LSTM layer unrolled over `steps` time steps; consumes a
+    /// sequence and emits the final hidden state.
+    Lstm {
+        /// The recurrent layer.
+        layer: LstmLayer,
+        /// Number of unrolled time steps per inference.
+        steps: usize,
+    },
+    /// A convolutional layer on a flattened feature map.
+    Conv(Conv2dLayer),
+}
+
+impl Stage {
+    /// Flattened input width of the stage (per time step for LSTM).
+    pub fn n_in(&self) -> usize {
+        match self {
+            Stage::Fc(l) => l.n_in(),
+            Stage::Lstm { layer, .. } => layer.n_in(),
+            Stage::Conv(c) => c.n_in(),
+        }
+    }
+
+    /// Flattened output width of the stage.
+    pub fn n_out(&self) -> usize {
+        match self {
+            Stage::Fc(l) => l.n_out(),
+            Stage::Lstm { layer, .. } => layer.n_hidden(),
+            Stage::Conv(c) => c.n_out(),
+        }
+    }
+
+    /// MAC operations per inference through this stage.
+    pub fn mac_count(&self) -> u64 {
+        match self {
+            Stage::Fc(l) => l.mac_count(),
+            Stage::Lstm { layer, steps } => layer.mac_count_per_step() * *steps as u64,
+            Stage::Conv(c) => c.mac_count(),
+        }
+    }
+
+    /// `tanh`/`sig` evaluations per inference through this stage.
+    pub fn act_count(&self) -> u64 {
+        match self {
+            Stage::Fc(l) => match l.act() {
+                crate::Act::Tanh | crate::Act::Sigmoid => l.n_out() as u64,
+                _ => 0,
+            },
+            Stage::Lstm { layer, steps } => layer.act_count_per_step() * *steps as u64,
+            Stage::Conv(c) => match c.act() {
+                crate::Act::Tanh | crate::Act::Sigmoid => c.n_out() as u64,
+                _ => 0,
+            },
+        }
+    }
+}
+
+/// A benchmark network: a named pipeline of stages.
+///
+/// The input of one inference is a *sequence* of vectors: LSTM first
+/// stages consume the whole sequence (and emit their final hidden state);
+/// all other stages consume a single vector, so non-recurrent networks
+/// take a one-element sequence.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_fixed::Q3p12;
+/// use rnnasip_nn::{Act, FcLayer, Matrix, Network, Stage};
+///
+/// let net = Network::new(
+///     "toy",
+///     vec![Stage::Fc(FcLayer::new(
+///         Matrix::from_f64(2, 2, &[1.0, 0.0, 0.0, 1.0]),
+///         vec![Q3p12::ZERO; 2],
+///         Act::Relu,
+///     ))],
+/// );
+/// let out = net.forward_fixed(&[vec![Q3p12::from_f64(0.5), Q3p12::from_f64(-1.0)]]);
+/// assert_eq!(out[0], Q3p12::from_f64(0.5));
+/// assert_eq!(out[1], Q3p12::ZERO);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Network {
+    name: String,
+    stages: Vec<Stage>,
+}
+
+impl Network {
+    /// Creates a network and validates stage-to-stage shape compatibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive stages disagree on vector width, or if an
+    /// LSTM stage appears anywhere but first (supported topologies follow
+    /// the benchmark suite: recurrence is always at the front).
+    pub fn new(name: impl Into<String>, stages: Vec<Stage>) -> Self {
+        assert!(!stages.is_empty(), "network needs at least one stage");
+        for (i, pair) in stages.windows(2).enumerate() {
+            assert_eq!(
+                pair[0].n_out(),
+                pair[1].n_in(),
+                "stage {i} output width != stage {} input width",
+                i + 1
+            );
+            assert!(
+                !matches!(pair[1], Stage::Lstm { .. }),
+                "LSTM stages are only supported as the first stage"
+            );
+        }
+        Self {
+            name: name.into(),
+            stages,
+        }
+    }
+
+    /// The network's name (the citation tag in the benchmark suite, e.g.
+    /// `"[13]"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stages.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Per-time-step input width of the first stage.
+    pub fn n_in(&self) -> usize {
+        self.stages[0].n_in()
+    }
+
+    /// Number of input vectors one inference consumes (LSTM steps, else 1).
+    pub fn seq_len(&self) -> usize {
+        match &self.stages[0] {
+            Stage::Lstm { steps, .. } => *steps,
+            _ => 1,
+        }
+    }
+
+    /// Output width.
+    pub fn n_out(&self) -> usize {
+        self.stages.last().expect("nonempty").n_out()
+    }
+
+    /// Total MAC operations per inference.
+    pub fn mac_count(&self) -> u64 {
+        self.stages.iter().map(Stage::mac_count).sum()
+    }
+
+    /// Total `tanh`/`sig` evaluations per inference.
+    pub fn act_count(&self) -> u64 {
+        self.stages.iter().map(Stage::act_count).sum()
+    }
+
+    /// Bit-exact fixed-point inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence length or vector widths mismatch.
+    pub fn forward_fixed(&self, sequence: &[Vec<Q3p12>]) -> Vec<Q3p12> {
+        assert_eq!(sequence.len(), self.seq_len(), "sequence length mismatch");
+        let mut iter = self.stages.iter();
+        let first = iter.next().expect("nonempty");
+        let mut v = match first {
+            Stage::Lstm { layer, .. } => layer.forward_fixed(sequence),
+            Stage::Fc(l) => l.forward_fixed(&sequence[0]),
+            Stage::Conv(c) => c.forward_fixed(&sequence[0]),
+        };
+        for stage in iter {
+            v = match stage {
+                Stage::Fc(l) => l.forward_fixed(&v),
+                Stage::Conv(c) => c.forward_fixed(&v),
+                Stage::Lstm { .. } => unreachable!("validated in new()"),
+            };
+        }
+        v
+    }
+
+    /// Double-precision inference on dequantized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence length or vector widths mismatch.
+    pub fn forward_f64(&self, sequence: &[Vec<f64>]) -> Vec<f64> {
+        assert_eq!(sequence.len(), self.seq_len(), "sequence length mismatch");
+        let mut iter = self.stages.iter();
+        let first = iter.next().expect("nonempty");
+        let mut v = match first {
+            Stage::Lstm { layer, .. } => layer.forward_f64(sequence),
+            Stage::Fc(l) => l.forward_f64(&sequence[0]),
+            Stage::Conv(c) => c.forward_f64(&sequence[0]),
+        };
+        for stage in iter {
+            v = match stage {
+                Stage::Fc(l) => l.forward_f64(&v),
+                Stage::Conv(c) => c.forward_f64(&v),
+                Stage::Lstm { .. } => unreachable!("validated in new()"),
+            };
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Act, Matrix};
+
+    fn fc(n_out: usize, n_in: usize, act: Act) -> Stage {
+        let weights: Vec<f64> = (0..n_out * n_in)
+            .map(|i| ((i % 5) as f64 - 2.0) / 8.0)
+            .collect();
+        Stage::Fc(FcLayer::new(
+            Matrix::from_f64(n_out, n_in, &weights),
+            vec![Q3p12::from_f64(0.125); n_out],
+            act,
+        ))
+    }
+
+    #[test]
+    fn two_stage_mlp_shapes() {
+        let net = Network::new("mlp", vec![fc(8, 4, Act::Relu), fc(2, 8, Act::None)]);
+        assert_eq!(net.n_in(), 4);
+        assert_eq!(net.n_out(), 2);
+        assert_eq!(net.seq_len(), 1);
+        assert_eq!(net.mac_count(), 8 * 4 + 2 * 8);
+        let out = net.forward_fixed(&[vec![Q3p12::from_f64(0.5); 4]]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "output width")]
+    fn mismatched_stages_panic() {
+        let _ = Network::new("bad", vec![fc(8, 4, Act::None), fc(2, 9, Act::None)]);
+    }
+
+    #[test]
+    fn fixed_and_float_agree_on_small_mlp() {
+        let net = Network::new("mlp", vec![fc(6, 4, Act::Tanh), fc(3, 6, Act::Sigmoid)]);
+        let in_f = vec![vec![0.25, -0.5, 0.75, 0.0]];
+        let in_q: Vec<Vec<Q3p12>> = in_f
+            .iter()
+            .map(|v| v.iter().map(|&x| Q3p12::from_f64(x)).collect())
+            .collect();
+        let of = net.forward_f64(&in_f);
+        let oq = net.forward_fixed(&in_q);
+        for (q, f) in oq.iter().zip(&of) {
+            assert!((q.to_f64() - f).abs() < 0.02);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Synthetic radio-resource-management task environments.
+//!
+//! The paper's motivation (Section I) is RRM decision making under
+//! millisecond deadlines: allocating powers, channels and airtime from
+//! radio observations. Real base-station traces are proprietary, so
+//! these environments generate deterministic synthetic counterparts
+//! that exercise the same inference path: observe → extract Q3.12
+//! features → run a benchmark network → apply the decision → evaluate.
+//!
+//! * [`PowerControlEnv`] — downlink power control over an interference
+//!   grid (drives the `[12]`/`[2]`-style MLPs),
+//! * [`SpectrumAccessEnv`] — multichannel opportunistic access with
+//!   Gilbert–Elliott channels (drives the `[14]`/`[17]`-style networks),
+//! * [`LteCoexEnv`] — LTE-U/WiFi coexistence with periodic load, the
+//!   `[13]` proactive duty-cycle task (where recurrence pays off).
+
+mod ltecoex;
+mod power_control;
+mod spectrum;
+
+pub use ltecoex::{CoexOutcome, LteCoexEnv};
+pub use power_control::PowerControlEnv;
+pub use spectrum::SpectrumAccessEnv;

@@ -1,0 +1,357 @@
+//! The ten benchmark networks.
+
+use crate::weights;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rnnasip_fixed::Q3p12;
+use rnnasip_nn::{Act, Network, Stage};
+
+/// Kernel family of a benchmark network (the Fig. 3 legend groups).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NetKind {
+    /// LSTM-dominated (optionally with FC/CNN stages).
+    Lstm,
+    /// Fully-connected only.
+    Fc,
+    /// CNN-dominated.
+    Cnn,
+}
+
+impl NetKind {
+    /// Display label matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetKind::Lstm => "LSTM/FC",
+            NetKind::Fc => "Fully-Connected NN",
+            NetKind::Cnn => "CNN",
+        }
+    }
+}
+
+/// One entry of the RRM benchmark suite.
+#[derive(Clone, Debug)]
+pub struct BenchmarkNet {
+    /// Citation tag used in the paper's figures (e.g. `"[13]"`).
+    pub tag: &'static str,
+    /// Human-readable identifier (first author + year).
+    pub id: &'static str,
+    /// One-line description of the RRM task.
+    pub task: &'static str,
+    /// Kernel family.
+    pub kind: NetKind,
+    /// The network with seeded synthetic weights.
+    pub network: Network,
+}
+
+impl BenchmarkNet {
+    /// A deterministic input sequence for one inference.
+    pub fn input(&self) -> Vec<Vec<Q3p12>> {
+        crate::weights::seeded_sequence(
+            self.network.n_in(),
+            self.network.seq_len(),
+            0xBEEF ^ self.tag.len() as u64 ^ (self.id.len() as u64) << 8,
+        )
+    }
+}
+
+/// Builds the full ten-network suite in the order of the paper's Fig. 3.
+///
+/// Topologies are reconstructions from the cited papers (see crate
+/// docs); seeds are fixed so repeated calls are identical.
+///
+/// # Example
+///
+/// ```
+/// let suite = rnnasip_rrm::suite();
+/// assert_eq!(suite.len(), 10);
+/// let total_macs: u64 = suite.iter().map(|n| n.network.mac_count()).sum();
+/// // The paper's whole-suite workload is ~1.6M MACs.
+/// assert!(total_macs > 1_000_000);
+/// ```
+pub fn suite() -> Vec<BenchmarkNet> {
+    vec![
+        challita2017(),
+        naparstek2019(),
+        ahmed2019(),
+        eisen2019(),
+        lee2018(),
+        nasir2018(),
+        sun2017(),
+        ye2018(),
+        yu2017(),
+        wang2018(),
+    ]
+}
+
+/// [13] Challita, Dong, Saad — proactive resource management for LTE in
+/// unlicensed spectrum: LSTM over a window of traffic/occupancy
+/// features, FC head for the airtime allocation.
+fn challita2017() -> BenchmarkNet {
+    let mut r = StdRng::seed_from_u64(13);
+    let lstm = weights::lstm(&mut r, 32, 64);
+    let head = weights::fc(&mut r, 32, 64, Act::Relu);
+    let out = weights::fc(&mut r, 16, 32, Act::Sigmoid);
+    BenchmarkNet {
+        tag: "[13]",
+        id: "challita2017",
+        task: "LTE-U proactive airtime allocation",
+        kind: NetKind::Lstm,
+        network: Network::new(
+            "[13] challita2017",
+            vec![
+                Stage::Lstm {
+                    layer: lstm,
+                    steps: 10,
+                },
+                Stage::Fc(head),
+                Stage::Fc(out),
+            ],
+        ),
+    }
+}
+
+/// [14] Naparstek, Cohen — deep multi-user RL for dynamic spectrum
+/// access: a small LSTM whose activations dominate (33.6% of cycles in
+/// the paper's analysis), which is why its tiling gain is weak (1.30×).
+fn naparstek2019() -> BenchmarkNet {
+    let mut r = StdRng::seed_from_u64(14);
+    let lstm = weights::lstm(&mut r, 8, 32);
+    let out = weights::fc(&mut r, 16, 32, Act::Sigmoid);
+    BenchmarkNet {
+        tag: "[14]",
+        id: "naparstek2019",
+        task: "distributed dynamic spectrum access",
+        kind: NetKind::Lstm,
+        network: Network::new(
+            "[14] naparstek2019",
+            vec![
+                Stage::Lstm {
+                    layer: lstm,
+                    steps: 8,
+                },
+                Stage::Fc(out),
+            ],
+        ),
+    }
+}
+
+/// [3] Ahmed, Tabassum, Hossain — deep learning for radio resource
+/// allocation in multi-cell networks.
+fn ahmed2019() -> BenchmarkNet {
+    let mut r = StdRng::seed_from_u64(3);
+    BenchmarkNet {
+        tag: "[3]",
+        id: "ahmed2019",
+        task: "multi-cell resource allocation",
+        kind: NetKind::Fc,
+        network: Network::new(
+            "[3] ahmed2019",
+            vec![
+                Stage::Fc(weights::fc(&mut r, 360, 120, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 360, 360, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 120, 360, Act::None)),
+            ],
+        ),
+    }
+}
+
+/// [33] Eisen et al. — learning optimal resource allocations: a tiny
+/// MLP (the paper's weakest tiling case, 1.07×, and lowest overall
+/// speedup, ~5.4×, because per-layer overheads dominate).
+fn eisen2019() -> BenchmarkNet {
+    let mut r = StdRng::seed_from_u64(33);
+    BenchmarkNet {
+        tag: "[33]",
+        id: "eisen2019",
+        task: "wireless capacity allocation",
+        kind: NetKind::Fc,
+        network: Network::new(
+            "[33] eisen2019",
+            vec![
+                Stage::Fc(weights::fc(&mut r, 20, 10, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 20, 20, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 10, 20, Act::None)),
+            ],
+        ),
+    }
+}
+
+/// [15] Lee, Kim, Cho — deep power control with a CNN over the channel
+/// gain matrix.
+fn lee2018() -> BenchmarkNet {
+    let mut r = StdRng::seed_from_u64(15);
+    let c1 = weights::conv(&mut r, 1, 10, 10, 12, 3, 3, Act::Relu);
+    let c2 = weights::conv(&mut r, 12, 8, 8, 24, 3, 3, Act::Relu);
+    let head_in = 24 * 6 * 6;
+    BenchmarkNet {
+        tag: "[15]",
+        id: "lee2018",
+        task: "CNN transmit power control",
+        kind: NetKind::Cnn,
+        network: Network::new(
+            "[15] lee2018",
+            vec![
+                Stage::Conv(c1),
+                Stage::Conv(c2),
+                Stage::Fc(weights::fc(&mut r, 40, head_in, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 10, 40, Act::Sigmoid)),
+            ],
+        ),
+    }
+}
+
+/// [12] Nasir, Guo — deep RL for distributed dynamic power allocation.
+fn nasir2018() -> BenchmarkNet {
+    let mut r = StdRng::seed_from_u64(12);
+    BenchmarkNet {
+        tag: "[12]",
+        id: "nasir2018",
+        task: "distributed dynamic power allocation",
+        kind: NetKind::Fc,
+        network: Network::new(
+            "[12] nasir2018",
+            vec![
+                Stage::Fc(weights::fc(&mut r, 250, 100, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 250, 250, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 120, 250, Act::None)),
+            ],
+        ),
+    }
+}
+
+/// [2] Sun et al. — "learning to optimize": an MLP approximating WMMSE
+/// power control.
+fn sun2017() -> BenchmarkNet {
+    let mut r = StdRng::seed_from_u64(2);
+    BenchmarkNet {
+        tag: "[2]",
+        id: "sun2017",
+        task: "WMMSE-approximating power control",
+        kind: NetKind::Fc,
+        network: Network::new(
+            "[2] sun2017",
+            vec![
+                Stage::Fc(weights::fc(&mut r, 250, 80, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 250, 250, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 80, 250, Act::None)),
+            ],
+        ),
+    }
+}
+
+/// [9] Ye, Li — deep RL for resource allocation in V2V communications
+/// (the suite's largest MLP; its big feature maps tile best, matching
+/// the paper's highest per-network speedup).
+fn ye2018() -> BenchmarkNet {
+    let mut r = StdRng::seed_from_u64(9);
+    BenchmarkNet {
+        tag: "[9]",
+        id: "ye2018",
+        task: "V2V latency-constrained allocation",
+        kind: NetKind::Fc,
+        network: Network::new(
+            "[9] ye2018",
+            vec![
+                Stage::Fc(weights::fc(&mut r, 500, 82, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 250, 500, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 120, 250, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 60, 120, Act::None)),
+            ],
+        ),
+    }
+}
+
+/// [11] Yu, Wang, Liew — deep-RL multiple access for heterogeneous
+/// wireless networks.
+fn yu2017() -> BenchmarkNet {
+    let mut r = StdRng::seed_from_u64(11);
+    BenchmarkNet {
+        tag: "[11]",
+        id: "yu2017",
+        task: "heterogeneous-network MAC",
+        kind: NetKind::Fc,
+        network: Network::new(
+            "[11] yu2017",
+            vec![
+                Stage::Fc(weights::fc(&mut r, 360, 120, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 360, 360, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 60, 360, Act::None)),
+            ],
+        ),
+    }
+}
+
+/// [17] Wang et al. — deep RL for dynamic multichannel access.
+fn wang2018() -> BenchmarkNet {
+    let mut r = StdRng::seed_from_u64(17);
+    BenchmarkNet {
+        tag: "[17]",
+        id: "wang2018",
+        task: "dynamic multichannel access",
+        kind: NetKind::Fc,
+        network: Network::new(
+            "[17] wang2018",
+            vec![
+                Stage::Fc(weights::fc(&mut r, 200, 32, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 200, 200, Act::Relu)),
+                Stage::Fc(weights::fc(&mut r, 16, 200, Act::None)),
+            ],
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_ten_networks_in_figure_order() {
+        let s = suite();
+        let tags: Vec<_> = s.iter().map(|n| n.tag).collect();
+        assert_eq!(
+            tags,
+            vec!["[13]", "[14]", "[3]", "[33]", "[15]", "[12]", "[2]", "[9]", "[11]", "[17]"]
+        );
+    }
+
+    #[test]
+    fn suite_total_macs_matches_papers_scale() {
+        let total: u64 = suite().iter().map(|n| n.network.mac_count()).sum();
+        // Table I: 1 621 kMAC-instructions on packed pairs = ~1.6M MACs.
+        assert!(
+            (1_200_000..2_100_000).contains(&total),
+            "suite total {total} MACs out of the paper's scale"
+        );
+    }
+
+    #[test]
+    fn lstm_nets_have_high_activation_fraction() {
+        let s = suite();
+        let naparstek = &s[1];
+        // acts per MAC must be much higher than in the FC nets.
+        let ratio = naparstek.network.act_count() as f64 / naparstek.network.mac_count() as f64;
+        assert!(ratio > 0.02, "activation ratio {ratio}");
+        let ye = &s[7];
+        let fc_ratio = ye.network.act_count() as f64 / ye.network.mac_count() as f64;
+        assert!(fc_ratio < ratio / 5.0);
+    }
+
+    #[test]
+    fn inputs_are_deterministic_and_shaped() {
+        for net in suite() {
+            let a = net.input();
+            let b = net.input();
+            assert_eq!(a, b, "{}", net.id);
+            assert_eq!(a.len(), net.network.seq_len());
+            assert_eq!(a[0].len(), net.network.n_in());
+        }
+    }
+
+    #[test]
+    fn forward_passes_run_on_golden_models() {
+        for net in suite() {
+            let out = net.network.forward_fixed(&net.input());
+            assert_eq!(out.len(), net.network.n_out(), "{}", net.id);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Simulator error and exit types.
+
+use core::fmt;
+
+/// Why a [`Machine::run`](crate::Machine::run) loop stopped successfully.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ExitReason {
+    /// The program executed `ecall` (the conventional "done" exit).
+    Ecall,
+    /// The program executed `ebreak` (breakpoint).
+    Ebreak,
+}
+
+impl fmt::Display for ExitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExitReason::Ecall => f.write_str("ecall"),
+            ExitReason::Ebreak => f.write_str("ebreak"),
+        }
+    }
+}
+
+/// Errors raised while simulating.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// Instruction fetch from an address with no program content.
+    FetchFault {
+        /// The faulting PC.
+        pc: u32,
+    },
+    /// Data access past the end of memory.
+    MemOutOfBounds {
+        /// Faulting address.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// Data access that is not naturally aligned.
+    Misaligned {
+        /// Faulting address.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// The cycle budget given to [`Machine::run`](crate::Machine::run)
+    /// was exhausted — almost always an infinite loop in generated code.
+    Watchdog {
+        /// The budget that was exceeded.
+        max_cycles: u64,
+    },
+    /// A hardware loop was entered with start ≥ end.
+    BadHwLoop {
+        /// Loop level (0 or 1).
+        level: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::FetchFault { pc } => write!(f, "instruction fetch fault at {pc:#010x}"),
+            SimError::MemOutOfBounds { addr, size } => {
+                write!(f, "{size}-byte access out of bounds at {addr:#010x}")
+            }
+            SimError::Misaligned { addr, size } => {
+                write!(f, "misaligned {size}-byte access at {addr:#010x}")
+            }
+            SimError::Watchdog { max_cycles } => {
+                write!(f, "watchdog expired after {max_cycles} cycles")
+            }
+            SimError::BadHwLoop { level } => {
+                write!(f, "hardware loop {level} configured with start >= end")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,1067 @@
+//! The simulation engine: fetch, execute, time, account.
+
+use crate::core_state::Core;
+use crate::error::{ExitReason, SimError};
+use crate::mem::Memory;
+use crate::program::Program;
+use crate::stats::Stats;
+use rnnasip_isa::{
+    AluImmOp, AluOp, BranchOp, Csr, CsrOp, DotOp, Instr, LoadOp, MulDivOp, PvAluOp, Reg, SimdMode,
+    SimdSize, StoreOp,
+};
+use std::collections::VecDeque;
+
+/// Result of a single [`Machine::step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The instruction retired; execution continues.
+    Continue,
+    /// The program halted (`ecall`/`ebreak`).
+    Halted(ExitReason),
+}
+
+/// Extra latency of the serial divider beyond the base cycle.
+///
+/// RI5CY's divider takes 2–32 cycles depending on operand magnitude; the
+/// kernels never divide in hot loops, so a flat worst-case cost keeps the
+/// model simple without influencing any reported number.
+const DIV_EXTRA_CYCLES: u64 = 31;
+
+/// Extra latency of the `mulh*` high-half multiplies (RI5CY: 5 cycles).
+const MULH_EXTRA_CYCLES: u64 = 4;
+
+/// The simulated machine: core + memory + loaded program + statistics.
+///
+/// See the [crate docs](crate) for the timing model. Construct with
+/// [`Machine::new`], load a [`Program`] and data, then [`run`](Self::run).
+#[derive(Debug)]
+pub struct Machine {
+    core: Core,
+    mem: Memory,
+    program: Program,
+    stats: Stats,
+    /// Destination of the immediately preceding load, for the load-use
+    /// stall rule, with the mnemonic the stall is attributed to.
+    pending_load: Option<(Reg, &'static str)>,
+    /// SPR writes in flight: (instruction index at issue, SPR index, data).
+    spr_pending: VecDeque<(u64, usize, u32)>,
+    halted: Option<ExitReason>,
+}
+
+impl Machine {
+    /// Creates a machine with `mem_size` bytes of zeroed TCDM and no
+    /// program.
+    pub fn new(mem_size: usize) -> Self {
+        Self {
+            core: Core::new(0),
+            mem: Memory::new(mem_size),
+            program: Program::default(),
+            stats: Stats::new(),
+            pending_load: None,
+            spr_pending: VecDeque::new(),
+            halted: None,
+        }
+    }
+
+    /// Loads a program and resets the core to its entry point.
+    ///
+    /// Memory contents and accumulated statistics are preserved, so data
+    /// can be staged before or after loading code.
+    pub fn load_program(&mut self, program: &Program) {
+        self.program = program.clone();
+        self.reset_core();
+    }
+
+    /// Resets the architectural core state (PC to program entry, registers
+    /// and micro-architectural state cleared). Memory and statistics are
+    /// untouched.
+    pub fn reset_core(&mut self) {
+        self.core = Core::new(self.program.entry());
+        self.pending_load = None;
+        self.spr_pending.clear();
+        self.halted = None;
+    }
+
+    /// The architectural state.
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Mutable architectural state (e.g. to pass kernel arguments in
+    /// registers before running).
+    pub fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
+    /// The data memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable data memory (for staging inputs and reading back outputs).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Execution statistics accumulated so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The decoded instruction at `addr`, if the loaded program has one.
+    pub fn fetch_instr(&self, addr: u32) -> Option<Instr> {
+        self.program.fetch(addr).map(|item| item.instr)
+    }
+
+    /// Clears the accumulated statistics.
+    pub fn clear_stats(&mut self) {
+        self.stats.clear();
+    }
+
+    /// Runs until the program halts via `ecall`/`ebreak`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Watchdog`] if `max_cycles` elapse first, or any
+    /// fetch/memory error raised by the program.
+    pub fn run(&mut self, max_cycles: u64) -> Result<ExitReason, SimError> {
+        loop {
+            match self.step()? {
+                StepOutcome::Halted(reason) => return Ok(reason),
+                StepOutcome::Continue => {
+                    if self.core.cycle > max_cycles {
+                        return Err(SimError::Watchdog { max_cycles });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Fetch faults, memory faults, or hardware-loop misconfiguration.
+    pub fn step(&mut self) -> Result<StepOutcome, SimError> {
+        if let Some(reason) = self.halted {
+            return Ok(StepOutcome::Halted(reason));
+        }
+
+        // SPR writes issued two or more instructions ago become visible.
+        while let Some(&(issued, idx, value)) = self.spr_pending.front() {
+            if issued + 2 <= self.core.instret {
+                self.core.spr[idx] = value;
+                self.spr_pending.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        let pc = self.core.pc;
+        let item = *self.program.fetch(pc).ok_or(SimError::FetchFault { pc })?;
+        let instr = item.instr;
+        let size = item.size as u32;
+
+        // Load-use stall: one bubble, charged to the producing load.
+        if let Some((reg, mnemonic)) = self.pending_load.take() {
+            if instr.uses().contains(reg) {
+                self.stats.attribute_stall(mnemonic);
+                self.core.cycle += 1;
+            }
+        }
+
+        let mut next_pc = pc.wrapping_add(size);
+        let mut extra_cycles: u64 = 0;
+        let mut redirected = false;
+        let mut halted = None;
+
+        macro_rules! take_branch {
+            ($target:expr) => {{
+                next_pc = $target;
+                extra_cycles += 1;
+                redirected = true;
+            }};
+        }
+
+        match instr {
+            Instr::Lui { rd, imm20 } => {
+                self.core.set_reg(rd, (imm20 as u32) << 12);
+            }
+            Instr::Auipc { rd, imm20 } => {
+                self.core.set_reg(rd, pc.wrapping_add((imm20 as u32) << 12));
+            }
+            Instr::Jal { rd, offset } => {
+                self.core.set_reg(rd, pc.wrapping_add(size));
+                take_branch!(pc.wrapping_add(offset as u32));
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = self.core.reg(rs1).wrapping_add(offset as u32) & !1;
+                self.core.set_reg(rd, pc.wrapping_add(size));
+                take_branch!(target);
+            }
+            Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let a = self.core.reg(rs1);
+                let b = self.core.reg(rs2);
+                let taken = match op {
+                    BranchOp::Beq => a == b,
+                    BranchOp::Bne => a != b,
+                    BranchOp::Blt => (a as i32) < (b as i32),
+                    BranchOp::Bge => (a as i32) >= (b as i32),
+                    BranchOp::Bltu => a < b,
+                    BranchOp::Bgeu => a >= b,
+                };
+                if taken {
+                    take_branch!(pc.wrapping_add(offset as u32));
+                }
+            }
+            Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.core.reg(rs1).wrapping_add(offset as u32);
+                let value = self.load_value(op, addr)?;
+                self.core.set_reg(rd, value);
+                if !rd.is_zero() {
+                    self.pending_load = Some((rd, instr.mnemonic()));
+                }
+            }
+            Instr::LoadPostInc {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.core.reg(rs1);
+                let value = self.load_value(op, addr)?;
+                self.core.set_reg(rs1, addr.wrapping_add(offset as u32));
+                self.core.set_reg(rd, value);
+                if !rd.is_zero() {
+                    self.pending_load = Some((rd, instr.mnemonic()));
+                }
+            }
+            Instr::LoadReg { op, rd, rs1, rs2 } => {
+                let addr = self.core.reg(rs1).wrapping_add(self.core.reg(rs2));
+                let value = self.load_value(op, addr)?;
+                self.core.set_reg(rd, value);
+                if !rd.is_zero() {
+                    self.pending_load = Some((rd, instr.mnemonic()));
+                }
+            }
+            Instr::Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let addr = self.core.reg(rs1).wrapping_add(offset as u32);
+                self.store_value(op, addr, self.core.reg(rs2))?;
+            }
+            Instr::StorePostInc {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let addr = self.core.reg(rs1);
+                self.store_value(op, addr, self.core.reg(rs2))?;
+                self.core.set_reg(rs1, addr.wrapping_add(offset as u32));
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let a = self.core.reg(rs1);
+                let v = match op {
+                    AluImmOp::Addi => a.wrapping_add(imm as u32),
+                    AluImmOp::Slti => ((a as i32) < imm) as u32,
+                    AluImmOp::Sltiu => (a < imm as u32) as u32,
+                    AluImmOp::Xori => a ^ imm as u32,
+                    AluImmOp::Ori => a | imm as u32,
+                    AluImmOp::Andi => a & imm as u32,
+                    AluImmOp::Slli => a << (imm & 0x1F),
+                    AluImmOp::Srli => a >> (imm & 0x1F),
+                    AluImmOp::Srai => ((a as i32) >> (imm & 0x1F)) as u32,
+                };
+                self.core.set_reg(rd, v);
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let a = self.core.reg(rs1);
+                let b = self.core.reg(rs2);
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Sll => a << (b & 0x1F),
+                    AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+                    AluOp::Sltu => (a < b) as u32,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Srl => a >> (b & 0x1F),
+                    AluOp::Sra => ((a as i32) >> (b & 0x1F)) as u32,
+                    AluOp::Or => a | b,
+                    AluOp::And => a & b,
+                };
+                self.core.set_reg(rd, v);
+            }
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                let a = self.core.reg(rs1);
+                let b = self.core.reg(rs2);
+                let v = match op {
+                    MulDivOp::Mul => a.wrapping_mul(b),
+                    MulDivOp::Mulh => {
+                        extra_cycles += MULH_EXTRA_CYCLES;
+                        ((a as i32 as i64 * b as i32 as i64) >> 32) as u32
+                    }
+                    MulDivOp::Mulhsu => {
+                        extra_cycles += MULH_EXTRA_CYCLES;
+                        ((a as i32 as i64 * b as u64 as i64) >> 32) as u32
+                    }
+                    MulDivOp::Mulhu => {
+                        extra_cycles += MULH_EXTRA_CYCLES;
+                        ((a as u64 * b as u64) >> 32) as u32
+                    }
+                    MulDivOp::Div => {
+                        extra_cycles += DIV_EXTRA_CYCLES;
+                        match (a as i32, b as i32) {
+                            (_, 0) => u32::MAX,
+                            (i32::MIN, -1) => i32::MIN as u32,
+                            (x, y) => x.wrapping_div(y) as u32,
+                        }
+                    }
+                    MulDivOp::Divu => {
+                        extra_cycles += DIV_EXTRA_CYCLES;
+                        // RISC-V defines x/0 = all-ones (no trap).
+                        a.checked_div(b).unwrap_or(u32::MAX)
+                    }
+                    MulDivOp::Rem => {
+                        extra_cycles += DIV_EXTRA_CYCLES;
+                        match (a as i32, b as i32) {
+                            (x, 0) => x as u32,
+                            (i32::MIN, -1) => 0,
+                            (x, y) => x.wrapping_rem(y) as u32,
+                        }
+                    }
+                    MulDivOp::Remu => {
+                        extra_cycles += DIV_EXTRA_CYCLES;
+                        if b == 0 {
+                            a
+                        } else {
+                            a % b
+                        }
+                    }
+                };
+                self.core.set_reg(rd, v);
+            }
+            Instr::Fence => {}
+            Instr::Ecall => halted = Some(ExitReason::Ecall),
+            Instr::Ebreak => halted = Some(ExitReason::Ebreak),
+            Instr::Csr { op, rd, rs1, csr } => {
+                let old = self.read_csr(csr);
+                // Counter CSRs are read-only in this model; writes are
+                // accepted and discarded.
+                let _ = (op, rs1);
+                self.core.set_reg(rd, old);
+                if matches!(op, CsrOp::Csrrw | CsrOp::Csrrs | CsrOp::Csrrc) {
+                    // No writable CSR state is modelled.
+                }
+            }
+            Instr::LpStarti { l, uimm } => {
+                self.core.hwloop[l.index()].start = pc.wrapping_add(2 * uimm);
+            }
+            Instr::LpEndi { l, uimm } => {
+                self.core.hwloop[l.index()].end = pc.wrapping_add(2 * uimm);
+            }
+            Instr::LpCount { l, rs1 } => {
+                self.core.hwloop[l.index()].count = self.core.reg(rs1);
+            }
+            Instr::LpCounti { l, uimm } => {
+                self.core.hwloop[l.index()].count = uimm;
+            }
+            Instr::LpSetup { l, rs1, uimm } => {
+                let count = self.core.reg(rs1);
+                let lp = &mut self.core.hwloop[l.index()];
+                lp.start = pc.wrapping_add(4);
+                lp.end = pc.wrapping_add(2 * uimm);
+                lp.count = count;
+                if lp.count > 0 && lp.start >= lp.end {
+                    return Err(SimError::BadHwLoop { level: l.index() });
+                }
+            }
+            Instr::LpSetupi { l, count, uimm } => {
+                let lp = &mut self.core.hwloop[l.index()];
+                lp.start = pc.wrapping_add(4);
+                lp.end = pc.wrapping_add(2 * uimm);
+                lp.count = count;
+                if lp.count > 0 && lp.start >= lp.end {
+                    return Err(SimError::BadHwLoop { level: l.index() });
+                }
+            }
+            Instr::Mac { rd, rs1, rs2 } => {
+                let v = self.core.reg(rd).wrapping_add(
+                    (self.core.reg_i32(rs1).wrapping_mul(self.core.reg_i32(rs2))) as u32,
+                );
+                self.core.set_reg(rd, v);
+            }
+            Instr::Msu { rd, rs1, rs2 } => {
+                let v = self.core.reg(rd).wrapping_sub(
+                    (self.core.reg_i32(rs1).wrapping_mul(self.core.reg_i32(rs2))) as u32,
+                );
+                self.core.set_reg(rd, v);
+            }
+            Instr::Clip { rd, rs1, bits } => {
+                let b = bits.clamp(1, 32) as u32;
+                let (lo, hi) = if b == 32 {
+                    (i32::MIN as i64, i32::MAX as i64)
+                } else {
+                    (-(1i64 << (b - 1)), (1i64 << (b - 1)) - 1)
+                };
+                let v = (self.core.reg_i32(rs1) as i64).clamp(lo, hi);
+                self.core.set_reg(rd, v as i32 as u32);
+            }
+            Instr::ClipU { rd, rs1, bits } => {
+                let b = bits.clamp(1, 32) as u32;
+                let hi = if b == 32 {
+                    i32::MAX as i64
+                } else {
+                    (1i64 << (b - 1)) - 1
+                };
+                let v = (self.core.reg_i32(rs1) as i64).clamp(0, hi);
+                self.core.set_reg(rd, v as i32 as u32);
+            }
+            Instr::ExtHs { rd, rs1 } => {
+                self.core
+                    .set_reg(rd, self.core.reg(rs1) as u16 as i16 as i32 as u32);
+            }
+            Instr::ExtHz { rd, rs1 } => {
+                self.core.set_reg(rd, self.core.reg(rs1) & 0xFFFF);
+            }
+            Instr::ExtBs { rd, rs1 } => {
+                self.core
+                    .set_reg(rd, self.core.reg(rs1) as u8 as i8 as i32 as u32);
+            }
+            Instr::ExtBz { rd, rs1 } => {
+                self.core.set_reg(rd, self.core.reg(rs1) & 0xFF);
+            }
+            Instr::PAbs { rd, rs1 } => {
+                self.core
+                    .set_reg(rd, self.core.reg_i32(rs1).wrapping_abs() as u32);
+            }
+            Instr::PMin { rd, rs1, rs2 } => {
+                self.core.set_reg(
+                    rd,
+                    self.core.reg_i32(rs1).min(self.core.reg_i32(rs2)) as u32,
+                );
+            }
+            Instr::Ff1 { rd, rs1 } => {
+                let v = self.core.reg(rs1);
+                self.core
+                    .set_reg(rd, if v == 0 { 32 } else { v.trailing_zeros() });
+            }
+            Instr::Fl1 { rd, rs1 } => {
+                let v = self.core.reg(rs1);
+                self.core
+                    .set_reg(rd, if v == 0 { 32 } else { 31 - v.leading_zeros() });
+            }
+            Instr::Cnt { rd, rs1 } => {
+                self.core.set_reg(rd, self.core.reg(rs1).count_ones());
+            }
+            Instr::Clb { rd, rs1 } => {
+                let v = self.core.reg(rs1);
+                // Count of leading bits equal to the sign bit, minus one
+                // (redundant sign bits); zero input yields 0 per RI5CY.
+                let r = if v == 0 {
+                    0
+                } else if (v as i32) < 0 {
+                    (!v).leading_zeros() - 1
+                } else {
+                    v.leading_zeros() - 1
+                };
+                self.core.set_reg(rd, r);
+            }
+            Instr::Ror { rd, rs1, rs2 } => {
+                let amount = self.core.reg(rs2) & 31;
+                self.core
+                    .set_reg(rd, self.core.reg(rs1).rotate_right(amount));
+            }
+            Instr::PMax { rd, rs1, rs2 } => {
+                self.core.set_reg(
+                    rd,
+                    self.core.reg_i32(rs1).max(self.core.reg_i32(rs2)) as u32,
+                );
+            }
+            Instr::PvAlu {
+                op,
+                size,
+                mode,
+                rd,
+                rs1,
+                rs2,
+            } => {
+                let a = self.core.reg(rs1);
+                let b = self.simd_operand(size, mode, rs2);
+                let v = exec_pv_alu(op, size, a, b);
+                self.core.set_reg(rd, v);
+            }
+            Instr::PvDot {
+                op,
+                size,
+                rd,
+                rs1,
+                rs2,
+            } => {
+                let a = self.core.reg(rs1);
+                let b = self.core.reg(rs2);
+                let dot = exec_dot(op, size, a, b);
+                let v = if op.accumulates() {
+                    self.core.reg(rd).wrapping_add(dot)
+                } else {
+                    dot
+                };
+                self.core.set_reg(rd, v);
+            }
+            Instr::PlSdotsp {
+                spr,
+                size,
+                rd,
+                rs1,
+                rs2,
+            } => {
+                // MAC with the weight currently in SPR[spr]...
+                let w = self.core.spr[spr as usize & 1];
+                let x = self.core.reg(rs2);
+                let dot = exec_dot(DotOp::SdotSp, size, w, x);
+                let acc = self.core.reg(rd).wrapping_add(dot);
+                // ...while the LSU fetches the next weight into the same
+                // SPR (visible two instructions later) and post-increments
+                // the stream pointer.
+                let addr = self.core.reg(rs1);
+                let value = self.mem.read_u32(addr)?;
+                self.spr_pending
+                    .push_back((self.core.instret, spr as usize & 1, value));
+                self.core.set_reg(rd, acc);
+                self.core.set_reg(rs1, addr.wrapping_add(4));
+            }
+            Instr::PlTanh { rd, rs1 } => {
+                let x = rnnasip_fixed::Q3p12::from_raw(self.core.reg(rs1) as u16 as i16);
+                self.core
+                    .set_reg(rd, rnnasip_fixed::hw_tanh(x).raw() as i32 as u32);
+            }
+            Instr::PlSig { rd, rs1 } => {
+                let x = rnnasip_fixed::Q3p12::from_raw(self.core.reg(rs1) as u16 as i16);
+                self.core
+                    .set_reg(rd, rnnasip_fixed::hw_sig(x).raw() as i32 as u32);
+            }
+        }
+
+        // Hardware loops: zero-cycle jump-back when the fall-through PC
+        // reaches an armed loop's end. Inner loop (level 0) has priority.
+        if !redirected && halted.is_none() {
+            for level in 0..2 {
+                let lp = &mut self.core.hwloop[level];
+                if lp.count > 0 && next_pc == lp.end {
+                    if lp.count > 1 {
+                        lp.count -= 1;
+                        next_pc = lp.start;
+                        break;
+                    }
+                    // Inner loop expired: fall through so an outer loop
+                    // sharing the same end address gets its jump-back.
+                    lp.count = 0;
+                }
+            }
+        }
+
+        let cycles = 1 + extra_cycles;
+        self.stats.record(instr.mnemonic(), cycles, instr.mac_ops());
+        self.core.cycle += cycles;
+        self.core.instret += 1;
+        self.core.pc = next_pc;
+
+        if let Some(reason) = halted {
+            self.halted = Some(reason);
+            return Ok(StepOutcome::Halted(reason));
+        }
+        Ok(StepOutcome::Continue)
+    }
+
+    fn load_value(&mut self, op: LoadOp, addr: u32) -> Result<u32, SimError> {
+        Ok(match op {
+            LoadOp::Lb => self.mem.read_u8(addr)? as i8 as i32 as u32,
+            LoadOp::Lbu => self.mem.read_u8(addr)? as u32,
+            LoadOp::Lh => self.mem.read_u16(addr)? as i16 as i32 as u32,
+            LoadOp::Lhu => self.mem.read_u16(addr)? as u32,
+            LoadOp::Lw => self.mem.read_u32(addr)?,
+        })
+    }
+
+    fn store_value(&mut self, op: StoreOp, addr: u32, value: u32) -> Result<(), SimError> {
+        match op {
+            StoreOp::Sb => self.mem.write_u8(addr, value as u8),
+            StoreOp::Sh => self.mem.write_u16(addr, value as u16),
+            StoreOp::Sw => self.mem.write_u32(addr, value),
+        }
+    }
+
+    /// Second SIMD operand after mode resolution (vector / replicated
+    /// scalar / replicated immediate).
+    fn simd_operand(&self, size: SimdSize, mode: SimdMode, rs2: Reg) -> u32 {
+        match mode {
+            SimdMode::Vv => self.core.reg(rs2),
+            SimdMode::Sc => {
+                let r = self.core.reg(rs2);
+                match size {
+                    SimdSize::Half => {
+                        let h = r & 0xFFFF;
+                        h | (h << 16)
+                    }
+                    SimdSize::Byte => {
+                        let b = r & 0xFF;
+                        b | (b << 8) | (b << 16) | (b << 24)
+                    }
+                }
+            }
+            SimdMode::Sci(imm) => match size {
+                SimdSize::Half => {
+                    let h = imm as i16 as u16 as u32;
+                    h | (h << 16)
+                }
+                SimdSize::Byte => {
+                    let b = imm as u8 as u32;
+                    b | (b << 8) | (b << 16) | (b << 24)
+                }
+            },
+        }
+    }
+
+    fn read_csr(&self, csr: Csr) -> u32 {
+        match csr {
+            Csr::Mcycle => self.core.cycle as u32,
+            Csr::Mcycleh => (self.core.cycle >> 32) as u32,
+            Csr::Minstret => self.core.instret as u32,
+            Csr::Minstreth => (self.core.instret >> 32) as u32,
+            Csr::LpStart0 => self.core.hwloop[0].start,
+            Csr::LpEnd0 => self.core.hwloop[0].end,
+            Csr::LpCount0 => self.core.hwloop[0].count,
+            Csr::LpStart1 => self.core.hwloop[1].start,
+            Csr::LpEnd1 => self.core.hwloop[1].end,
+            Csr::LpCount1 => self.core.hwloop[1].count,
+            Csr::Other(_) => 0,
+        }
+    }
+}
+
+/// Lane-wise SIMD ALU semantics on packed registers.
+fn exec_pv_alu(op: PvAluOp, size: SimdSize, a: u32, b: u32) -> u32 {
+    match size {
+        SimdSize::Half => {
+            let la = [(a & 0xFFFF) as u16 as i16, (a >> 16) as u16 as i16];
+            let lb = [(b & 0xFFFF) as u16 as i16, (b >> 16) as u16 as i16];
+            let mut out = [0i16; 2];
+            for i in 0..2 {
+                out[i] = pv_lane_op_h(op, la[i], lb[i]);
+            }
+            (out[0] as u16 as u32) | ((out[1] as u16 as u32) << 16)
+        }
+        SimdSize::Byte => {
+            let la = a.to_le_bytes().map(|x| x as i8);
+            let lb = b.to_le_bytes().map(|x| x as i8);
+            let mut out = [0u8; 4];
+            for i in 0..4 {
+                out[i] = pv_lane_op_b(op, la[i], lb[i]) as u8;
+            }
+            u32::from_le_bytes(out)
+        }
+    }
+}
+
+fn pv_lane_op_h(op: PvAluOp, a: i16, b: i16) -> i16 {
+    match op {
+        PvAluOp::Add => a.wrapping_add(b),
+        PvAluOp::Sub => a.wrapping_sub(b),
+        PvAluOp::Avg => ((a as i32 + b as i32) >> 1) as i16,
+        PvAluOp::Min => a.min(b),
+        PvAluOp::Max => a.max(b),
+        PvAluOp::Srl => ((a as u16) >> (b as u16 & 0xF)) as i16,
+        PvAluOp::Sra => a >> (b as u16 & 0xF),
+        PvAluOp::Sll => ((a as u16) << (b as u16 & 0xF)) as i16,
+        PvAluOp::Or => a | b,
+        PvAluOp::Xor => a ^ b,
+        PvAluOp::And => a & b,
+        PvAluOp::Abs => a.wrapping_abs(),
+    }
+}
+
+fn pv_lane_op_b(op: PvAluOp, a: i8, b: i8) -> i8 {
+    match op {
+        PvAluOp::Add => a.wrapping_add(b),
+        PvAluOp::Sub => a.wrapping_sub(b),
+        PvAluOp::Avg => ((a as i32 + b as i32) >> 1) as i8,
+        PvAluOp::Min => a.min(b),
+        PvAluOp::Max => a.max(b),
+        PvAluOp::Srl => ((a as u8) >> (b as u8 & 0x7)) as i8,
+        PvAluOp::Sra => a >> (b as u8 & 0x7),
+        PvAluOp::Sll => ((a as u8) << (b as u8 & 0x7)) as i8,
+        PvAluOp::Or => a | b,
+        PvAluOp::Xor => a ^ b,
+        PvAluOp::And => a & b,
+        PvAluOp::Abs => a.wrapping_abs(),
+    }
+}
+
+/// Dot-product semantics: the *fresh* dot value, before any accumulation.
+fn exec_dot(op: DotOp, size: SimdSize, a: u32, b: u32) -> u32 {
+    let (sign_a, sign_b) = match op {
+        DotOp::DotUp | DotOp::SdotUp => (false, false),
+        DotOp::DotUsp | DotOp::SdotUsp => (false, true),
+        DotOp::DotSp | DotOp::SdotSp => (true, true),
+    };
+    let lane = |word: u32, idx: u32, signed: bool, half: bool| -> i64 {
+        if half {
+            let raw = ((word >> (16 * idx)) & 0xFFFF) as u16;
+            if signed {
+                raw as i16 as i64
+            } else {
+                raw as i64
+            }
+        } else {
+            let raw = ((word >> (8 * idx)) & 0xFF) as u8;
+            if signed {
+                raw as i8 as i64
+            } else {
+                raw as i64
+            }
+        }
+    };
+    let lanes = match size {
+        SimdSize::Half => 2,
+        SimdSize::Byte => 4,
+    };
+    let half = matches!(size, SimdSize::Half);
+    let mut sum: i64 = 0;
+    for i in 0..lanes {
+        sum += lane(a, i, sign_a, half) * lane(b, i, sign_b, half);
+    }
+    sum as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnnasip_isa::LoopIdx;
+
+    fn addi(rd: Reg, rs1: Reg, imm: i32) -> Instr {
+        Instr::OpImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1,
+            imm,
+        }
+    }
+
+    fn run_prog(instrs: Vec<Instr>) -> Machine {
+        let prog = Program::from_instrs(0, instrs);
+        let mut m = Machine::new(4096);
+        m.load_program(&prog);
+        m.run(100_000).expect("program must halt");
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let m = run_prog(vec![
+            addi(Reg::A0, Reg::ZERO, 40),
+            addi(Reg::A1, Reg::ZERO, 2),
+            Instr::Op {
+                op: AluOp::Add,
+                rd: Reg::A2,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            },
+            Instr::Ecall,
+        ]);
+        assert_eq!(m.core().reg(Reg::A2), 42);
+        // 4 instructions, all single-cycle.
+        assert_eq!(m.stats().cycles(), 4);
+        assert_eq!(m.stats().instrs(), 4);
+    }
+
+    #[test]
+    fn taken_branch_costs_two_cycles() {
+        // beq zero, zero, +8 skips one addi.
+        let m = run_prog(vec![
+            Instr::Branch {
+                op: BranchOp::Beq,
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO,
+                offset: 8,
+            },
+            addi(Reg::A0, Reg::ZERO, 1), // skipped
+            Instr::Ecall,
+        ]);
+        assert_eq!(m.core().reg(Reg::A0), 0);
+        // branch (2) + ecall (1)
+        assert_eq!(m.stats().cycles(), 3);
+        assert_eq!(m.stats().instrs(), 2);
+    }
+
+    #[test]
+    fn untaken_branch_costs_one_cycle() {
+        let m = run_prog(vec![
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO,
+                offset: 8,
+            },
+            Instr::Ecall,
+        ]);
+        assert_eq!(m.stats().cycles(), 2);
+    }
+
+    #[test]
+    fn load_use_stall_attributed_to_load() {
+        let prog = Program::from_instrs(
+            0,
+            vec![
+                addi(Reg::A1, Reg::ZERO, 0x100),
+                Instr::Load {
+                    op: LoadOp::Lw,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    offset: 0,
+                },
+                addi(Reg::A0, Reg::A0, 1), // uses the loaded value: stall
+                Instr::Ecall,
+            ],
+        );
+        let mut m = Machine::new(4096);
+        m.mem_mut().write_u32(0x100, 41).unwrap();
+        m.load_program(&prog);
+        m.run(1000).unwrap();
+        assert_eq!(m.core().reg(Reg::A0), 42);
+        // addi(1) + lw(1+1 stall) + addi(1) + ecall(1) = 5
+        assert_eq!(m.stats().cycles(), 5);
+        assert_eq!(m.stats().row("lw").cycles, 2);
+        assert_eq!(m.stats().row("lw").instrs, 1);
+        assert_eq!(m.stats().stall_cycles(), 1);
+    }
+
+    #[test]
+    fn no_stall_with_intervening_instruction() {
+        let prog = Program::from_instrs(
+            0,
+            vec![
+                addi(Reg::A1, Reg::ZERO, 0x100),
+                Instr::Load {
+                    op: LoadOp::Lw,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    offset: 0,
+                },
+                addi(Reg::A2, Reg::ZERO, 7), // independent
+                addi(Reg::A0, Reg::A0, 1),
+                Instr::Ecall,
+            ],
+        );
+        let mut m = Machine::new(4096);
+        m.load_program(&prog);
+        m.run(1000).unwrap();
+        assert_eq!(m.stats().stall_cycles(), 0);
+    }
+
+    #[test]
+    fn hardware_loop_executes_count_times() {
+        // lp.setup with count in a0; body: addi a1, a1, 1 (4 bytes).
+        // uimm is in halfwords: end = pc + 2*uimm; body starts at pc+4 and
+        // is one instruction, so end = pc + 8 -> uimm = 4.
+        let m = run_prog(vec![
+            addi(Reg::A0, Reg::ZERO, 10),
+            Instr::LpSetup {
+                l: LoopIdx::L0,
+                rs1: Reg::A0,
+                uimm: 4,
+            },
+            addi(Reg::A1, Reg::A1, 1),
+            Instr::Ecall,
+        ]);
+        assert_eq!(m.core().reg(Reg::A1), 10);
+        // addi + lp.setup + 10 * body + ecall = 13 cycles, no loop overhead.
+        assert_eq!(m.stats().cycles(), 13);
+        assert_eq!(m.stats().instrs(), 13);
+    }
+
+    #[test]
+    fn nested_hardware_loops() {
+        // Outer loop L1 runs 3 times, inner loop L0 runs 4 times per outer
+        // iteration; body increments a2.
+        let m = run_prog(vec![
+            addi(Reg::A0, Reg::ZERO, 3),
+            addi(Reg::A1, Reg::ZERO, 4),
+            // lp.setup L1: body covers the inner lp.setup and the addi;
+            // both loops share the same end address (the canonical
+            // nesting pattern) and the inner level has priority.
+            Instr::LpSetup {
+                l: LoopIdx::L1,
+                rs1: Reg::A0,
+                uimm: 6,
+            },
+            Instr::LpSetup {
+                l: LoopIdx::L0,
+                rs1: Reg::A1,
+                uimm: 4,
+            },
+            addi(Reg::A2, Reg::A2, 1),
+            Instr::Ecall,
+        ]);
+        assert_eq!(m.core().reg(Reg::A2), 12);
+    }
+
+    #[test]
+    fn pl_sdotsp_merged_load_and_compute() {
+        // Weights at 0x200: pairs (1, 2) then (3, 4) in Q-raw units.
+        // Inputs: packed (10, 20) and (30, 40).
+        let mut m = Machine::new(4096);
+        let w = 0x200u32;
+        m.mem_mut().write_u16(w, 1).unwrap();
+        m.mem_mut().write_u16(w + 2, 2).unwrap();
+        m.mem_mut().write_u16(w + 4, 3).unwrap();
+        m.mem_mut().write_u16(w + 6, 4).unwrap();
+        let x0 = (10u32) | (20u32 << 16);
+        let x1 = (30u32) | (40u32 << 16);
+        let prog = Program::from_instrs(
+            0,
+            vec![
+                addi(Reg::A0, Reg::ZERO, 0x200), // weight pointer
+                // Preload SPR0 (discard MAC: rd = x0, rs2 = x0).
+                Instr::PlSdotsp {
+                    spr: 0,
+                    size: SimdSize::Half,
+                    rd: Reg::ZERO,
+                    rs1: Reg::A0,
+                    rs2: Reg::ZERO,
+                },
+                // a1 = first input pair; a2 = second input pair.
+                Instr::Lui {
+                    rd: Reg::A1,
+                    imm20: (x0 >> 12) as i32,
+                },
+                addi(Reg::A1, Reg::A1, (x0 & 0xFFF) as i32),
+                Instr::Lui {
+                    rd: Reg::A2,
+                    imm20: (x1 >> 12) as i32,
+                },
+                addi(Reg::A2, Reg::A2, (x1 & 0xFFF) as i32),
+                // acc += SPR0 . a1, reload SPR0 with next weights.
+                Instr::PlSdotsp {
+                    spr: 0,
+                    size: SimdSize::Half,
+                    rd: Reg::T0,
+                    rs1: Reg::A0,
+                    rs2: Reg::A1,
+                },
+                addi(Reg::ZERO, Reg::ZERO, 0), // spacer (SPR latency)
+                // acc += SPR0 . a2 with the reloaded weights.
+                Instr::PlSdotsp {
+                    spr: 0,
+                    size: SimdSize::Half,
+                    rd: Reg::T0,
+                    rs1: Reg::A0,
+                    rs2: Reg::A2,
+                },
+                Instr::Ecall,
+            ],
+        );
+        m.load_program(&prog);
+        m.run(1000).unwrap();
+        // 1*10 + 2*20 + 3*30 + 4*40 = 10 + 40 + 90 + 160 = 300
+        assert_eq!(m.core().reg(Reg::T0), 300);
+        // Weight pointer advanced by three loads of 4 bytes.
+        assert_eq!(m.core().reg(Reg::A0), 0x200 + 12);
+    }
+
+    #[test]
+    fn pl_tanh_matches_reference_unit() {
+        let x = rnnasip_fixed::Q3p12::from_f64(0.75);
+        let prog = Program::from_instrs(
+            0,
+            vec![
+                addi(Reg::A0, Reg::ZERO, x.raw() as i32),
+                Instr::PlTanh {
+                    rd: Reg::A1,
+                    rs1: Reg::A0,
+                },
+                Instr::PlSig {
+                    rd: Reg::A2,
+                    rs1: Reg::A0,
+                },
+                Instr::Ecall,
+            ],
+        );
+        let mut m = Machine::new(4096);
+        m.load_program(&prog);
+        m.run(1000).unwrap();
+        assert_eq!(
+            m.core().reg(Reg::A1) as u16 as i16,
+            rnnasip_fixed::hw_tanh(x).raw()
+        );
+        assert_eq!(
+            m.core().reg(Reg::A2) as u16 as i16,
+            rnnasip_fixed::hw_sig(x).raw()
+        );
+    }
+
+    #[test]
+    fn sdotsp_simd_semantics() {
+        // pv.sdotsp.h: acc += a0*b0 + a1*b1 with signed lanes.
+        let a = ((-3i16 as u16 as u32) << 16) | (2i16 as u16 as u32);
+        let b = ((5i16 as u16 as u32) << 16) | (7i16 as u16 as u32);
+        let dot = exec_dot(DotOp::SdotSp, SimdSize::Half, a, b);
+        assert_eq!(dot as i32, 2 * 7 + (-3) * 5);
+    }
+
+    #[test]
+    fn watchdog_fires_on_infinite_loop() {
+        let prog = Program::from_instrs(
+            0,
+            vec![Instr::Jal {
+                rd: Reg::ZERO,
+                offset: 0,
+            }],
+        );
+        let mut m = Machine::new(64);
+        m.load_program(&prog);
+        assert!(matches!(
+            m.run(100),
+            Err(SimError::Watchdog { max_cycles: 100 })
+        ));
+    }
+
+    #[test]
+    fn fetch_fault_on_stray_pc() {
+        let prog = Program::from_instrs(0, vec![addi(Reg::A0, Reg::ZERO, 1)]);
+        let mut m = Machine::new(64);
+        m.load_program(&prog);
+        m.step().unwrap();
+        // Next fetch is past the program end.
+        assert!(matches!(m.step(), Err(SimError::FetchFault { pc: 4 })));
+    }
+
+    #[test]
+    fn mcycle_csr_reads_cycle_counter() {
+        let m = run_prog(vec![
+            addi(Reg::A0, Reg::ZERO, 1),
+            addi(Reg::A0, Reg::ZERO, 1),
+            Instr::Csr {
+                op: CsrOp::Csrrs,
+                rd: Reg::A1,
+                rs1: Reg::ZERO,
+                csr: Csr::Mcycle,
+            },
+            Instr::Ecall,
+        ]);
+        // Two addi retired before the CSR read.
+        assert_eq!(m.core().reg(Reg::A1), 2);
+    }
+}

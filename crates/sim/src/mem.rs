@@ -1,0 +1,209 @@
+//! The tightly-coupled data memory (TCDM).
+
+use crate::error::SimError;
+use rnnasip_fixed::Q3p12;
+
+/// Byte-addressable, little-endian data memory with single-cycle access.
+///
+/// RI5CY-class cores sit next to a TCDM with deterministic single-cycle
+/// latency; there is no cache model. Accesses are bounds-checked and must
+/// be naturally aligned — the optimized kernels never issue misaligned
+/// accesses, so an unaligned address indicates a code-generation bug and
+/// is reported as an error rather than silently split into two accesses.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_sim::Memory;
+///
+/// let mut mem = Memory::new(1024);
+/// mem.write_u32(0x10, 0xDEAD_BEEF)?;
+/// assert_eq!(mem.read_u16(0x10)?, 0xBEEF);
+/// # Ok::<(), rnnasip_sim::SimError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a zero-initialised memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Self {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Memory size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn check(&self, addr: u32, size: u32) -> Result<usize, SimError> {
+        let a = addr as usize;
+        if !a.is_multiple_of(size as usize) {
+            return Err(SimError::Misaligned { addr, size });
+        }
+        if a + size as usize > self.bytes.len() {
+            return Err(SimError::MemOutOfBounds { addr, size });
+        }
+        Ok(a)
+    }
+
+    /// Reads a byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemOutOfBounds`] past the end of memory.
+    pub fn read_u8(&self, addr: u32) -> Result<u8, SimError> {
+        let a = self.check(addr, 1)?;
+        Ok(self.bytes[a])
+    }
+
+    /// Reads a little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Misaligned`] for odd addresses,
+    /// [`SimError::MemOutOfBounds`] past the end of memory.
+    pub fn read_u16(&self, addr: u32) -> Result<u16, SimError> {
+        let a = self.check(addr, 2)?;
+        Ok(u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]))
+    }
+
+    /// Reads a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Misaligned`] / [`SimError::MemOutOfBounds`].
+    pub fn read_u32(&self, addr: u32) -> Result<u32, SimError> {
+        let a = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes([
+            self.bytes[a],
+            self.bytes[a + 1],
+            self.bytes[a + 2],
+            self.bytes[a + 3],
+        ]))
+    }
+
+    /// Writes a byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemOutOfBounds`] past the end of memory.
+    pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), SimError> {
+        let a = self.check(addr, 1)?;
+        self.bytes[a] = value;
+        Ok(())
+    }
+
+    /// Writes a little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Misaligned`] / [`SimError::MemOutOfBounds`].
+    pub fn write_u16(&mut self, addr: u32, value: u16) -> Result<(), SimError> {
+        let a = self.check(addr, 2)?;
+        self.bytes[a..a + 2].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Misaligned`] / [`SimError::MemOutOfBounds`].
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        let a = self.check(addr, 4)?;
+        self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a slice of Q3.12 values as consecutive halfwords.
+    ///
+    /// This is the layout every kernel expects: element `k` at
+    /// `addr + 2k`, so a `lw` pulls elements `2k` and `2k+1` into the two
+    /// `v2s` lanes.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Misaligned`] / [`SimError::MemOutOfBounds`].
+    pub fn write_q3p12_slice(&mut self, addr: u32, values: &[Q3p12]) -> Result<(), SimError> {
+        for (k, v) in values.iter().enumerate() {
+            self.write_u16(addr + 2 * k as u32, v.raw() as u16)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` consecutive Q3.12 halfwords.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Misaligned`] / [`SimError::MemOutOfBounds`].
+    pub fn read_q3p12_slice(&self, addr: u32, len: usize) -> Result<Vec<Q3p12>, SimError> {
+        (0..len)
+            .map(|k| {
+                self.read_u16(addr + 2 * k as u32)
+                    .map(|h| Q3p12::from_raw(h as i16))
+            })
+            .collect()
+    }
+
+    /// Fills the whole memory with zeros.
+    pub fn clear(&mut self) {
+        self.bytes.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_layout() {
+        let mut mem = Memory::new(64);
+        mem.write_u32(0, 0x0403_0201).unwrap();
+        assert_eq!(mem.read_u8(0).unwrap(), 0x01);
+        assert_eq!(mem.read_u8(3).unwrap(), 0x04);
+        assert_eq!(mem.read_u16(2).unwrap(), 0x0403);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mem = Memory::new(16);
+        assert!(matches!(
+            mem.read_u32(16),
+            Err(SimError::MemOutOfBounds { .. })
+        ));
+        assert!(matches!(mem.read_u32(14), Err(SimError::Misaligned { .. })));
+        assert!(mem.read_u16(14).is_ok());
+    }
+
+    #[test]
+    fn misalignment_is_an_error() {
+        let mut mem = Memory::new(64);
+        assert!(matches!(
+            mem.write_u16(1, 7),
+            Err(SimError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            mem.write_u32(2, 7),
+            Err(SimError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn q3p12_slice_round_trip() {
+        let mut mem = Memory::new(64);
+        let vals: Vec<Q3p12> = [-1.0, 0.5, 7.75, -8.0]
+            .iter()
+            .map(|&v| Q3p12::from_f64(v))
+            .collect();
+        mem.write_q3p12_slice(8, &vals).unwrap();
+        assert_eq!(mem.read_q3p12_slice(8, 4).unwrap(), vals);
+        // Packed pair view: element 0 in the low half of the word.
+        let word = mem.read_u32(8).unwrap();
+        assert_eq!(word as u16 as i16, vals[0].raw());
+        assert_eq!((word >> 16) as u16 as i16, vals[1].raw());
+    }
+}

@@ -1,0 +1,226 @@
+//! Loadable program images.
+
+use rnnasip_isa::{compress, decode, decode_compressed, is_compressed, DecodeError, Instr};
+use std::collections::HashMap;
+
+/// One placed instruction of a [`Program`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProgItem {
+    /// Byte address of the instruction.
+    pub addr: u32,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Encoded size in bytes: 2 (compressed) or 4.
+    pub size: u8,
+}
+
+/// A program image: decoded instructions placed at byte addresses.
+///
+/// The simulator fetches directly from this decoded representation (the
+/// core has a deterministic instruction memory; modelling fetch bytes
+/// would add nothing to the paper's evaluation). The *encoded* form is
+/// still available — see [`Program::to_bytes`] — and
+/// [`Program::from_bytes`] round-trips it, which the integration tests
+/// exercise.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_isa::{AluImmOp, Instr, Reg};
+/// use rnnasip_sim::Program;
+///
+/// let prog = Program::from_instrs(0x100, [
+///     Instr::OpImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::ZERO, imm: 1 },
+///     Instr::Ecall,
+/// ]);
+/// assert_eq!(prog.entry(), 0x100);
+/// assert_eq!(prog.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    base: u32,
+    items: Vec<ProgItem>,
+    by_addr: HashMap<u32, u32>,
+    cursor: u32,
+}
+
+impl Program {
+    /// Creates an empty program whose first instruction will be at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not halfword-aligned.
+    pub fn new(base: u32) -> Self {
+        assert!(
+            base.is_multiple_of(2),
+            "program base must be halfword-aligned"
+        );
+        Self {
+            base,
+            items: Vec::new(),
+            by_addr: HashMap::new(),
+            cursor: base,
+        }
+    }
+
+    /// Builds a program of uncompressed (4-byte) instructions.
+    pub fn from_instrs<I: IntoIterator<Item = Instr>>(base: u32, instrs: I) -> Self {
+        let mut p = Self::new(base);
+        for i in instrs {
+            p.push(i, 4);
+        }
+        p
+    }
+
+    /// Appends an instruction with the given encoded size (2 or 4 bytes)
+    /// and returns its address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 2 or 4.
+    pub fn push(&mut self, instr: Instr, size: u8) -> u32 {
+        assert!(size == 2 || size == 4, "instruction size must be 2 or 4");
+        let addr = self.cursor;
+        self.by_addr.insert(addr, self.items.len() as u32);
+        self.items.push(ProgItem { addr, instr, size });
+        self.cursor += size as u32;
+        addr
+    }
+
+    /// Entry point (the base address).
+    pub fn entry(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// First address past the last instruction.
+    pub fn end(&self) -> u32 {
+        self.cursor
+    }
+
+    /// Total encoded code size in bytes (the paper's code-size metric).
+    pub fn code_size(&self) -> u32 {
+        self.cursor - self.base
+    }
+
+    /// Fetches the instruction at `addr`, if one starts there.
+    pub fn fetch(&self, addr: u32) -> Option<&ProgItem> {
+        self.by_addr.get(&addr).map(|&i| &self.items[i as usize])
+    }
+
+    /// Iterates the placed instructions in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &ProgItem> {
+        self.items.iter()
+    }
+
+    /// Encodes the program to its binary image (little-endian), starting
+    /// at the base address.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.code_size() as usize);
+        for item in &self.items {
+            match item.size {
+                2 => {
+                    let half =
+                        compress(&item.instr).expect("2-byte item must have a compressed form");
+                    out.extend_from_slice(&half.to_le_bytes());
+                }
+                _ => {
+                    out.extend_from_slice(&rnnasip_isa::encode(&item.instr).to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a binary image back into a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecodeError`] encountered. A trailing lone
+    /// halfword that is not a compressed instruction is also an error.
+    pub fn from_bytes(base: u32, bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut p = Self::new(base);
+        let mut off = 0usize;
+        while off + 1 < bytes.len() {
+            let half = u16::from_le_bytes([bytes[off], bytes[off + 1]]);
+            if is_compressed(half) {
+                p.push(decode_compressed(half)?, 2);
+                off += 2;
+            } else {
+                if off + 3 >= bytes.len() {
+                    return Err(DecodeError {
+                        word: half as u32,
+                        reason: "truncated 32-bit instruction",
+                    });
+                }
+                let word = u32::from_le_bytes([
+                    bytes[off],
+                    bytes[off + 1],
+                    bytes[off + 2],
+                    bytes[off + 3],
+                ]);
+                p.push(decode(word)?, 4);
+                off += 4;
+            }
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnnasip_isa::{AluImmOp, Reg};
+
+    fn addi(rd: Reg, rs1: Reg, imm: i32) -> Instr {
+        Instr::OpImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1,
+            imm,
+        }
+    }
+
+    #[test]
+    fn addresses_advance_by_size() {
+        let mut p = Program::new(0x80);
+        let a0 = p.push(addi(Reg::A0, Reg::A0, 1), 2);
+        let a1 = p.push(addi(Reg::A0, Reg::A0, 1000), 4);
+        let a2 = p.push(Instr::Ecall, 4);
+        assert_eq!((a0, a1, a2), (0x80, 0x82, 0x86));
+        assert_eq!(p.end(), 0x8A);
+        assert_eq!(p.code_size(), 10);
+    }
+
+    #[test]
+    fn fetch_finds_only_instruction_starts() {
+        let p = Program::from_instrs(0, [addi(Reg::A0, Reg::A0, 1), Instr::Ecall]);
+        assert!(p.fetch(0).is_some());
+        assert!(p.fetch(2).is_none());
+        assert!(p.fetch(4).is_some());
+        assert!(p.fetch(8).is_none());
+    }
+
+    #[test]
+    fn binary_round_trip_mixed_sizes() {
+        let mut p = Program::new(0x40);
+        p.push(addi(Reg::A0, Reg::A0, 1), 2); // compressible
+        p.push(addi(Reg::A1, Reg::SP, 1234), 4);
+        p.push(Instr::Ecall, 4);
+        let bytes = p.to_bytes();
+        assert_eq!(bytes.len(), 10);
+        let q = Program::from_bytes(0x40, &bytes).unwrap();
+        let a: Vec<_> = p.iter().collect();
+        let b: Vec<_> = q.iter().collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-mnemonic execution statistics (the raw material of Table I).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Instruction and cycle counts for one mnemonic.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Number of retired instructions.
+    pub instrs: u64,
+    /// Cycles spent, *including* stall cycles attributed to this mnemonic
+    /// (loads own the load-use bubble, as in the paper's Table I).
+    pub cycles: u64,
+}
+
+/// Execution statistics collected by the simulator.
+///
+/// Rows are keyed by the stable mnemonics of
+/// [`Instr::mnemonic`](rnnasip_isa::Instr::mnemonic). Stall cycles caused
+/// by load-use dependencies are charged to the *producing load's* row —
+/// the convention the paper's Table I uses (`lw!` shows 2 432 kcycles for
+/// 1 621 kinstr in column b: one bubble per `pv.sdotsp` iteration).
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_sim::Stats;
+///
+/// let mut s = Stats::new();
+/// s.record("addi", 1, 0);
+/// s.record("p.lw!", 1, 0);
+/// s.attribute_stall("p.lw!");
+/// assert_eq!(s.cycles(), 3);
+/// assert_eq!(s.instrs(), 2);
+/// assert_eq!(s.row("p.lw!").cycles, 2);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Stats {
+    rows: BTreeMap<&'static str, Row>,
+    total_instrs: u64,
+    total_cycles: u64,
+    stall_cycles: u64,
+    mac_ops: u64,
+}
+
+impl Stats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one retired instruction of `mnemonic` costing `cycles`
+    /// cycles and performing `macs` 16-bit multiply-accumulates.
+    pub fn record(&mut self, mnemonic: &'static str, cycles: u64, macs: u32) {
+        let row = self.rows.entry(mnemonic).or_default();
+        row.instrs += 1;
+        row.cycles += cycles;
+        self.total_instrs += 1;
+        self.total_cycles += cycles;
+        self.mac_ops += macs as u64;
+    }
+
+    /// Attributes one stall cycle to `mnemonic` (no instruction retired).
+    pub fn attribute_stall(&mut self, mnemonic: &'static str) {
+        let row = self.rows.entry(mnemonic).or_default();
+        row.cycles += 1;
+        self.total_cycles += 1;
+        self.stall_cycles += 1;
+    }
+
+    /// Total cycles.
+    pub fn cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Total retired instructions.
+    pub fn instrs(&self) -> u64 {
+        self.total_instrs
+    }
+
+    /// Total stall cycles (subset of [`cycles`](Self::cycles)).
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Total 16-bit multiply-accumulate operations performed — the unit of
+    /// the paper's MMAC/s throughput metric.
+    pub fn mac_ops(&self) -> u64 {
+        self.mac_ops
+    }
+
+    /// The row for one mnemonic (zero row if never executed).
+    pub fn row(&self, mnemonic: &str) -> Row {
+        self.rows.get(mnemonic).copied().unwrap_or_default()
+    }
+
+    /// All rows sorted by descending cycle count — the order Table I
+    /// lists them in.
+    pub fn rows_by_cycles(&self) -> Vec<(&'static str, Row)> {
+        let mut v: Vec<_> = self.rows.iter().map(|(&k, &r)| (k, r)).collect();
+        v.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Iterates all rows in mnemonic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Row)> + '_ {
+        self.rows.iter().map(|(&k, &r)| (k, r))
+    }
+
+    /// Merges another statistics object into this one (used to aggregate
+    /// a whole benchmark suite from per-network runs).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, r) in &other.rows {
+            let row = self.rows.entry(k).or_default();
+            row.instrs += r.instrs;
+            row.cycles += r.cycles;
+        }
+        self.total_instrs += other.total_instrs;
+        self.total_cycles += other.total_cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.mac_ops += other.mac_ops;
+    }
+
+    /// Resets all counters.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Serializes the rows as CSV (`mnemonic,cycles,instrs`), sorted by
+    /// descending cycles, with a trailing total row — the machine-readable
+    /// companion of the Table I output.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("mnemonic,cycles,instrs\n");
+        for (name, row) in self.rows_by_cycles() {
+            out.push_str(&format!("{},{},{}\n", name, row.cycles, row.instrs));
+        }
+        out.push_str(&format!(
+            "TOTAL,{},{}\n",
+            self.total_cycles, self.total_instrs
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Stats {
+    /// Formats a Table-I-style breakdown: mnemonic, kcycles, kinstr.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<12} {:>12} {:>12}", "Instr.", "cycles", "instrs")?;
+        for (name, row) in self.rows_by_cycles() {
+            writeln!(f, "{:<12} {:>12} {:>12}", name, row.cycles, row.instrs)?;
+        }
+        writeln!(
+            f,
+            "{:<12} {:>12} {:>12}",
+            "Total", self.total_cycles, self.total_instrs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_track_rows() {
+        let mut s = Stats::new();
+        s.record("add", 1, 0);
+        s.record("p.mac", 1, 1);
+        s.record("pv.sdotsp", 1, 2);
+        s.attribute_stall("p.lw!");
+        assert_eq!(s.cycles(), 4);
+        assert_eq!(s.instrs(), 3);
+        assert_eq!(s.stall_cycles(), 1);
+        assert_eq!(s.mac_ops(), 3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Stats::new();
+        a.record("add", 1, 0);
+        let mut b = Stats::new();
+        b.record("add", 2, 0);
+        b.record("sub", 1, 0);
+        a.merge(&b);
+        assert_eq!(
+            a.row("add"),
+            Row {
+                instrs: 2,
+                cycles: 3
+            }
+        );
+        assert_eq!(a.instrs(), 3);
+        assert_eq!(a.cycles(), 4);
+    }
+
+    #[test]
+    fn rows_sorted_by_cycles_desc() {
+        let mut s = Stats::new();
+        s.record("add", 1, 0);
+        s.record("sub", 5, 0);
+        s.record("xor", 3, 0);
+        let rows = s.rows_by_cycles();
+        let names: Vec<_> = rows.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["sub", "xor", "add"]);
+    }
+
+    #[test]
+    fn csv_has_header_rows_and_total() {
+        let mut s = Stats::new();
+        s.record("addi", 2, 0);
+        s.record("p.lw!", 5, 0);
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "mnemonic,cycles,instrs");
+        assert_eq!(lines[1], "p.lw!,5,1"); // sorted by cycles desc
+        assert_eq!(lines[2], "addi,2,1");
+        assert_eq!(lines[3], "TOTAL,7,2");
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let mut s = Stats::new();
+        s.record("add", 1, 0);
+        let text = s.to_string();
+        assert!(text.contains("Total"));
+        assert!(text.contains("add"));
+    }
+}

@@ -1,0 +1,350 @@
+//! Execution-semantics coverage: SIMD byte/scalar/immediate modes,
+//! clips, sign extensions, division corner cases, compressed program
+//! execution, and the SPR staleness window of `pl.sdotsp`.
+
+use rnnasip_isa::*;
+use rnnasip_sim::{Machine, Program};
+
+fn machine_with(instrs: Vec<Instr>) -> Machine {
+    let mut m = Machine::new(4096);
+    m.load_program(&Program::from_instrs(0, instrs));
+    m
+}
+
+fn run(instrs: Vec<Instr>) -> Machine {
+    let mut m = machine_with(instrs);
+    m.run(100_000).expect("program halts");
+    m
+}
+
+fn li32(rd: Reg, value: u32) -> Vec<Instr> {
+    // lui+addi sequence valid for any 32-bit constant.
+    let upper = (value.wrapping_add(0x800) >> 12) as i32;
+    let lower = (value as i32).wrapping_sub(upper << 12);
+    let mut v = vec![Instr::Lui {
+        rd,
+        imm20: upper & 0xFFFFF,
+    }];
+    if lower != 0 {
+        v.push(Instr::OpImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1: rd,
+            imm: lower,
+        });
+    }
+    v
+}
+
+#[test]
+fn simd_byte_add_wraps_per_lane() {
+    // lanes a = [0x7F, 0x01, 0xFF, 0x80], b = [0x01, 0x01, 0x01, 0x01]
+    let a = u32::from_le_bytes([0x7F, 0x01, 0xFF, 0x80]);
+    let b = u32::from_le_bytes([0x01, 0x01, 0x01, 0x01]);
+    let mut prog = li32(Reg::A0, a);
+    prog.extend(li32(Reg::A1, b));
+    prog.push(Instr::PvAlu {
+        op: PvAluOp::Add,
+        size: SimdSize::Byte,
+        mode: SimdMode::Vv,
+        rd: Reg::A2,
+        rs1: Reg::A0,
+        rs2: Reg::A1,
+    });
+    prog.push(Instr::Ecall);
+    let m = run(prog);
+    // 0x7F+1 wraps to 0x80; 0xFF+1 wraps to 0x00; 0x80+1 = 0x81.
+    assert_eq!(
+        m.core().reg(Reg::A2).to_le_bytes(),
+        [0x80, 0x02, 0x00, 0x81]
+    );
+}
+
+#[test]
+fn simd_scalar_replication_mode() {
+    // pv.max.sc.h replicates rs2's low half into both lanes.
+    let a = (1000u32 << 16) | (0xF000u32); // lanes [-4096, 1000]
+    let mut prog = li32(Reg::A0, a);
+    prog.extend(li32(Reg::A1, 5));
+    prog.push(Instr::PvAlu {
+        op: PvAluOp::Max,
+        size: SimdSize::Half,
+        mode: SimdMode::Sc,
+        rd: Reg::A2,
+        rs1: Reg::A0,
+        rs2: Reg::A1,
+    });
+    prog.push(Instr::Ecall);
+    let m = run(prog);
+    assert_eq!(m.core().reg(Reg::A2), (1000u32 << 16) | 5);
+}
+
+#[test]
+fn simd_immediate_replication_mode() {
+    // pv.sra.sci.h shifts both lanes by the immediate.
+    let a = (0x8000u32 << 16) | 0x0100; // lanes [256, -32768]
+    let mut prog = li32(Reg::A0, a);
+    prog.push(Instr::PvAlu {
+        op: PvAluOp::Sra,
+        size: SimdSize::Half,
+        mode: SimdMode::Sci(4),
+        rd: Reg::A2,
+        rs1: Reg::A0,
+        rs2: Reg::ZERO,
+    });
+    prog.push(Instr::Ecall);
+    let m = run(prog);
+    let lanes = m.core().reg(Reg::A2);
+    assert_eq!(lanes as u16 as i16, 16);
+    assert_eq!((lanes >> 16) as u16 as i16, -2048);
+}
+
+#[test]
+fn clip_bounds() {
+    let mut prog = li32(Reg::A0, 100_000);
+    prog.push(Instr::Clip {
+        rd: Reg::A1,
+        rs1: Reg::A0,
+        bits: 16,
+    });
+    prog.extend(li32(Reg::A2, (-100_000i32) as u32));
+    prog.push(Instr::Clip {
+        rd: Reg::A3,
+        rs1: Reg::A2,
+        bits: 16,
+    });
+    prog.push(Instr::ClipU {
+        rd: Reg::A4,
+        rs1: Reg::A2,
+        bits: 8,
+    });
+    prog.push(Instr::Ecall);
+    let m = run(prog);
+    assert_eq!(m.core().reg(Reg::A1) as i32, 32767);
+    assert_eq!(m.core().reg(Reg::A3) as i32, -32768);
+    assert_eq!(m.core().reg(Reg::A4), 0, "clipu clamps negatives to zero");
+}
+
+#[test]
+fn sign_extensions() {
+    let v: u32 = 0x0001_80FF; // halfword 0x80FF, byte 0xFF
+    let mut prog = li32(Reg::A0, v);
+    prog.push(Instr::ExtHs {
+        rd: Reg::A1,
+        rs1: Reg::A0,
+    });
+    prog.push(Instr::ExtHz {
+        rd: Reg::A2,
+        rs1: Reg::A0,
+    });
+    prog.push(Instr::ExtBs {
+        rd: Reg::A3,
+        rs1: Reg::A0,
+    });
+    prog.push(Instr::ExtBz {
+        rd: Reg::A4,
+        rs1: Reg::A0,
+    });
+    prog.push(Instr::Ecall);
+    let m = run(prog);
+    assert_eq!(m.core().reg(Reg::A1) as i32, 0x80FFu16 as i16 as i32);
+    assert_eq!(m.core().reg(Reg::A2), 0x80FF);
+    assert_eq!(m.core().reg(Reg::A3) as i32, -1);
+    assert_eq!(m.core().reg(Reg::A4), 0xFF);
+}
+
+#[test]
+fn division_corner_cases() {
+    // div by zero -> all ones; MIN / -1 -> MIN; rem by zero -> dividend.
+    let mut prog = li32(Reg::A0, i32::MIN as u32);
+    prog.extend(li32(Reg::A1, (-1i32) as u32));
+    prog.push(Instr::MulDiv {
+        op: MulDivOp::Div,
+        rd: Reg::A2,
+        rs1: Reg::A0,
+        rs2: Reg::A1,
+    });
+    prog.push(Instr::MulDiv {
+        op: MulDivOp::Div,
+        rd: Reg::A3,
+        rs1: Reg::A0,
+        rs2: Reg::ZERO,
+    });
+    prog.push(Instr::MulDiv {
+        op: MulDivOp::Rem,
+        rd: Reg::A4,
+        rs1: Reg::A0,
+        rs2: Reg::ZERO,
+    });
+    prog.push(Instr::Ecall);
+    let m = run(prog);
+    assert_eq!(m.core().reg(Reg::A2), i32::MIN as u32);
+    assert_eq!(m.core().reg(Reg::A3), u32::MAX);
+    assert_eq!(m.core().reg(Reg::A4), i32::MIN as u32);
+    // Divides are multi-cycle.
+    assert!(m.stats().row("div").cycles > 2 * m.stats().row("div").instrs);
+}
+
+#[test]
+fn compressed_program_executes_with_correct_pcs() {
+    // Mix 2- and 4-byte instructions; verify results and code size.
+    let mut p = Program::new(0);
+    p.push(
+        Instr::OpImm {
+            op: AluImmOp::Addi,
+            rd: Reg::A0,
+            rs1: Reg::ZERO,
+            imm: 5,
+        },
+        2,
+    ); // c.li
+    p.push(
+        Instr::OpImm {
+            op: AluImmOp::Addi,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 10,
+        },
+        2,
+    ); // c.addi
+    p.push(
+        Instr::OpImm {
+            op: AluImmOp::Addi,
+            rd: Reg::A1,
+            rs1: Reg::A0,
+            imm: 1000,
+        },
+        4,
+    );
+    p.push(Instr::Ecall, 4);
+    assert_eq!(p.code_size(), 12);
+    let mut m = Machine::new(64);
+    m.load_program(&p);
+    m.run(100).expect("halts");
+    assert_eq!(m.core().reg(Reg::A1), 1015);
+}
+
+#[test]
+fn spr_write_not_visible_to_immediately_following_same_spr_read() {
+    // Two back-to-back pl.sdotsp.h.0: the second reads the *old* SPR0
+    // (zero at reset), because the load issued by the first lands two
+    // instructions later. This staleness window is exactly why the
+    // kernels alternate .0/.1.
+    let mut m = Machine::new(4096);
+    m.mem_mut().write_u32(0x100, (3u32 << 16) | 2).unwrap(); // weights (2,3)
+    m.mem_mut().write_u32(0x104, (5u32 << 16) | 4).unwrap();
+    let x = (1u32 << 16) | 1; // ones
+    let mut prog = li32(Reg::A0, 0x100);
+    prog.extend(li32(Reg::A1, x));
+    prog.push(Instr::PlSdotsp {
+        spr: 0,
+        size: SimdSize::Half,
+        rd: Reg::T0,
+        rs1: Reg::A0,
+        rs2: Reg::A1,
+    });
+    prog.push(Instr::PlSdotsp {
+        spr: 0,
+        size: SimdSize::Half,
+        rd: Reg::T1,
+        rs1: Reg::A0,
+        rs2: Reg::A1,
+    });
+    // Third one sees the first load's data (2+3 = 5).
+    prog.push(Instr::PlSdotsp {
+        spr: 0,
+        size: SimdSize::Half,
+        rd: Reg::T2,
+        rs1: Reg::A0,
+        rs2: Reg::A1,
+    });
+    prog.push(Instr::Ecall);
+    let mut mach = Machine::new(4096);
+    mach.mem_mut().write_u32(0x100, (3u32 << 16) | 2).unwrap();
+    mach.mem_mut().write_u32(0x104, (5u32 << 16) | 4).unwrap();
+    mach.mem_mut().write_u32(0x108, 0).unwrap();
+    mach.load_program(&Program::from_instrs(0, prog));
+    mach.run(1000).unwrap();
+    assert_eq!(mach.core().reg(Reg::T0), 0, "SPR0 starts empty");
+    assert_eq!(mach.core().reg(Reg::T1), 0, "first load not visible yet");
+    assert_eq!(mach.core().reg(Reg::T2), 5, "first load visible at +2");
+    let _ = m;
+}
+
+#[test]
+fn bit_manipulation_semantics() {
+    let mut prog = li32(Reg::A0, 0b0001_1000);
+    prog.push(Instr::Ff1 {
+        rd: Reg::A1,
+        rs1: Reg::A0,
+    });
+    prog.push(Instr::Fl1 {
+        rd: Reg::A2,
+        rs1: Reg::A0,
+    });
+    prog.push(Instr::Cnt {
+        rd: Reg::A3,
+        rs1: Reg::A0,
+    });
+    prog.push(Instr::Ff1 {
+        rd: Reg::A4,
+        rs1: Reg::ZERO,
+    });
+    prog.extend(li32(Reg::T0, 5));
+    prog.push(Instr::Ror {
+        rd: Reg::A5,
+        rs1: Reg::A0,
+        rs2: Reg::T0,
+    });
+    prog.extend(li32(Reg::T1, 0xFFFF_FF00));
+    prog.push(Instr::Clb {
+        rd: Reg::A6,
+        rs1: Reg::T1,
+    });
+    prog.push(Instr::Ecall);
+    let m = run(prog);
+    assert_eq!(m.core().reg(Reg::A1), 3, "ff1 finds bit 3");
+    assert_eq!(m.core().reg(Reg::A2), 4, "fl1 finds bit 4");
+    assert_eq!(m.core().reg(Reg::A3), 2, "two bits set");
+    assert_eq!(m.core().reg(Reg::A4), 32, "ff1 of zero is 32");
+    assert_eq!(m.core().reg(Reg::A5), 0b0001_1000u32.rotate_right(5));
+    // 0xFFFFFF00: 24 leading ones -> 23 redundant sign bits.
+    assert_eq!(m.core().reg(Reg::A6), 23);
+}
+
+#[test]
+fn golden_trace_snapshot() {
+    // A pinned execution trace documents the exact fetch/retire behavior
+    // (addresses, loop re-execution, cycle accounting) of a tiny kernel.
+    let mut prog = vec![
+        Instr::OpImm {
+            op: AluImmOp::Addi,
+            rd: Reg::T2,
+            rs1: Reg::ZERO,
+            imm: 2,
+        },
+        Instr::LpSetup {
+            l: LoopIdx::L0,
+            rs1: Reg::T2,
+            uimm: 4,
+        },
+        Instr::OpImm {
+            op: AluImmOp::Addi,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 1,
+        },
+        Instr::Ecall,
+    ];
+    let mut m = Machine::new(64);
+    m.load_program(&Program::from_instrs(0, std::mem::take(&mut prog)));
+    let text = m.run_to_trace_text(1000).unwrap();
+    let expect = concat!(
+        "       1 0x00000000  addi t2, zero, 2\n",
+        "       2 0x00000004  lp.setup 0, t2, 4\n",
+        "       3 0x00000008  addi a0, a0, 1\n",
+        "       4 0x00000008  addi a0, a0, 1\n",
+        "       5 0x0000000c  ecall\n",
+    );
+    assert_eq!(text, expect);
+}

@@ -1,0 +1,98 @@
+//! Cross-validation of the ISA's static operand metadata against the
+//! simulator's actual behaviour: executing any instruction may only
+//! modify the registers its `defs()` declares. The load-use stall model
+//! (and hence every Table I number) is built on this metadata, so a
+//! mismatch would silently skew the paper's reproduction.
+
+use proptest::prelude::*;
+use rnnasip_isa::{decode, Instr, Reg};
+use rnnasip_sim::{Machine, Program};
+
+/// Runs `instr` once from a randomized-but-safe register state; returns
+/// the set of changed GPRs, or `None` if the instruction faulted
+/// (e.g. a wild memory address — not what this test is about).
+fn changed_regs(instr: Instr, seed: u32) -> Option<Vec<Reg>> {
+    let mut m = Machine::new(1 << 16);
+    m.load_program(&Program::from_instrs(0, [instr, Instr::Ecall]));
+    // Safe register values: small word-aligned addresses inside memory,
+    // different per register so moves are observable.
+    let mut before = [0u32; 32];
+    for r in Reg::all() {
+        let v = 0x100 + 8 * (r.num() as u32) + (seed % 7) * 8;
+        m.core_mut().set_reg(r, v);
+        before[r.num() as usize] = m.core().reg(r);
+    }
+    // Give loads something to read everywhere we point.
+    for r in &before {
+        let _ = m.mem_mut().write_u32(*r & !3, 0xA5A5_0000 | *r);
+    }
+    if m.step().is_err() {
+        return None;
+    }
+    Some(
+        Reg::all()
+            .filter(|&r| m.core().reg(r) != before[r.num() as usize])
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn executed_writes_are_subset_of_declared_defs(word in any::<u32>(), seed in any::<u32>()) {
+        let Ok(instr) = decode(word) else { return Ok(()) };
+        // Control flow would jump away from the ecall; the register
+        // contract still holds but the harness can't easily observe it.
+        if instr.is_control_flow() || matches!(instr, Instr::Ecall | Instr::Ebreak) {
+            return Ok(());
+        }
+        let Some(changed) = changed_regs(instr, seed) else { return Ok(()) };
+        let defs = instr.defs();
+        for r in &changed {
+            prop_assert!(
+                defs.contains(*r),
+                "{instr} modified {r} but defs() = {defs:?}"
+            );
+        }
+    }
+
+    /// And conversely: an instruction never reads a register outside its
+    /// declared uses() — verified by perturbing non-used registers and
+    /// checking the architectural result is unchanged.
+    #[test]
+    fn results_depend_only_on_declared_uses(word in any::<u32>(), seed in any::<u32>()) {
+        let Ok(instr) = decode(word) else { return Ok(()) };
+        if instr.is_control_flow()
+            || matches!(instr, Instr::Ecall | Instr::Ebreak | Instr::Csr { .. })
+            || instr.is_load()
+            || instr.is_store()
+        {
+            // Memory ops' *data* results legitimately depend on memory
+            // contents addressed through used regs; skip the heavyweight
+            // setup and keep this property to pure register ops.
+            return Ok(());
+        }
+        let uses = instr.uses();
+        let defs = instr.defs();
+        let run = |perturb: bool| -> Option<Vec<u32>> {
+            let mut m = Machine::new(1 << 16);
+            m.load_program(&Program::from_instrs(0, [instr, Instr::Ecall]));
+            for r in Reg::all() {
+                let mut v = 0x100 + 8 * (r.num() as u32) + (seed % 7) * 8;
+                if perturb && !uses.contains(r) && !defs.contains(r) {
+                    v ^= 0xDEAD_0000;
+                }
+                m.core_mut().set_reg(r, v);
+            }
+            if m.step().is_err() {
+                return None;
+            }
+            Some(defs.iter().map(|r| m.core().reg(r)).collect())
+        };
+        let (a, b) = (run(false), run(true));
+        if let (Some(a), Some(b)) = (a, b) {
+            prop_assert_eq!(a, b, "{} result depends on a register outside uses()", instr);
+        }
+    }
+}

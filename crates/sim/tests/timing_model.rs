@@ -1,0 +1,186 @@
+//! Micro-validation of the timing patterns behind Table I and Table II:
+//! the per-iteration cycle counts of each optimization level's inner
+//! loop, measured on hand-built loops in isolation.
+
+use rnnasip_isa::*;
+use rnnasip_sim::{Machine, Program};
+
+const ITERS: u32 = 64;
+
+/// Builds a machine with weights/inputs staged and the given loop body
+/// inside an `ITERS`-iteration hardware loop; returns total cycles spent
+/// in the body (total minus prologue/epilogue).
+fn run_loop(prologue: Vec<Instr>, body: Vec<Instr>) -> u64 {
+    let mut instrs = vec![
+        // a0 = weight stream, a1 = input stream, t2 = count.
+        Instr::Lui {
+            rd: Reg::A0,
+            imm20: 0x1,
+        },
+        Instr::Lui {
+            rd: Reg::A1,
+            imm20: 0x2,
+        },
+        Instr::OpImm {
+            op: AluImmOp::Addi,
+            rd: Reg::T2,
+            rs1: Reg::ZERO,
+            imm: ITERS as i32,
+        },
+    ];
+    let prologue_len = prologue.len();
+    instrs.extend(prologue);
+    let body_bytes = (body.len() * 4) as u32;
+    instrs.push(Instr::LpSetup {
+        l: LoopIdx::L0,
+        rs1: Reg::T2,
+        uimm: (body_bytes + 4) / 2,
+    });
+    instrs.extend(body);
+    instrs.push(Instr::Ecall);
+    let mut m = Machine::new(1 << 20);
+    // Plenty of readable data on both streams.
+    for k in 0..(ITERS * 16) {
+        m.mem_mut().write_u32(0x1000 + 4 * k, 0x0001_0002).unwrap();
+        m.mem_mut().write_u32(0x2000 + 4 * k, 0x0003_0004).unwrap();
+    }
+    m.load_program(&Program::from_instrs(0, instrs));
+    m.run(1_000_000).unwrap();
+    // Subtract the non-loop instructions (all single-cycle here except
+    // any stall they might incur — prologue is stall-free by
+    // construction): 3 setup + prologue + lp.setup + ecall.
+    m.stats().cycles() - (3 + prologue_len as u64 + 1 + 1)
+}
+
+fn lw_post(rd: Reg, rs1: Reg) -> Instr {
+    Instr::LoadPostInc {
+        op: LoadOp::Lw,
+        rd,
+        rs1,
+        offset: 4,
+    }
+}
+
+fn pv_sdot(rd: Reg, rs1: Reg, rs2: Reg) -> Instr {
+    Instr::PvDot {
+        op: DotOp::SdotSp,
+        size: SimdSize::Half,
+        rd,
+        rs1,
+        rs2,
+    }
+}
+
+fn pl_sdot(spr: u8, rd: Reg, rs1: Reg, rs2: Reg) -> Instr {
+    Instr::PlSdotsp {
+        spr,
+        size: SimdSize::Half,
+        rd,
+        rs1,
+        rs2,
+    }
+}
+
+/// Level (b) inner loop: `lw! w ; lw! x ; pv.sdotsp` — 3 instructions
+/// but 4 cycles, because the input load feeds the very next instruction
+/// (the stall Table Ib shows as `lw!` at 2 432 kcyc / 1 621 kinstr).
+#[test]
+fn xpulp_loop_is_four_cycles_per_iteration() {
+    let cycles = run_loop(
+        vec![],
+        vec![
+            lw_post(Reg::GP, Reg::A0),
+            lw_post(Reg::T0, Reg::A1),
+            pv_sdot(Reg::A4, Reg::GP, Reg::T0),
+        ],
+    );
+    assert_eq!(cycles, 4 * ITERS as u64);
+}
+
+/// Level (c) inner loop with a 4-output tile: `lw! x ; 4×(lw! w)
+/// interleaved with 4×pv.sdotsp` — 9 instructions, 9 cycles (stall-free:
+/// every load sits two instructions ahead of its consumer).
+#[test]
+fn ofm_loop_is_stall_free() {
+    let cycles = run_loop(
+        vec![],
+        vec![
+            lw_post(Reg::T0, Reg::A1), // x
+            lw_post(Reg::GP, Reg::A0), // w0
+            lw_post(Reg::TP, Reg::A0), // w1
+            pv_sdot(Reg::A4, Reg::GP, Reg::T0),
+            lw_post(Reg::GP, Reg::A0), // w2
+            pv_sdot(Reg::A5, Reg::TP, Reg::T0),
+            lw_post(Reg::TP, Reg::A0), // w3
+            pv_sdot(Reg::A6, Reg::GP, Reg::T0),
+            pv_sdot(Reg::A7, Reg::TP, Reg::T0),
+        ],
+    );
+    assert_eq!(cycles, 9 * ITERS as u64);
+}
+
+/// Level (d) inner loop (Table II right): `lw! x ; 4×pl.sdotsp.h` —
+/// 5 instructions, 6 cycles: the single bubble after the input load is
+/// exactly the paper's "bubble rB dependency" comment.
+#[test]
+fn sdotsp_loop_has_exactly_one_bubble() {
+    let cycles = run_loop(
+        vec![
+            pl_sdot(0, Reg::ZERO, Reg::A0, Reg::ZERO),
+            pl_sdot(1, Reg::ZERO, Reg::A0, Reg::ZERO),
+        ],
+        vec![
+            lw_post(Reg::T0, Reg::A1),
+            pl_sdot(0, Reg::A4, Reg::A0, Reg::T0),
+            pl_sdot(1, Reg::A5, Reg::A0, Reg::T0),
+            pl_sdot(0, Reg::A6, Reg::A0, Reg::T0),
+            pl_sdot(1, Reg::A7, Reg::A0, Reg::T0),
+        ],
+    );
+    assert_eq!(cycles, 6 * ITERS as u64);
+}
+
+/// Level (e) inner loop: two input loads then 8 merged MACs — 10
+/// instructions, 10 cycles, zero stalls (the whole point of input-FM
+/// tiling, Table Ie).
+#[test]
+fn ifm_loop_removes_the_bubble() {
+    let cycles = run_loop(
+        vec![
+            pl_sdot(0, Reg::ZERO, Reg::A0, Reg::ZERO),
+            pl_sdot(1, Reg::ZERO, Reg::A0, Reg::ZERO),
+        ],
+        vec![
+            lw_post(Reg::T0, Reg::A1),
+            lw_post(Reg::T1, Reg::A1),
+            pl_sdot(0, Reg::A4, Reg::A0, Reg::T0),
+            pl_sdot(1, Reg::A5, Reg::A0, Reg::T0),
+            pl_sdot(0, Reg::A6, Reg::A0, Reg::T0),
+            pl_sdot(1, Reg::A7, Reg::A0, Reg::T0),
+            pl_sdot(0, Reg::A4, Reg::A0, Reg::T1),
+            pl_sdot(1, Reg::A5, Reg::A0, Reg::T1),
+            pl_sdot(0, Reg::A6, Reg::A0, Reg::T1),
+            pl_sdot(1, Reg::A7, Reg::A0, Reg::T1),
+        ],
+    );
+    assert_eq!(cycles, 10 * ITERS as u64);
+}
+
+/// The factored per-MAC costs of the four loops reproduce the paper's
+/// cascade: 2.0 -> 1.125 -> 0.75 -> 0.625 cycles/MAC in steady state.
+#[test]
+fn steady_state_cycles_per_mac_cascade() {
+    // From the loops above: (b) 4 cyc / 2 MACs, (c) 9 / 8, (d) 6 / 8,
+    // (e) 10 / 16.
+    let b: f64 = 4.0 / 2.0;
+    let c: f64 = 9.0 / 8.0;
+    let d: f64 = 6.0 / 8.0;
+    let e: f64 = 10.0 / 16.0;
+    assert!(b > c && c > d && d > e);
+    assert!((b / c - 1.78).abs() < 0.01, "OFM factor ~1.8x");
+    assert!(
+        (c / d - 1.5).abs() < 0.01,
+        "sdotsp factor 1.5x steady-state"
+    );
+    assert!((d / e - 1.2).abs() < 0.01, "IFM factor 1.2x steady-state");
+}

@@ -1,0 +1,112 @@
+//! A tour of the RNN-extended ISA: hand-written assembly using the
+//! paper's instructions, assembled with the text assembler and executed
+//! on the simulator.
+//!
+//! The snippet computes a 4-output dot-product tile exactly in the
+//! Table II style — SPR preloads, one input load per iteration, merged
+//! load-and-compute `pl.sdotsp.h`, and a `pl.sig` activation.
+//!
+//! ```text
+//! cargo run --example isa_tour
+//! ```
+
+use rnnasip::asm::assemble_text;
+use rnnasip::fixed::Q3p12;
+use rnnasip::sim::Machine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Data layout: weights (4 rows x 6 inputs) at 0x1000, inputs at
+    // 0x2000, outputs at 0x3000.
+    let source = r"
+        # -- pointers ------------------------------------------------
+        li   s0, 0x1000        # weight row 0
+        addi s1, s0, 12        # weight row 1 (6 halfwords)
+        addi s2, s1, 12        # weight row 2
+        addi s3, s2, 12        # weight row 3
+        li   a0, 0x2000        # input stream
+        li   a1, 0x3000        # outputs
+        li   a4, 0             # accumulators
+        li   a5, 0
+        li   a6, 0
+        li   a7, 0
+        # -- preload the two special-purpose registers ----------------
+        pl.sdotsp.h.0 zero, s0, zero
+        pl.sdotsp.h.1 zero, s1, zero
+        # -- Table II inner loop: 3 packed pairs ----------------------
+        lp.setupi 0, 3, loop_end
+        p.lw t0, 4(a0!)
+        pl.sdotsp.h.0 a4, s2, t0
+        pl.sdotsp.h.1 a5, s3, t0
+        pl.sdotsp.h.0 a6, s0, t0
+        pl.sdotsp.h.1 a7, s1, t0
+    loop_end:
+        # -- requantize, activate, store ------------------------------
+        srai a4, a4, 12
+        p.clip a4, a4, 16
+        pl.sig a4, a4
+        p.sh a4, 2(a1!)
+        srai a5, a5, 12
+        p.clip a5, a5, 16
+        pl.sig a5, a5
+        p.sh a5, 2(a1!)
+        srai a6, a6, 12
+        p.clip a6, a6, 16
+        pl.sig a6, a6
+        p.sh a6, 2(a1!)
+        srai a7, a7, 12
+        p.clip a7, a7, 16
+        pl.sig a7, a7
+        p.sh a7, 2(a1!)
+        ecall
+    ";
+
+    let prog = assemble_text(0, source)?;
+    println!(
+        "assembled {} instructions ({} bytes)\n",
+        prog.len(),
+        prog.code_size()
+    );
+    println!("disassembly of the inner loop:");
+    for item in prog.iter().skip(12).take(6) {
+        println!("  {:#06x}: {}", item.addr, item.instr);
+    }
+
+    let mut m = Machine::new(64 * 1024);
+    // Stage weights (rows of 6) and inputs.
+    let weights: Vec<Q3p12> = (0..24)
+        .map(|i| Q3p12::from_f64(((i % 7) as f64 - 3.0) / 8.0))
+        .collect();
+    let inputs: Vec<Q3p12> = (0..6)
+        .map(|i| Q3p12::from_f64((i as f64 - 2.5) / 2.0))
+        .collect();
+    m.mem_mut().write_q3p12_slice(0x1000, &weights)?;
+    m.mem_mut().write_q3p12_slice(0x2000, &inputs)?;
+    m.load_program(&prog);
+    m.run(10_000)?;
+
+    // Golden check in plain Rust.
+    println!("\noutputs (sigmoid of each row dot product):");
+    for o in 0..4 {
+        let got = m.mem().read_q3p12_slice(0x3000 + 2 * o as u32, 1)?[0];
+        let mut acc = rnnasip::fixed::Acc32::ZERO;
+        for i in 0..6 {
+            acc = acc.mac(weights[o * 6 + i], inputs[i]);
+        }
+        let expect = rnnasip::fixed::hw_sig(acc.requantize());
+        println!(
+            "  o[{o}] = {:+.4} (golden {:+.4}) {}",
+            got.to_f64(),
+            expect.to_f64(),
+            if got == expect { "ok" } else { "MISMATCH" }
+        );
+    }
+
+    println!("\nexecution statistics:");
+    print!("{}", m.stats());
+    println!(
+        "cycles {} / instructions {}",
+        m.stats().cycles(),
+        m.stats().instrs()
+    );
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Quickstart: compile a small fully-connected layer for the RNN-extended
+//! core, run it on the instruction-set simulator at two optimization
+//! levels, and verify bit-exactness against the golden model.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rnnasip::core::{KernelBackend, OptLevel};
+use rnnasip::rrm::{seeded_fc_layer, seeded_input};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 32->16 ReLU layer with seeded synthetic Q3.12 weights.
+    let layer = seeded_fc_layer(32, 16, 42);
+    let input = seeded_input(32, 7);
+
+    // Golden fixed-point reference (plain Rust, no simulator).
+    let expected = layer.forward_fixed(&input);
+
+    println!("fc 32->16 on the simulated core:\n");
+    println!(
+        "{:<28} {:>8} {:>8} {:>9} {:>8}",
+        "level", "cycles", "instrs", "cyc/MAC", "exact"
+    );
+    for level in OptLevel::ALL {
+        let run = KernelBackend::new(level).run_fc(&layer, &input)?;
+        println!(
+            "{:<28} {:>8} {:>8} {:>9.3} {:>8}",
+            level.column(),
+            run.report.cycles(),
+            run.report.instrs(),
+            run.report.cycles_per_mac(),
+            if run.outputs == expected {
+                "yes"
+            } else {
+                "NO!"
+            }
+        );
+    }
+
+    println!("\nFirst outputs: ");
+    for (i, o) in expected.iter().take(4).enumerate() {
+        println!("  o[{i}] = {:+.4}", o.to_f64());
+    }
+    Ok(())
+}

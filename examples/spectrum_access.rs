@@ -1,0 +1,94 @@
+//! Dynamic spectrum access with the LSTM benchmark network.
+//!
+//! Drives the `[14]`-style LSTM (the paper's activation-heavy network)
+//! with a sliding window of noisy channel observations from a
+//! Gilbert–Elliott environment, picks the channel the network scores
+//! highest, and compares its hit rate against random access and the
+//! oracle. Also shows the Section III-D effect: the LSTM's cycle count
+//! with and without the `pl.tanh`/`pl.sig` instructions.
+//!
+//! ```text
+//! cargo run --release --example spectrum_access
+//! ```
+
+use rnnasip::core::{KernelBackend, OptLevel};
+use rnnasip::rrm::env::SpectrumAccessEnv;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let k = 8; // channels == the [14] network's per-step input width
+    let mut env = SpectrumAccessEnv::new(k, 7);
+    let suite = rnnasip::rrm::suite();
+    let net = &suite[1];
+    assert_eq!(net.id, "naparstek2019");
+    println!("network: {} ({})\n", net.id, net.task);
+
+    let steps = net.network.seq_len();
+    let backend = KernelBackend::new(OptLevel::IfmTile);
+
+    // Warm an observation window, then make decisions on a rolling basis.
+    let mut window: Vec<Vec<rnnasip::fixed::Q3p12>> = Vec::new();
+    for _ in 0..steps {
+        window.push(env.observe());
+        env.step();
+    }
+
+    let trials = 12;
+    let (mut hits, mut rand_hits) = (0u32, 0u32);
+    let mut cycles = 0u64;
+    for t in 0..trials {
+        let run = backend.run_network(&net.network, &window)?;
+        // Choose the best-scored channel (first k outputs).
+        let choice = run.outputs[..k]
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, q)| q.raw())
+            .map(|(i, _)| i)
+            .expect("k > 0");
+        let rand_choice = t % k;
+        if env.attempt(choice) {
+            hits += 1;
+        }
+        if env.attempt(rand_choice) {
+            rand_hits += 1;
+        }
+        cycles += run.report.cycles();
+        env.step();
+        window.remove(0);
+        window.push(env.observe());
+    }
+
+    println!("{trials} decision slots:");
+    println!(
+        "  network hit rate : {:.0}%",
+        100.0 * hits as f64 / trials as f64
+    );
+    println!(
+        "  random hit rate  : {:.0}%",
+        100.0 * rand_hits as f64 / trials as f64
+    );
+    println!("  avg free fraction: {:.0}%", 100.0 * env.free_fraction());
+    println!(
+        "  avg cycles/decision: {} ({:.1} us @ 380 MHz)\n",
+        cycles / trials as u64,
+        cycles as f64 / trials as f64 / 380e6 * 1e6
+    );
+
+    // Section III-D: the tanh/sig extension inside this LSTM-heavy net.
+    let with_ext = KernelBackend::new(OptLevel::OfmTile)
+        .run_network(&net.network, &window)?
+        .report;
+    let sw_acts = KernelBackend::new(OptLevel::Xpulp)
+        .run_network(&net.network, &window)?
+        .report;
+    println!("activation-extension effect on this network (c vs b kernels):");
+    println!(
+        "  software PLA: {} kcycles; pl.tanh/pl.sig: {} kcycles",
+        sw_acts.cycles() / 1000,
+        with_ext.cycles() / 1000
+    );
+    println!(
+        "  (the paper reports tanh/sig eating up to 33.6% of cycles in [14]; \
+         hardware activations remove that term)"
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # rnnasip — RNN-extended RISC-V ASIP for 5G Radio Resource Management
+//!
+//! Facade crate for the reproduction of *Andri, Henriksson, Benini:
+//! "Extending the RISC-V ISA for Efficient RNN-based 5G Radio Resource
+//! Management" (DAC 2020)*. It re-exports the workspace crates so examples
+//! and downstream users need a single dependency:
+//!
+//! * [`fixed`] — Q3.12 fixed-point arithmetic.
+//! * [`isa`] — RV32IM(C) + Xpulp + RNN-extension instruction model.
+//! * [`sim`] — RI5CY-like cycle-approximate instruction-set simulator.
+//! * [`asm`] — assembler and program builder.
+//! * [`nn`] — golden float/fixed neural-network models and the piecewise
+//!   linear tanh/sigmoid design.
+//! * [`core`] — the paper's contribution: optimized kernel generators at all
+//!   five optimization levels, plus run/verify harnesses.
+//! * [`rrm`] — the 10-network RRM benchmark suite and task environments.
+//! * [`energy`] — calibrated area / power / energy-efficiency model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rnnasip::core::{KernelBackend, OptLevel};
+//! use rnnasip::nn::FcLayer;
+//! use rnnasip::rrm::seeded_fc_layer;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small fully-connected layer with seeded synthetic weights…
+//! let layer: FcLayer = seeded_fc_layer(16, 8, 42);
+//! let input = rnnasip::rrm::seeded_input(16, 7);
+//!
+//! // …compiled for the extended core and executed on the simulator:
+//! let backend = KernelBackend::new(OptLevel::SdotSp);
+//! let run = backend.run_fc(&layer, &input)?;
+//! assert_eq!(run.outputs.len(), 8);
+//! println!("cycles: {}", run.report.cycles());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use rnnasip_asm as asm;
+pub use rnnasip_core as core;
+pub use rnnasip_energy as energy;
+pub use rnnasip_fixed as fixed;
+pub use rnnasip_isa as isa;
+pub use rnnasip_nn as nn;
+pub use rnnasip_rrm as rrm;
+pub use rnnasip_sim as sim;

@@ -1,0 +1,53 @@
+//! Section III-A / III-D: Q3.12 with PLA activations introduces no
+//! significant end-to-end accuracy loss ("no deterioration of the
+//! end-to-end error"), so no quantization-aware retraining is needed.
+//! Verified here by comparing the fixed-point golden models against
+//! double precision on every benchmark network.
+
+#[test]
+fn fixed_point_tracks_float_on_every_suite_network() {
+    for net in rnnasip::rrm::suite() {
+        let input_q = net.input();
+        let input_f: Vec<Vec<f64>> = input_q
+            .iter()
+            .map(|v| v.iter().map(|q| q.to_f64()).collect())
+            .collect();
+        let out_q = net.network.forward_fixed(&input_q);
+        let out_f = net.network.forward_f64(&input_f);
+        assert_eq!(out_q.len(), out_f.len());
+        let mut max_err: f64 = 0.0;
+        let mut rms = 0.0;
+        for (q, f) in out_q.iter().zip(&out_f) {
+            let e = (q.to_f64() - f).abs();
+            max_err = max_err.max(e);
+            rms += e * e;
+        }
+        rms = (rms / out_f.len() as f64).sqrt();
+        // Outputs live in roughly [-8, 8); a few hundredths of absolute
+        // error after multiple quantized layers is the Q3.12 noise floor
+        // the paper accepts.
+        assert!(
+            max_err < 0.25,
+            "{}: max fixed-vs-float error {max_err}",
+            net.id
+        );
+        assert!(rms < 0.1, "{}: rms fixed-vs-float error {rms}", net.id);
+    }
+}
+
+#[test]
+fn pla_activation_error_does_not_accumulate_catastrophically() {
+    // Iterating tanh through the PLA unit many times stays bounded.
+    let mut x = rnnasip::fixed::Q3p12::from_f64(0.9);
+    let mut x_ref = 0.9f64;
+    for _ in 0..50 {
+        x = rnnasip::fixed::hw_tanh(x);
+        x_ref = x_ref.tanh();
+    }
+    assert!(
+        (x.to_f64() - x_ref).abs() < 0.05,
+        "{} vs {}",
+        x.to_f64(),
+        x_ref
+    );
+}

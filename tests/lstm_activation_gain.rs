@@ -1,0 +1,78 @@
+//! Section III-D: the `pl.tanh`/`pl.sig` instructions reduce LSTM
+//! network cycles by ~13% (51.2 → 44.5 kcycles on the paper's two LSTM
+//! networks). Level (c) bundles OFM tiling *and* the activation
+//! extension, so this test isolates the activation effect by comparing
+//! the activation-row cycles directly, plus the end-to-end gain.
+
+use rnnasip::core::{KernelBackend, OptLevel};
+
+fn lstm_net(id: &str) -> rnnasip::rrm::BenchmarkNet {
+    rnnasip::rrm::suite()
+        .into_iter()
+        .find(|n| n.id == id)
+        .expect("net exists")
+}
+
+#[test]
+fn activation_extension_shrinks_lstm_cycles() {
+    for id in ["challita2017", "naparstek2019"] {
+        let net = lstm_net(id);
+        let input = net.input();
+        let b = KernelBackend::new(OptLevel::Xpulp)
+            .run_network(&net.network, &input)
+            .expect("level b runs")
+            .report;
+        let c = KernelBackend::new(OptLevel::OfmTile)
+            .run_network(&net.network, &input)
+            .expect("level c runs")
+            .report;
+        // At level c the activations are single-cycle instructions.
+        let act_instrs = c.stats().row("pl.tanh").instrs + c.stats().row("pl.sig").instrs;
+        assert_eq!(
+            act_instrs,
+            net.network.act_count(),
+            "{id}: every activation should be one pl.tanh/pl.sig"
+        );
+        assert_eq!(
+            act_instrs,
+            c.stats().row("pl.tanh").cycles + c.stats().row("pl.sig").cycles,
+            "{id}: hardware activations are single-cycle"
+        );
+        // The level-b software PLA spends >10 cycles per activation; the
+        // whole-network gain from b to c must exceed the pure tiling
+        // factor visible on FC networks of similar size.
+        assert!(
+            c.cycles() * 2 < b.cycles(),
+            "{id}: c ({}) should be well under half of b ({})",
+            c.cycles(),
+            b.cycles()
+        );
+    }
+}
+
+#[test]
+fn activation_fraction_is_higher_in_small_lstm() {
+    // The paper: tanh/sig costs 10.3% of cycles in [13] but 33.6% in
+    // [14] (before the extension). Verify the *ordering* on the software
+    // PLA level by counting software activation work.
+    let frac = |id: &str| -> f64 {
+        let net = lstm_net(id);
+        let run = KernelBackend::new(OptLevel::Xpulp)
+            .run_network(&net.network, &net.input())
+            .expect("runs")
+            .report;
+        // Software PLA work shows up as mul/srai/branch cycles; estimate
+        // via the act count times the ~16-cycle routine.
+        net.network.act_count() as f64 * 16.0 / run.cycles() as f64
+    };
+    let f13 = frac("challita2017");
+    let f14 = frac("naparstek2019");
+    assert!(
+        f14 > 1.5 * f13,
+        "small LSTM [14] ({f14:.3}) must be more activation-bound than [13] ({f13:.3})"
+    );
+    assert!(
+        f14 > 0.15,
+        "activation share of [14] is substantial: {f14:.3}"
+    );
+}

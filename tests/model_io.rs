@@ -1,0 +1,48 @@
+//! Deployment flow: every benchmark network serializes, reloads, and
+//! produces bit-identical results — both on the golden models and when
+//! compiled and run on the simulated core.
+
+use rnnasip::core::{KernelBackend, OptLevel};
+use rnnasip::nn::io::{load_network, save_network};
+
+#[test]
+fn every_suite_network_round_trips_through_the_binary_format() {
+    for net in rnnasip::rrm::suite() {
+        let bytes = save_network(&net.network);
+        let back =
+            load_network(&bytes).unwrap_or_else(|e| panic!("{} failed to reload: {e}", net.id));
+        assert_eq!(back.name(), net.network.name(), "{}", net.id);
+        let input = net.input();
+        assert_eq!(
+            net.network.forward_fixed(&input),
+            back.forward_fixed(&input),
+            "{}: golden inference changed across serialization",
+            net.id
+        );
+    }
+}
+
+#[test]
+fn reloaded_network_runs_bit_exact_on_the_core() {
+    // One representative per kernel family, end to end through the
+    // serialize -> load -> compile -> simulate pipeline.
+    let suite = rnnasip::rrm::suite();
+    let backend = KernelBackend::new(OptLevel::IfmTile);
+    for id in ["naparstek2019", "eisen2019", "lee2018"] {
+        let net = suite.iter().find(|n| n.id == id).expect("in suite");
+        let reloaded = load_network(&save_network(&net.network)).expect("reloads");
+        let input = net.input();
+        let direct = backend
+            .run_network(&net.network, &input)
+            .expect("direct run");
+        let via_io = backend
+            .run_network(&reloaded, &input)
+            .expect("reloaded run");
+        assert_eq!(direct.outputs, via_io.outputs, "{id}");
+        assert_eq!(
+            direct.report.cycles(),
+            via_io.report.cycles(),
+            "{id}: cycle counts must be identical too"
+        );
+    }
+}
