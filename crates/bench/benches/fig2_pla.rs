@@ -1,40 +1,29 @@
-//! Criterion bench backing **Fig. 2**: fitting and evaluating the
-//! piecewise-linear activation tables across the design space.
+//! Bench backing **Fig. 2**: fitting and evaluating the piecewise-linear
+//! activation tables across the design space.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rnnasip_bench::harness::bench;
 use rnnasip_fixed::pla::{FitMode, PlaFunc, PlaTable};
 use rnnasip_fixed::Q3p12;
 use std::hint::black_box;
 
-fn bench_pla(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig2_pla");
-
-    group.bench_function("fit_design_point", |b| {
-        b.iter(|| {
-            black_box(PlaTable::fit(
-                PlaFunc::Tanh,
-                black_box(32),
-                black_box(9),
-                FitMode::LeastSquares,
-            ))
-        })
+fn main() {
+    bench("fig2_pla/fit_design_point", || {
+        black_box(PlaTable::fit(
+            PlaFunc::Tanh,
+            black_box(32),
+            black_box(9),
+            FitMode::LeastSquares,
+        ))
     });
 
     let table = PlaTable::fit(PlaFunc::Tanh, 32, 9, FitMode::LeastSquares);
-    group.bench_function("eval_full_grid", |b| {
-        b.iter(|| {
-            let mut acc = 0i32;
-            for raw in (i16::MIN..=i16::MAX).step_by(16) {
-                acc = acc.wrapping_add(table.eval(Q3p12::from_raw(raw)).raw() as i32);
-            }
-            black_box(acc)
-        })
+    bench("fig2_pla/eval_full_grid", || {
+        let mut acc = 0i32;
+        for raw in (i16::MIN..=i16::MAX).step_by(16) {
+            acc = acc.wrapping_add(table.eval(Q3p12::from_raw(raw)).raw() as i32);
+        }
+        black_box(acc)
     });
 
-    group.bench_function("mse_design_point", |b| b.iter(|| black_box(table.mse())));
-
-    group.finish();
+    bench("fig2_pla/mse_design_point", || black_box(table.mse()));
 }
-
-criterion_group!(benches, bench_pla);
-criterion_main!(benches);

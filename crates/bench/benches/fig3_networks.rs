@@ -1,15 +1,12 @@
-//! Criterion bench backing **Fig. 3**: per-network inference simulation
-//! at the baseline and the fully-extended level. Speedups are printed
-//! once per network; the benched quantity is the simulation itself.
+//! Bench backing **Fig. 3**: per-network inference simulation at the
+//! baseline and the fully-extended level. Speedups are printed once per
+//! network; the benched quantity is the simulation itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rnnasip_bench::run_net;
+use rnnasip_bench::{harness::bench, run_net};
 use rnnasip_core::OptLevel;
 use std::hint::black_box;
 
-fn bench_networks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig3_networks");
-    group.sample_size(10);
+fn main() {
     for net in rnnasip_rrm::suite() {
         let base = run_net(&net, OptLevel::Baseline).cycles();
         let best = run_net(&net, OptLevel::IfmTile).cycles();
@@ -21,12 +18,8 @@ fn bench_networks(c: &mut Criterion) {
             best,
             base as f64 / best as f64
         );
-        group.bench_function(format!("{}_extended", net.id), |b| {
-            b.iter(|| black_box(run_net(&net, OptLevel::IfmTile).cycles()))
+        bench(&format!("fig3_networks/{}_extended", net.id), || {
+            black_box(run_net(&net, OptLevel::IfmTile).cycles())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_networks);
-criterion_main!(benches);

@@ -4,14 +4,12 @@
 //! IFM tiling), plus LSTM with and without the activation extension
 //! (Section III-D's 13% claim).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rnnasip_bench::harness::bench;
 use rnnasip_core::{KernelBackend, OptLevel};
 use rnnasip_rrm::{seeded_fc_layer, seeded_input};
 use std::hint::black_box;
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel_ablation");
-    group.sample_size(10);
+fn main() {
     let layer = seeded_fc_layer(100, 100, 1);
     let input = seeded_input(100, 2);
 
@@ -31,8 +29,9 @@ fn bench_ablation(c: &mut Criterion) {
             cycles,
             base as f64 / cycles as f64
         );
-        group.bench_function(format!("fc100x100_{}", level.tag()), |b| {
-            b.iter(|| {
+        bench(
+            &format!("kernel_ablation/fc100x100_{}", level.tag()),
+            || {
                 black_box(
                     KernelBackend::new(level)
                         .run_fc(&layer, &input)
@@ -40,11 +39,7 @@ fn bench_ablation(c: &mut Criterion) {
                         .report
                         .cycles(),
                 )
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

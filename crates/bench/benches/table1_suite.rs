@@ -1,16 +1,13 @@
-//! Criterion bench backing **Table I**: simulates the whole RRM suite
-//! at each optimization level. The measured wall time is the simulator's
-//! own cost; the interesting *architectural* output (cycle counts per
+//! Bench backing **Table I**: simulates the whole RRM suite at each
+//! optimization level. The measured wall time is the simulator's own
+//! cost; the interesting *architectural* output (cycle counts per
 //! level) is printed once per level alongside.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rnnasip_bench::run_suite;
+use rnnasip_bench::{harness::bench, run_suite};
 use rnnasip_core::OptLevel;
 use std::hint::black_box;
 
-fn bench_suite(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_suite");
-    group.sample_size(10);
+fn main() {
     for level in OptLevel::ALL {
         // Report the architectural result once.
         let stats = run_suite(level);
@@ -21,12 +18,8 @@ fn bench_suite(c: &mut Criterion) {
             stats.instrs() / 1000,
             stats.mac_ops() / 1000
         );
-        group.bench_function(format!("level_{}", level.tag()), |b| {
-            b.iter(|| black_box(run_suite(level).cycles()))
+        bench(&format!("table1_suite/level_{}", level.tag()), || {
+            black_box(run_suite(level).cycles())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_suite);
-criterion_main!(benches);

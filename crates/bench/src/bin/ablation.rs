@@ -7,27 +7,39 @@
 //!    `pv.sdotsp.b` (paper-core compatible) and with this repository's
 //!    `pl.sdotsp.b` extension (four MACs per merged load-compute).
 
+use rnnasip_bench::par::par_map;
 use rnnasip_core::{Int8Kernel, KernelBackend, OptLevel};
 use rnnasip_nn::{quantize_input8, FcLayer8};
 use rnnasip_rrm::{seeded_fc_layer, seeded_input};
+
+const SWEEP_LEVELS: [OptLevel; 3] = [OptLevel::OfmTile, OptLevel::SdotSp, OptLevel::IfmTile];
 
 fn main() {
     let layer = seeded_fc_layer(128, 96, 3);
     let input = seeded_input(128, 4);
     println!("ABLATION 1 — output-tile size sweep (fc 128->96, cycles/MAC)\n");
     print!("{:>6} |", "tile");
-    for level in [OptLevel::OfmTile, OptLevel::SdotSp, OptLevel::IfmTile] {
+    for level in SWEEP_LEVELS {
         print!("{:>10}", format!("level {}", level.tag()));
     }
     println!("\n-------+{}", "-".repeat(30));
-    for tile in 1..=10usize {
+    // All 30 (tile, level) runs are independent simulations: run the
+    // grid in parallel, then print from the order-preserved results.
+    let jobs: Vec<(usize, OptLevel)> = (1..=10usize)
+        .flat_map(|tile| SWEEP_LEVELS.into_iter().map(move |level| (tile, level)))
+        .collect();
+    let grid = par_map(&jobs, |&(tile, level)| {
+        KernelBackend::new(level)
+            .with_max_tile(tile)
+            .run_fc(&layer, &input)
+            .expect("fc runs")
+            .report
+            .cycles_per_mac()
+    });
+    for (t, tile) in (1..=10usize).enumerate() {
         print!("{tile:>6} |");
-        for level in [OptLevel::OfmTile, OptLevel::SdotSp, OptLevel::IfmTile] {
-            let run = KernelBackend::new(level)
-                .with_max_tile(tile)
-                .run_fc(&layer, &input)
-                .expect("fc runs");
-            print!("{:>10.3}", run.report.cycles_per_mac());
+        for i in 0..SWEEP_LEVELS.len() {
+            print!("{:>10.3}", grid[t * SWEEP_LEVELS.len() + i]);
         }
         println!();
     }
@@ -40,15 +52,18 @@ fn main() {
     println!("ABLATION 2 — INT8 (Q1.6) vs Q3.12 on the same layer\n");
     let layer8 = FcLayer8::quantize_from(&layer);
     let input8 = quantize_input8(&input);
+    let int8_jobs = [Int8Kernel::PvSdot, Int8Kernel::PlSdotB];
+    let mut int8_runs = par_map(&int8_jobs, |&kernel| {
+        KernelBackend::new(OptLevel::IfmTile)
+            .run_fc8(&layer8, &input8, kernel)
+            .expect("int8 runs")
+    })
+    .into_iter();
     let q16 = KernelBackend::new(OptLevel::IfmTile)
         .run_fc(&layer, &input)
         .expect("16-bit runs");
-    let pv8 = KernelBackend::new(OptLevel::IfmTile)
-        .run_fc8(&layer8, &input8, Int8Kernel::PvSdot)
-        .expect("pv int8 runs");
-    let pl8 = KernelBackend::new(OptLevel::IfmTile)
-        .run_fc8(&layer8, &input8, Int8Kernel::PlSdotB)
-        .expect("pl int8 runs");
+    let pv8 = int8_runs.next().expect("pv int8 runs");
+    let pl8 = int8_runs.next().expect("pl int8 runs");
     println!(
         "{:<34} {:>8} {:>10} {:>10}",
         "kernel", "cycles", "cyc/MAC", "MAC/cyc"

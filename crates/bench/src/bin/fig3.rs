@@ -2,7 +2,7 @@
 //! baseline at each optimization level, for all ten benchmark networks
 //! plus the suite average.
 
-use rnnasip_bench::run_net;
+use rnnasip_bench::{par::par_map, run_net};
 use rnnasip_core::OptLevel;
 
 fn main() {
@@ -12,11 +12,19 @@ fn main() {
         "network", "kind", "base_cyc", "b", "c", "d", "e"
     );
     let suite = rnnasip_rrm::suite();
+    // Every (network, level) simulation is independent: run the whole
+    // grid in parallel, then print from the order-preserved results.
+    let jobs: Vec<(usize, OptLevel)> = suite
+        .iter()
+        .enumerate()
+        .flat_map(|(n, _)| OptLevel::ALL.into_iter().map(move |level| (n, level)))
+        .collect();
+    let grid = par_map(&jobs, |&(n, level)| run_net(&suite[n], level).cycles());
     let mut totals = [0u64; 5];
-    for net in &suite {
+    for (n, net) in suite.iter().enumerate() {
         let mut cycles = [0u64; 5];
-        for (i, level) in OptLevel::ALL.into_iter().enumerate() {
-            cycles[i] = run_net(net, level).cycles();
+        for i in 0..OptLevel::ALL.len() {
+            cycles[i] = grid[n * OptLevel::ALL.len() + i];
             totals[i] += cycles[i];
         }
         let s = |i: usize| cycles[0] as f64 / cycles[i] as f64;

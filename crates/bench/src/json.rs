@@ -1,0 +1,111 @@
+//! Minimal hand-rolled JSON emission for the binaries' `--json` modes.
+//!
+//! The offline toolchain carries no serde; the machine-readable reports
+//! only need flat objects, arrays, strings, and numbers, so a tiny
+//! builder is all that's required.
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builder for one JSON object; fields appear in insertion order.
+#[derive(Default)]
+pub struct Obj {
+    fields: Vec<String>,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field (escaped and quoted).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push(format!("\"{}\":\"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn num(mut self, key: &str, value: u64) -> Self {
+        self.fields.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Adds a float field; `None` or non-finite values serialize as
+    /// `null` (JSON has no NaN/Infinity).
+    pub fn float(mut self, key: &str, value: Option<f64>) -> Self {
+        let raw = match value {
+            Some(v) if v.is_finite() => format!("{v:.3}"),
+            _ => "null".to_string(),
+        };
+        self.fields.push(format!("\"{}\":{raw}", escape(key)));
+        self
+    }
+
+    /// Adds an already-serialized JSON value verbatim.
+    pub fn raw(mut self, key: &str, value: String) -> Self {
+        self.fields.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+/// Serializes already-encoded JSON values as an array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    format!("[{}]", items.into_iter().collect::<Vec<_>>().join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn builds_nested_objects() {
+        let inner = array([Obj::new().num("x", 1).build()]);
+        let text = Obj::new()
+            .str("name", "pl.sdotsp")
+            .num("cycles", 42)
+            .float("mips", Some(1.25))
+            .float("missing", None)
+            .raw("rows", inner)
+            .build();
+        assert_eq!(
+            text,
+            "{\"name\":\"pl.sdotsp\",\"cycles\":42,\"mips\":1.250,\
+             \"missing\":null,\"rows\":[{\"x\":1}]}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(
+            Obj::new().float("v", Some(f64::NAN)).build(),
+            "{\"v\":null}"
+        );
+    }
+}

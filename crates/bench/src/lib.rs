@@ -1,5 +1,5 @@
 //! Shared harness code for the table/figure regeneration binaries and
-//! the Criterion benches.
+//! the `harness = false` benches.
 //!
 //! Each paper artifact has a binary:
 //!
@@ -13,6 +13,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
+pub mod json;
+pub mod par;
 
 use rnnasip_core::{KernelBackend, OptLevel, RunReport};
 use rnnasip_rrm::BenchmarkNet;
@@ -29,11 +33,22 @@ pub fn run_net(net: &BenchmarkNet, level: OptLevel) -> RunReport {
 }
 
 /// Runs the whole suite at one level and merges the statistics.
+///
+/// The ten networks simulate in parallel ([`par::par_map`]); the merge
+/// happens sequentially in suite order, so the aggregate is bit-identical
+/// to a sequential run.
 pub fn run_suite(level: OptLevel) -> Stats {
-    let mut total = Stats::new();
-    for net in rnnasip_rrm::suite() {
-        let report = run_net(&net, level);
-        total.merge(report.stats());
+    run_suite_report(level).stats().clone()
+}
+
+/// Like [`run_suite`] but keeps the full [`RunReport`], including the
+/// accumulated host simulation time (per-core simulated-MIPS figure).
+pub fn run_suite_report(level: OptLevel) -> RunReport {
+    let nets = rnnasip_rrm::suite();
+    let reports = par::par_map(&nets, |net| run_net(net, level));
+    let mut total = RunReport::default();
+    for report in &reports {
+        total.merge(report);
     }
     total
 }
@@ -146,8 +161,8 @@ mod tests {
     #[test]
     fn format_column_totals() {
         let mut s = Stats::new();
-        s.record("addi", 1000, 0);
-        s.record("p.lw!", 2000, 0);
+        s.record_name("addi", 1000, 0);
+        s.record_name("p.lw!", 2000, 0);
         let text = format_column("test", &s, 1);
         assert!(text.contains("lw!"));
         assert!(text.contains("oth."));

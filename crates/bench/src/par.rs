@@ -1,0 +1,109 @@
+//! A minimal deterministic parallel map over scoped threads.
+//!
+//! The benchmark suite is embarrassingly parallel — every (network,
+//! optimization level) pair simulates on its own `Machine` with no shared
+//! state — but the usual data-parallelism crates are unavailable offline.
+//! [`par_map`] covers the one shape the harness needs: apply a function
+//! to every element of a slice, on all available cores, and return the
+//! results **in input order** so every downstream merge and printout is
+//! byte-identical to the sequential run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Applies `f` to every element of `items` across all available cores
+/// and returns the results in input order.
+///
+/// Work is distributed by an atomic next-item counter, so uneven job
+/// sizes (a CNN next to a tiny MLP) never idle a core that still has
+/// work to steal. Falls back to a plain sequential map for short inputs
+/// or single-core hosts.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(par_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Jobs with wildly different costs must still land in order.
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map(&items, |&x| {
+            let spins = if x % 7 == 0 { 100_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            // Return something order-dependent but deterministic.
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    #[should_panic]
+    fn propagates_worker_panics() {
+        let items: Vec<u32> = (0..64).collect();
+        par_map(&items, |&x| {
+            if x == 13 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

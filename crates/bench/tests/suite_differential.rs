@@ -1,0 +1,136 @@
+//! Differential + golden test over the full Table I suite.
+//!
+//! For every optimization level a–e this runs the complete RRM suite and
+//! checks the dense indexed [`Stats`] against the string-keyed `BTreeMap`
+//! reporting the seed repository used:
+//!
+//! 1. **Report equivalence** — CSV and Display output must byte-match a
+//!    reference rebuilt from the same rows with the old `BTreeMap`
+//!    sort-and-format algorithm.
+//! 2. **Total consistency** — aggregate cycle/instruction totals must
+//!    equal the sum over per-mnemonic rows (stall cycles are charged to
+//!    the producing load's row, so rows account for every cycle).
+//! 3. **Golden pinning** — totals must match the values captured from
+//!    the seed simulator, proving the fetch-table / indexed-stats /
+//!    block-run fast path changed nothing architecturally.
+
+use rnnasip_bench::run_suite;
+use rnnasip_core::OptLevel;
+use rnnasip_sim::{Row, Stats};
+use std::collections::BTreeMap;
+
+/// `(level, cycles, instrs, stall_cycles, mac_ops)` for the full suite,
+/// captured from the simulator and cross-checked against Table I's
+/// speedup ladder (a/e ≈ 15×).
+const GOLDEN: [(&str, u64, u64, u64, u64); 5] = [
+    ("a", 12_114_333, 10_755_216, 13_886, 1_316_954),
+    ("b", 2_853_979, 2_181_922, 658_070, 1_316_954),
+    ("c", 1_478_218, 1_474_902, 3_198, 1_312_432),
+    ("d", 894_156, 822_188, 71_850, 1_316_748),
+    ("e", 825_766, 822_188, 3_460, 1_316_748),
+];
+
+/// Rebuilds the CSV with the seed's `BTreeMap`-based algorithm.
+fn reference_csv(rows: &BTreeMap<&'static str, Row>, cycles: u64, instrs: u64) -> String {
+    let mut sorted: Vec<_> = rows.iter().map(|(&k, &r)| (k, r)).collect();
+    sorted.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then(a.0.cmp(b.0)));
+    let mut out = String::from("mnemonic,cycles,instrs\n");
+    for (name, row) in &sorted {
+        out.push_str(&format!("{},{},{}\n", name, row.cycles, row.instrs));
+    }
+    out.push_str(&format!("TOTAL,{cycles},{instrs}\n"));
+    out
+}
+
+/// Rebuilds the Display breakdown with the seed's algorithm.
+fn reference_display(rows: &BTreeMap<&'static str, Row>, cycles: u64, instrs: u64) -> String {
+    let mut sorted: Vec<_> = rows.iter().map(|(&k, &r)| (k, r)).collect();
+    sorted.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then(a.0.cmp(b.0)));
+    let mut out = format!("{:<12} {:>12} {:>12}\n", "Instr.", "cycles", "instrs");
+    for (name, row) in &sorted {
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>12}\n",
+            name, row.cycles, row.instrs
+        ));
+    }
+    out.push_str(&format!("{:<12} {:>12} {:>12}\n", "Total", cycles, instrs));
+    out
+}
+
+fn check_level(level: OptLevel, golden: (&str, u64, u64, u64, u64)) {
+    let stats: Stats = run_suite(level);
+
+    // The name-keyed view the old implementation stored directly.
+    let rows: BTreeMap<&'static str, Row> = stats.iter().collect();
+
+    // 1. Report equivalence against the BTreeMap algorithm.
+    assert_eq!(
+        stats.to_csv(),
+        reference_csv(&rows, stats.cycles(), stats.instrs()),
+        "level {}: CSV diverges from BTreeMap reference",
+        level.tag()
+    );
+    assert_eq!(
+        stats.to_string(),
+        reference_display(&rows, stats.cycles(), stats.instrs()),
+        "level {}: Display diverges from BTreeMap reference",
+        level.tag()
+    );
+
+    // 2. Rows must account for every cycle and instruction (stall cycles
+    //    live inside the producing load's row).
+    let row_cycles: u64 = rows.values().map(|r| r.cycles).sum();
+    let row_instrs: u64 = rows.values().map(|r| r.instrs).sum();
+    assert_eq!(row_cycles, stats.cycles(), "level {}", level.tag());
+    assert_eq!(row_instrs, stats.instrs(), "level {}", level.tag());
+
+    // 3. Golden totals.
+    let actual = (
+        level.tag(),
+        stats.cycles(),
+        stats.instrs(),
+        stats.stall_cycles(),
+        stats.mac_ops(),
+    );
+    println!("golden capture: {actual:?}");
+    assert_eq!(actual, golden, "level {} totals moved", level.tag());
+}
+
+#[test]
+fn suite_level_a_matches_golden() {
+    check_level(OptLevel::Baseline, GOLDEN[0]);
+}
+
+#[test]
+fn suite_level_b_matches_golden() {
+    check_level(OptLevel::Xpulp, GOLDEN[1]);
+}
+
+#[test]
+fn suite_level_c_matches_golden() {
+    check_level(OptLevel::OfmTile, GOLDEN[2]);
+}
+
+#[test]
+fn suite_level_d_matches_golden() {
+    check_level(OptLevel::SdotSp, GOLDEN[3]);
+}
+
+#[test]
+fn suite_level_e_matches_golden() {
+    check_level(OptLevel::IfmTile, GOLDEN[4]);
+}
+
+#[test]
+fn golden_ladder_matches_paper_shape() {
+    // The pinned totals must reproduce the paper's speedup ladder: each
+    // level strictly faster, ~15x overall (Table I reports 15.0x).
+    for w in GOLDEN.windows(2) {
+        assert!(w[0].1 > w[1].1, "{:?} not faster than {:?}", w[1], w[0]);
+    }
+    let overall = GOLDEN[0].1 as f64 / GOLDEN[4].1 as f64;
+    assert!(
+        (13.0..17.0).contains(&overall),
+        "a/e speedup {overall:.2} out of Table I range"
+    );
+}

@@ -6,16 +6,45 @@ use rnnasip_sim::Stats;
 ///
 /// Wraps the simulator's per-mnemonic [`Stats`] and adds the derived
 /// quantities the paper reports: cycles per MAC and MAC throughput at a
-/// given clock.
+/// given clock. When the runner records how long the host took to
+/// simulate the run ([`with_host_nanos`](Self::with_host_nanos)), the
+/// report can also state the *simulator's* own speed in simulated MIPS
+/// ([`sim_mips`](Self::sim_mips)) — the metric the `sim-throughput`
+/// bench tracks.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
     stats: Stats,
+    host_nanos: u64,
 }
 
 impl RunReport {
     /// Wraps simulator statistics.
     pub fn new(stats: Stats) -> Self {
-        Self { stats }
+        Self {
+            stats,
+            host_nanos: 0,
+        }
+    }
+
+    /// Attaches the host wall-clock time the simulation took.
+    #[must_use]
+    pub fn with_host_nanos(mut self, nanos: u64) -> Self {
+        self.host_nanos = nanos;
+        self
+    }
+
+    /// Host wall-clock nanoseconds spent simulating (0 if not recorded).
+    pub fn host_nanos(&self) -> u64 {
+        self.host_nanos
+    }
+
+    /// Simulator speed in millions of simulated instructions per host
+    /// second, or `None` if no host time was recorded.
+    pub fn sim_mips(&self) -> Option<f64> {
+        if self.host_nanos == 0 {
+            return None;
+        }
+        Some(self.instrs() as f64 / (self.host_nanos as f64 / 1e9) / 1e6)
     }
 
     /// The per-mnemonic statistics.
@@ -59,9 +88,12 @@ impl RunReport {
         self.mac_ops() as f64 / self.cycles() as f64 * f_hz / 1e6
     }
 
-    /// Merges another report into this one.
+    /// Merges another report into this one. Host times add up, so an
+    /// aggregate report's [`sim_mips`](Self::sim_mips) is the overall
+    /// rate across its parts.
     pub fn merge(&mut self, other: &RunReport) {
         self.stats.merge(&other.stats);
+        self.host_nanos += other.host_nanos;
     }
 }
 
@@ -79,8 +111,8 @@ mod tests {
     fn derived_metrics() {
         let mut s = Stats::new();
         // Two pl.sdotsp at 1 cycle each: 4 MACs in 2 cycles.
-        s.record("pl.sdot", 1, 2);
-        s.record("pl.sdot", 1, 2);
+        s.record_name("pl.sdotsp", 1, 2);
+        s.record_name("pl.sdotsp", 1, 2);
         let r = RunReport::new(s);
         assert_eq!(r.cycles_per_mac(), 0.5);
         // 2 MAC/cycle * 380 MHz = 760 MMAC/s.
@@ -92,5 +124,22 @@ mod tests {
         let r = RunReport::default();
         assert!(r.cycles_per_mac().is_nan());
         assert_eq!(r.mmacs_at(380e6), 0.0);
+        assert_eq!(r.sim_mips(), None);
+    }
+
+    #[test]
+    fn sim_mips_from_host_time() {
+        let mut s = Stats::new();
+        for _ in 0..1000 {
+            s.record_name("addi", 1, 0);
+        }
+        // 1000 instructions in 1 ms -> 1 MIPS.
+        let r = RunReport::new(s).with_host_nanos(1_000_000);
+        assert!((r.sim_mips().unwrap() - 1.0).abs() < 1e-9);
+        // Merging two such reports keeps the rate (2000 instrs / 2 ms).
+        let mut a = r.clone();
+        a.merge(&r);
+        assert!((a.sim_mips().unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(a.host_nanos(), 2_000_000);
     }
 }

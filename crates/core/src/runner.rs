@@ -227,7 +227,9 @@ impl KernelBackend {
         s.asm.ecall();
         let prog = s.asm.assemble()?;
         s.machine.load_program(&prog);
+        let started = std::time::Instant::now();
         s.machine.run(self.max_cycles)?;
+        let host_nanos = started.elapsed().as_nanos() as u64;
         let outputs = (0..layer.n_out())
             .map(|o| {
                 s.machine
@@ -238,7 +240,7 @@ impl KernelBackend {
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Layer8Run {
             outputs,
-            report: RunReport::new(s.machine.stats().clone()),
+            report: RunReport::new(s.machine.stats().clone()).with_host_nanos(host_nanos),
         })
     }
 
@@ -622,9 +624,14 @@ impl Session {
         self.asm.ecall();
         let prog = self.asm.assemble()?;
         self.machine.load_program(&prog);
+        let started = std::time::Instant::now();
         self.machine.run(max_cycles)?;
+        let host_nanos = started.elapsed().as_nanos() as u64;
         let outputs = self.machine.mem().read_q3p12_slice(out_addr, out_len)?;
-        Ok((outputs, RunReport::new(self.machine.stats().clone())))
+        Ok((
+            outputs,
+            RunReport::new(self.machine.stats().clone()).with_host_nanos(host_nanos),
+        ))
     }
 }
 

@@ -3,11 +3,10 @@
 //! and a range of shapes (including odd widths that force padding and
 //! shapes that exercise remainder tiles).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rnnasip_core::{KernelBackend, OptLevel};
 use rnnasip_fixed::Q3p12;
 use rnnasip_nn::{Act, Conv2dLayer, FcLayer, LstmLayer, Matrix, Network, Stage};
+use rnnasip_rng::StdRng;
 
 fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)

@@ -2,11 +2,10 @@
 //! `pl.sdotsp.b` kernels against the Q1.6 golden model, and the expected
 //! throughput ordering (INT8 merged load-compute beats everything).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rnnasip_core::{Int8Kernel, KernelBackend, OptLevel};
 use rnnasip_fixed::Q1p6;
 use rnnasip_nn::{Act, FcLayer8};
+use rnnasip_rng::StdRng;
 
 fn rand_layer8(rng: &mut StdRng, n_out: usize, n_in: usize, act: Act) -> FcLayer8 {
     let weights = (0..n_out * n_in)

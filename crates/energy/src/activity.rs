@@ -103,11 +103,11 @@ mod tests {
     #[test]
     fn classification() {
         let mut s = Stats::new();
-        s.record("p.lw!", 2, 0); // one stall cycle inside
-        s.record("pl.sdotsp", 1, 2);
-        s.record("p.sh!", 1, 0);
-        s.record("addi", 1, 0);
-        s.record("p.mac", 1, 1);
+        s.record_name("p.lw!", 2, 0); // one stall cycle inside
+        s.record_name("pl.sdotsp", 1, 2);
+        s.record_name("p.sh!", 1, 0);
+        s.record_name("addi", 1, 0);
+        s.record_name("p.mac", 1, 1);
         let a = Activity::from_stats(&s);
         assert_eq!(a.loads, 2); // p.lw! + pl.sdotsp stream load
         assert_eq!(a.stores, 1);

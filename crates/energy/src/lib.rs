@@ -45,8 +45,8 @@ use rnnasip_sim::Stats;
 /// use rnnasip_sim::Stats;
 ///
 /// let mut stats = Stats::new();
-/// stats.record("pl.sdotsp", 1, 2);
-/// stats.record("p.lw!", 1, 0);
+/// stats.record_name("pl.sdotsp", 1, 2);
+/// stats.record_name("p.lw!", 1, 0);
 /// let r = report(&stats, &PowerModel::gf22fdx_065v());
 /// assert!(r.mmacs > 0.0);
 /// assert!(r.gmacs_per_w > 0.0);

@@ -1,6 +1,7 @@
 //! The instruction enumeration and its static metadata.
 
 use crate::csr::Csr;
+use crate::mnemonic::MnemonicId;
 use crate::reg::Reg;
 
 /// Conditional branch comparison.
@@ -1093,75 +1094,156 @@ impl Instr {
     /// Post-increment loads/stores get the paper's `!` suffix; all
     /// `pv.sdotsp`-family dot products bin under their base mnemonic.
     pub fn mnemonic(&self) -> &'static str {
+        self.mnemonic_id().name()
+    }
+
+    /// The dense [`MnemonicId`] of this instruction's stable mnemonic.
+    ///
+    /// This is the authoritative instruction→mnemonic binning; the
+    /// simulator's hot path keys its per-mnemonic counters by this id so
+    /// retiring an instruction never touches a string or a map.
+    pub fn mnemonic_id(&self) -> MnemonicId {
         use Instr::*;
+        use MnemonicId as M;
         match self {
-            Lui { .. } => "lui",
-            Auipc { .. } => "auipc",
-            Jal { .. } => "jal",
-            Jalr { .. } => "jalr",
-            Branch { op, .. } => op.mnemonic(),
-            Load { op, .. } => op.mnemonic(),
-            Store { op, .. } => op.mnemonic(),
-            OpImm { op, .. } => op.mnemonic(),
-            Op { op, .. } => op.mnemonic(),
-            MulDiv { op, .. } => op.mnemonic(),
-            Fence => "fence",
-            Ecall => "ecall",
-            Ebreak => "ebreak",
-            Csr { op, .. } => op.mnemonic(),
+            Lui { .. } => M::Lui,
+            Auipc { .. } => M::Auipc,
+            Jal { .. } => M::Jal,
+            Jalr { .. } => M::Jalr,
+            Branch { op, .. } => match op {
+                BranchOp::Beq => M::Beq,
+                BranchOp::Bne => M::Bne,
+                BranchOp::Blt => M::Blt,
+                BranchOp::Bge => M::Bge,
+                BranchOp::Bltu => M::Bltu,
+                BranchOp::Bgeu => M::Bgeu,
+            },
+            Load { op, .. } => match op {
+                LoadOp::Lb => M::Lb,
+                LoadOp::Lh => M::Lh,
+                LoadOp::Lw => M::Lw,
+                LoadOp::Lbu => M::Lbu,
+                LoadOp::Lhu => M::Lhu,
+            },
+            Store { op, .. } => match op {
+                StoreOp::Sb => M::Sb,
+                StoreOp::Sh => M::Sh,
+                StoreOp::Sw => M::Sw,
+            },
+            OpImm { op, .. } => match op {
+                AluImmOp::Addi => M::Addi,
+                AluImmOp::Slti => M::Slti,
+                AluImmOp::Sltiu => M::Sltiu,
+                AluImmOp::Xori => M::Xori,
+                AluImmOp::Ori => M::Ori,
+                AluImmOp::Andi => M::Andi,
+                AluImmOp::Slli => M::Slli,
+                AluImmOp::Srli => M::Srli,
+                AluImmOp::Srai => M::Srai,
+            },
+            Op { op, .. } => match op {
+                AluOp::Add => M::Add,
+                AluOp::Sub => M::Sub,
+                AluOp::Sll => M::Sll,
+                AluOp::Slt => M::Slt,
+                AluOp::Sltu => M::Sltu,
+                AluOp::Xor => M::Xor,
+                AluOp::Srl => M::Srl,
+                AluOp::Sra => M::Sra,
+                AluOp::Or => M::Or,
+                AluOp::And => M::And,
+            },
+            MulDiv { op, .. } => match op {
+                MulDivOp::Mul => M::Mul,
+                MulDivOp::Mulh => M::Mulh,
+                MulDivOp::Mulhsu => M::Mulhsu,
+                MulDivOp::Mulhu => M::Mulhu,
+                MulDivOp::Div => M::Div,
+                MulDivOp::Divu => M::Divu,
+                MulDivOp::Rem => M::Rem,
+                MulDivOp::Remu => M::Remu,
+            },
+            Fence => M::Fence,
+            Ecall => M::Ecall,
+            Ebreak => M::Ebreak,
+            Csr { op, .. } => match op {
+                CsrOp::Csrrw => M::Csrrw,
+                CsrOp::Csrrs => M::Csrrs,
+                CsrOp::Csrrc => M::Csrrc,
+            },
             LoadPostInc { op, .. } => match op {
-                LoadOp::Lb => "p.lb!",
-                LoadOp::Lh => "p.lh!",
-                LoadOp::Lw => "p.lw!",
-                LoadOp::Lbu => "p.lbu!",
-                LoadOp::Lhu => "p.lhu!",
+                LoadOp::Lb => M::PLbPost,
+                LoadOp::Lh => M::PLhPost,
+                LoadOp::Lw => M::PLwPost,
+                LoadOp::Lbu => M::PLbuPost,
+                LoadOp::Lhu => M::PLhuPost,
             },
             LoadReg { op, .. } => match op {
-                LoadOp::Lb => "p.lb",
-                LoadOp::Lh => "p.lh",
-                LoadOp::Lw => "p.lw",
-                LoadOp::Lbu => "p.lbu",
-                LoadOp::Lhu => "p.lhu",
+                LoadOp::Lb => M::PLb,
+                LoadOp::Lh => M::PLh,
+                LoadOp::Lw => M::PLw,
+                LoadOp::Lbu => M::PLbu,
+                LoadOp::Lhu => M::PLhu,
             },
             StorePostInc { op, .. } => match op {
-                StoreOp::Sb => "p.sb!",
-                StoreOp::Sh => "p.sh!",
-                StoreOp::Sw => "p.sw!",
+                StoreOp::Sb => M::PSbPost,
+                StoreOp::Sh => M::PShPost,
+                StoreOp::Sw => M::PSwPost,
             },
-            LpStarti { .. } => "lp.starti",
-            LpEndi { .. } => "lp.endi",
-            LpCount { .. } => "lp.count",
-            LpCounti { .. } => "lp.counti",
-            LpSetup { .. } => "lp.setup",
-            LpSetupi { .. } => "lp.setupi",
-            Mac { .. } => "p.mac",
-            Msu { .. } => "p.msu",
-            Clip { .. } => "p.clip",
-            ClipU { .. } => "p.clipu",
-            ExtHs { .. } => "p.exths",
-            ExtHz { .. } => "p.exthz",
-            ExtBs { .. } => "p.extbs",
-            ExtBz { .. } => "p.extbz",
-            PAbs { .. } => "p.abs",
-            PMin { .. } => "p.min",
-            PMax { .. } => "p.max",
-            Ff1 { .. } => "p.ff1",
-            Fl1 { .. } => "p.fl1",
-            Cnt { .. } => "p.cnt",
-            Clb { .. } => "p.clb",
-            Ror { .. } => "p.ror",
-            PvAlu { op, .. } => op.mnemonic(),
-            PvDot { op, .. } => op.mnemonic(),
+            LpStarti { .. } => M::LpStarti,
+            LpEndi { .. } => M::LpEndi,
+            LpCount { .. } => M::LpCount,
+            LpCounti { .. } => M::LpCounti,
+            LpSetup { .. } => M::LpSetup,
+            LpSetupi { .. } => M::LpSetupi,
+            Mac { .. } => M::PMac,
+            Msu { .. } => M::PMsu,
+            Clip { .. } => M::PClip,
+            ClipU { .. } => M::PClipU,
+            ExtHs { .. } => M::PExtHs,
+            ExtHz { .. } => M::PExtHz,
+            ExtBs { .. } => M::PExtBs,
+            ExtBz { .. } => M::PExtBz,
+            PAbs { .. } => M::PAbs,
+            PMin { .. } => M::PMin,
+            PMax { .. } => M::PMax,
+            Ff1 { .. } => M::PFf1,
+            Fl1 { .. } => M::PFl1,
+            Cnt { .. } => M::PCnt,
+            Clb { .. } => M::PClb,
+            Ror { .. } => M::PRor,
+            PvAlu { op, .. } => match op {
+                PvAluOp::Add => M::PvAdd,
+                PvAluOp::Sub => M::PvSub,
+                PvAluOp::Avg => M::PvAvg,
+                PvAluOp::Min => M::PvMin,
+                PvAluOp::Max => M::PvMax,
+                PvAluOp::Srl => M::PvSrl,
+                PvAluOp::Sra => M::PvSra,
+                PvAluOp::Sll => M::PvSll,
+                PvAluOp::Or => M::PvOr,
+                PvAluOp::Xor => M::PvXor,
+                PvAluOp::And => M::PvAnd,
+                PvAluOp::Abs => M::PvAbs,
+            },
+            PvDot { op, .. } => match op {
+                DotOp::DotUp => M::PvDotUp,
+                DotOp::DotUsp => M::PvDotUsp,
+                DotOp::DotSp => M::PvDotSp,
+                DotOp::SdotUp => M::PvSdotUp,
+                DotOp::SdotUsp => M::PvSdotUsp,
+                DotOp::SdotSp => M::PvSdotSp,
+            },
             PlSdotsp {
                 size: SimdSize::Half,
                 ..
-            } => "pl.sdotsp",
+            } => M::PlSdotsp,
             PlSdotsp {
                 size: SimdSize::Byte,
                 ..
-            } => "pl.sdotsp.b",
-            PlTanh { .. } => "pl.tanh",
-            PlSig { .. } => "pl.sig",
+            } => M::PlSdotspB,
+            PlTanh { .. } => M::PlTanh,
+            PlSig { .. } => M::PlSig,
         }
     }
 }

@@ -46,6 +46,7 @@ mod decode;
 mod disasm;
 mod encode;
 mod instr;
+mod mnemonic;
 mod reg;
 mod rvc;
 
@@ -56,5 +57,6 @@ pub use instr::{
     AluImmOp, AluOp, BranchOp, CsrOp, DotOp, Instr, LoadOp, LoopIdx, MulDivOp, PvAluOp, SimdMode,
     SimdSize, StoreOp,
 };
+pub use mnemonic::MnemonicId;
 pub use reg::{ParseRegError, Reg};
 pub use rvc::{compress, decode_compressed, is_compressed};

@@ -1,0 +1,326 @@
+//! Dense identifiers for the stable statistics mnemonics.
+//!
+//! Every instruction bins into exactly one stable mnemonic for Table I
+//! accounting ([`Instr::mnemonic`](crate::Instr::mnemonic)). Keying the
+//! simulator's per-mnemonic counters by string forced a `BTreeMap` upsert
+//! on every retired instruction; [`MnemonicId`] gives each stable
+//! mnemonic a dense `u16` index so statistics become a fixed-size array
+//! indexed in O(1), with the name materialized only at report time.
+//!
+//! The enum order is part of the crate's stable surface only insofar as
+//! `COUNT`, `index()` and `name()` stay mutually consistent; reports are
+//! always sorted by name or cycles, never by raw id, so reordering ids
+//! cannot change any reported artifact.
+
+/// Defines [`MnemonicId`] together with its name table so the two can
+/// never drift apart.
+macro_rules! mnemonic_ids {
+    ($($(#[$meta:meta])* $variant:ident => $name:literal,)+) => {
+        /// A dense identifier for one stable statistics mnemonic.
+        ///
+        /// `MnemonicId` is a plain `u16`-repr enum: converting to an
+        /// array index is a no-op, and the full set is enumerable via
+        /// [`MnemonicId::ALL`].
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        #[repr(u16)]
+        pub enum MnemonicId {
+            $($(#[$meta])* $variant,)+
+        }
+
+        impl MnemonicId {
+            /// Number of stable mnemonics.
+            pub const COUNT: usize = Self::ALL.len();
+
+            /// Every id, in id order.
+            pub const ALL: [MnemonicId; [$($name),+].len()] = [$(MnemonicId::$variant),+];
+
+            /// The stable mnemonic string.
+            pub const fn name(self) -> &'static str {
+                match self {
+                    $(MnemonicId::$variant => $name,)+
+                }
+            }
+        }
+    };
+}
+
+mnemonic_ids! {
+    /// `lui`
+    Lui => "lui",
+    /// `auipc`
+    Auipc => "auipc",
+    /// `jal`
+    Jal => "jal",
+    /// `jalr`
+    Jalr => "jalr",
+    /// `beq`
+    Beq => "beq",
+    /// `bne`
+    Bne => "bne",
+    /// `blt`
+    Blt => "blt",
+    /// `bge`
+    Bge => "bge",
+    /// `bltu`
+    Bltu => "bltu",
+    /// `bgeu`
+    Bgeu => "bgeu",
+    /// `lb`
+    Lb => "lb",
+    /// `lh`
+    Lh => "lh",
+    /// `lw`
+    Lw => "lw",
+    /// `lbu`
+    Lbu => "lbu",
+    /// `lhu`
+    Lhu => "lhu",
+    /// `sb`
+    Sb => "sb",
+    /// `sh`
+    Sh => "sh",
+    /// `sw`
+    Sw => "sw",
+    /// `addi`
+    Addi => "addi",
+    /// `slti`
+    Slti => "slti",
+    /// `sltiu`
+    Sltiu => "sltiu",
+    /// `xori`
+    Xori => "xori",
+    /// `ori`
+    Ori => "ori",
+    /// `andi`
+    Andi => "andi",
+    /// `slli`
+    Slli => "slli",
+    /// `srli`
+    Srli => "srli",
+    /// `srai`
+    Srai => "srai",
+    /// `add`
+    Add => "add",
+    /// `sub`
+    Sub => "sub",
+    /// `sll`
+    Sll => "sll",
+    /// `slt`
+    Slt => "slt",
+    /// `sltu`
+    Sltu => "sltu",
+    /// `xor`
+    Xor => "xor",
+    /// `srl`
+    Srl => "srl",
+    /// `sra`
+    Sra => "sra",
+    /// `or`
+    Or => "or",
+    /// `and`
+    And => "and",
+    /// `mul`
+    Mul => "mul",
+    /// `mulh`
+    Mulh => "mulh",
+    /// `mulhsu`
+    Mulhsu => "mulhsu",
+    /// `mulhu`
+    Mulhu => "mulhu",
+    /// `div`
+    Div => "div",
+    /// `divu`
+    Divu => "divu",
+    /// `rem`
+    Rem => "rem",
+    /// `remu`
+    Remu => "remu",
+    /// `fence`
+    Fence => "fence",
+    /// `ecall`
+    Ecall => "ecall",
+    /// `ebreak`
+    Ebreak => "ebreak",
+    /// `csrrw`
+    Csrrw => "csrrw",
+    /// `csrrs`
+    Csrrs => "csrrs",
+    /// `csrrc`
+    Csrrc => "csrrc",
+    /// `p.lb!` (post-increment)
+    PLbPost => "p.lb!",
+    /// `p.lh!` (post-increment)
+    PLhPost => "p.lh!",
+    /// `p.lw!` (post-increment)
+    PLwPost => "p.lw!",
+    /// `p.lbu!` (post-increment)
+    PLbuPost => "p.lbu!",
+    /// `p.lhu!` (post-increment)
+    PLhuPost => "p.lhu!",
+    /// `p.lb` (register offset)
+    PLb => "p.lb",
+    /// `p.lh` (register offset)
+    PLh => "p.lh",
+    /// `p.lw` (register offset)
+    PLw => "p.lw",
+    /// `p.lbu` (register offset)
+    PLbu => "p.lbu",
+    /// `p.lhu` (register offset)
+    PLhu => "p.lhu",
+    /// `p.sb!` (post-increment)
+    PSbPost => "p.sb!",
+    /// `p.sh!` (post-increment)
+    PShPost => "p.sh!",
+    /// `p.sw!` (post-increment)
+    PSwPost => "p.sw!",
+    /// `lp.starti`
+    LpStarti => "lp.starti",
+    /// `lp.endi`
+    LpEndi => "lp.endi",
+    /// `lp.count`
+    LpCount => "lp.count",
+    /// `lp.counti`
+    LpCounti => "lp.counti",
+    /// `lp.setup`
+    LpSetup => "lp.setup",
+    /// `lp.setupi`
+    LpSetupi => "lp.setupi",
+    /// `p.mac`
+    PMac => "p.mac",
+    /// `p.msu`
+    PMsu => "p.msu",
+    /// `p.clip`
+    PClip => "p.clip",
+    /// `p.clipu`
+    PClipU => "p.clipu",
+    /// `p.exths`
+    PExtHs => "p.exths",
+    /// `p.exthz`
+    PExtHz => "p.exthz",
+    /// `p.extbs`
+    PExtBs => "p.extbs",
+    /// `p.extbz`
+    PExtBz => "p.extbz",
+    /// `p.abs`
+    PAbs => "p.abs",
+    /// `p.min`
+    PMin => "p.min",
+    /// `p.max`
+    PMax => "p.max",
+    /// `p.ff1`
+    PFf1 => "p.ff1",
+    /// `p.fl1`
+    PFl1 => "p.fl1",
+    /// `p.cnt`
+    PCnt => "p.cnt",
+    /// `p.clb`
+    PClb => "p.clb",
+    /// `p.ror`
+    PRor => "p.ror",
+    /// `pv.add`
+    PvAdd => "pv.add",
+    /// `pv.sub`
+    PvSub => "pv.sub",
+    /// `pv.avg`
+    PvAvg => "pv.avg",
+    /// `pv.min`
+    PvMin => "pv.min",
+    /// `pv.max`
+    PvMax => "pv.max",
+    /// `pv.srl`
+    PvSrl => "pv.srl",
+    /// `pv.sra`
+    PvSra => "pv.sra",
+    /// `pv.sll`
+    PvSll => "pv.sll",
+    /// `pv.or`
+    PvOr => "pv.or",
+    /// `pv.xor`
+    PvXor => "pv.xor",
+    /// `pv.and`
+    PvAnd => "pv.and",
+    /// `pv.abs`
+    PvAbs => "pv.abs",
+    /// `pv.dotup`
+    PvDotUp => "pv.dotup",
+    /// `pv.dotusp`
+    PvDotUsp => "pv.dotusp",
+    /// `pv.dotsp`
+    PvDotSp => "pv.dotsp",
+    /// `pv.sdotup`
+    PvSdotUp => "pv.sdotup",
+    /// `pv.sdotusp`
+    PvSdotUsp => "pv.sdotusp",
+    /// `pv.sdotsp`
+    PvSdotSp => "pv.sdotsp",
+    /// `pl.sdotsp` (halfword form, the paper's instruction)
+    PlSdotsp => "pl.sdotsp",
+    /// `pl.sdotsp.b` (byte form, this reproduction's INT8 extension)
+    PlSdotspB => "pl.sdotsp.b",
+    /// `pl.tanh`
+    PlTanh => "pl.tanh",
+    /// `pl.sig`
+    PlSig => "pl.sig",
+}
+
+impl MnemonicId {
+    /// The dense array index of this id.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The id at `index`, if in range.
+    pub fn from_index(index: usize) -> Option<MnemonicId> {
+        Self::ALL.get(index).copied()
+    }
+
+    /// Looks an id up by its stable mnemonic string (report-time /
+    /// test-convenience path; the hot path never goes through strings).
+    pub fn from_name(name: &str) -> Option<MnemonicId> {
+        Self::ALL.iter().copied().find(|id| id.name() == name)
+    }
+}
+
+impl core::fmt::Display for MnemonicId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_roundtrip() {
+        for (i, id) in MnemonicId::ALL.iter().enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(MnemonicId::from_index(i), Some(*id));
+        }
+        assert_eq!(MnemonicId::from_index(MnemonicId::COUNT), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for a in MnemonicId::ALL {
+            for b in MnemonicId::ALL {
+                if a != b {
+                    assert_ne!(a.name(), b.name(), "duplicate mnemonic string");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_name_roundtrips() {
+        for id in MnemonicId::ALL {
+            assert_eq!(MnemonicId::from_name(id.name()), Some(id));
+        }
+        assert_eq!(MnemonicId::from_name("not-a-mnemonic"), None);
+    }
+
+    #[test]
+    fn count_fits_u16() {
+        assert!(MnemonicId::COUNT < u16::MAX as usize);
+    }
+}

@@ -272,8 +272,7 @@ pub fn load_network(bytes: &[u8]) -> Result<Network, LoadError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rnnasip_rng::StdRng;
 
     fn q(rng: &mut StdRng) -> Q3p12 {
         Q3p12::from_f64(rng.gen::<f64>() - 0.5)

@@ -1,0 +1,130 @@
+//! A tiny, self-contained, deterministic pseudo-random number generator.
+//!
+//! The benchmark suite and the synthetic RRM environments only need a
+//! seeded stream of uniform `f64` samples; depending on the external
+//! `rand` crate for that made the whole workspace unbuildable in offline
+//! environments. This crate provides the minimal drop-in surface the
+//! repository uses — [`StdRng::seed_from_u64`] and [`StdRng::gen`] —
+//! backed by [SplitMix64], which is tiny, fast, and has well-understood
+//! statistical quality for this purpose (seeding and synthetic data).
+//!
+//! Determinism is part of the contract: the generated weight matrices
+//! define the benchmark programs whose cycle counts the reproduction
+//! pins, so the stream for a given seed must never change. The
+//! [`reference_stream_is_pinned`](#) test locks the first outputs of a
+//! few seeds.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//!
+//! # Example
+//!
+//! ```
+//! use rnnasip_rng::StdRng;
+//!
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+//! let x: f64 = a.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A seeded deterministic generator (SplitMix64 core).
+///
+/// Named `StdRng` so call sites read identically to the `rand` crate's
+/// API this replaces; unlike `rand`, the output stream is guaranteed
+/// stable across releases.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+/// Types that can be sampled uniformly from a [`StdRng`].
+pub trait Sample: Sized {
+    /// Draws one uniform sample.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl StdRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next raw 64-bit output (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Draws one uniform sample of `T`.
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits of the raw output.
+    fn sample(rng: &mut StdRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample(rng: &mut StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_stream_is_pinned() {
+        // SplitMix64 reference outputs for seed 0 (first three values of
+        // the published reference implementation).
+        let mut r = StdRng::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval_and_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: f64 = a.gen();
+            assert!((0.0..1.0).contains(&x));
+            assert_eq!(x, b.gen::<f64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_mean_is_centered() {
+        let mut r = StdRng::seed_from_u64(9);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,8 +1,7 @@
 //! LTE-in-unlicensed-spectrum coexistence environment.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rnnasip_fixed::Q3p12;
+use rnnasip_rng::StdRng;
 
 /// A synthetic LTE-U / WiFi coexistence scenario, the task of the `[13]`
 /// benchmark network (Challita et al.): an LTE-U base station must pick

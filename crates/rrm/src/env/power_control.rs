@@ -1,8 +1,7 @@
 //! Downlink power-control environment.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rnnasip_fixed::Q3p12;
+use rnnasip_rng::StdRng;
 
 /// A deterministic interference network of `n` transmitter–receiver
 /// pairs on a unit square, with log-distance path loss and slowly

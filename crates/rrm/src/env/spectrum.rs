@@ -1,8 +1,7 @@
 //! Multichannel opportunistic spectrum-access environment.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rnnasip_fixed::Q3p12;
+use rnnasip_rng::StdRng;
 
 /// `k` independent Gilbert–Elliott channels (two-state Markov: *free* /
 /// *busy*) observed through noisy energy detection — the classic

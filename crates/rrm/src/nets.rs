@@ -1,10 +1,9 @@
 //! The ten benchmark networks.
 
 use crate::weights;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rnnasip_fixed::Q3p12;
 use rnnasip_nn::{Act, Network, Stage};
+use rnnasip_rng::StdRng;
 
 /// Kernel family of a benchmark network (the Fig. 3 legend groups).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]

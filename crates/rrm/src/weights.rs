@@ -1,9 +1,8 @@
 //! Deterministic synthetic weight and input generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rnnasip_fixed::Q3p12;
 use rnnasip_nn::{Act, Conv2dLayer, FcLayer, LstmLayer, Matrix};
+use rnnasip_rng::StdRng;
 
 /// Uniform Q3.12 value in `[-scale, scale]`.
 fn q(rng: &mut StdRng, scale: f64) -> Q3p12 {

@@ -6,8 +6,8 @@ use crate::mem::Memory;
 use crate::program::Program;
 use crate::stats::Stats;
 use rnnasip_isa::{
-    AluImmOp, AluOp, BranchOp, Csr, CsrOp, DotOp, Instr, LoadOp, MulDivOp, PvAluOp, Reg, SimdMode,
-    SimdSize, StoreOp,
+    AluImmOp, AluOp, BranchOp, Csr, CsrOp, DotOp, Instr, LoadOp, MnemonicId, MulDivOp, PvAluOp,
+    Reg, SimdMode, SimdSize, StoreOp,
 };
 use std::collections::VecDeque;
 
@@ -30,6 +30,15 @@ const DIV_EXTRA_CYCLES: u64 = 31;
 /// Extra latency of the `mulh*` high-half multiplies (RI5CY: 5 cycles).
 const MULH_EXTRA_CYCLES: u64 = 4;
 
+/// Upper bound on the cycles one [`Machine::step`] can consume, used by
+/// [`Machine::run`] to size watchdog-check-free blocks.
+///
+/// The true worst case is `1 + DIV_EXTRA_CYCLES + 1` (base cycle, serial
+/// divide, load-use bubble) = 33; a power-of-two bound above it keeps the
+/// block arithmetic a shift and leaves headroom if a costlier instruction
+/// is ever modelled.
+const MAX_CYCLES_PER_STEP: u64 = 64;
+
 /// The simulated machine: core + memory + loaded program + statistics.
 ///
 /// See the [crate docs](crate) for the timing model. Construct with
@@ -42,7 +51,7 @@ pub struct Machine {
     stats: Stats,
     /// Destination of the immediately preceding load, for the load-use
     /// stall rule, with the mnemonic the stall is attributed to.
-    pending_load: Option<(Reg, &'static str)>,
+    pending_load: Option<(Reg, MnemonicId)>,
     /// SPR writes in flight: (instruction index at issue, SPR index, data).
     spr_pending: VecDeque<(u64, usize, u32)>,
     halted: Option<ExitReason>,
@@ -120,17 +129,41 @@ impl Machine {
 
     /// Runs until the program halts via `ecall`/`ebreak`.
     ///
+    /// Steps are executed in watchdog-check-free blocks: while the cycle
+    /// budget left exceeds `block · MAX_CYCLES_PER_STEP`, no step in the
+    /// block can push the counter past `max_cycles`, so the per-step
+    /// budget comparison (and the halted re-check it guards) is hoisted
+    /// out of the hot loop. Once the budget gets close the loop falls
+    /// back to per-step checking, making the watchdog fire on exactly
+    /// the same cycle as the naive step-and-check loop.
+    ///
     /// # Errors
     ///
     /// [`SimError::Watchdog`] if `max_cycles` elapse first, or any
     /// fetch/memory error raised by the program.
     pub fn run(&mut self, max_cycles: u64) -> Result<ExitReason, SimError> {
+        if let Some(reason) = self.halted {
+            return Ok(reason);
+        }
         loop {
-            match self.step()? {
-                StepOutcome::Halted(reason) => return Ok(reason),
-                StepOutcome::Continue => {
-                    if self.core.cycle > max_cycles {
-                        return Err(SimError::Watchdog { max_cycles });
+            let remaining = max_cycles.saturating_sub(self.core.cycle);
+            let block = remaining / MAX_CYCLES_PER_STEP;
+            if block == 0 {
+                // Near the budget: step one at a time, checking the
+                // watchdog after every retire exactly as the paper's
+                // original run loop did.
+                match self.step()? {
+                    StepOutcome::Halted(reason) => return Ok(reason),
+                    StepOutcome::Continue => {
+                        if self.core.cycle > max_cycles {
+                            return Err(SimError::Watchdog { max_cycles });
+                        }
+                    }
+                }
+            } else {
+                for _ in 0..block {
+                    if let StepOutcome::Halted(reason) = self.step()? {
+                        return Ok(reason);
                     }
                 }
             }
@@ -148,12 +181,16 @@ impl Machine {
         }
 
         // SPR writes issued two or more instructions ago become visible.
-        while let Some(&(issued, idx, value)) = self.spr_pending.front() {
-            if issued + 2 <= self.core.instret {
-                self.core.spr[idx] = value;
-                self.spr_pending.pop_front();
-            } else {
-                break;
+        // The deque is empty except inside `pl.sdotsp` streams, so guard
+        // the drain with the cheap length check.
+        if !self.spr_pending.is_empty() {
+            while let Some(&(issued, idx, value)) = self.spr_pending.front() {
+                if issued + 2 <= self.core.instret {
+                    self.core.spr[idx] = value;
+                    self.spr_pending.pop_front();
+                } else {
+                    break;
+                }
             }
         }
 
@@ -163,9 +200,9 @@ impl Machine {
         let size = item.size as u32;
 
         // Load-use stall: one bubble, charged to the producing load.
-        if let Some((reg, mnemonic)) = self.pending_load.take() {
+        if let Some((reg, id)) = self.pending_load.take() {
             if instr.uses().contains(reg) {
-                self.stats.attribute_stall(mnemonic);
+                self.stats.attribute_stall(id);
                 self.core.cycle += 1;
             }
         }
@@ -229,7 +266,7 @@ impl Machine {
                 let value = self.load_value(op, addr)?;
                 self.core.set_reg(rd, value);
                 if !rd.is_zero() {
-                    self.pending_load = Some((rd, instr.mnemonic()));
+                    self.pending_load = Some((rd, instr.mnemonic_id()));
                 }
             }
             Instr::LoadPostInc {
@@ -243,7 +280,7 @@ impl Machine {
                 self.core.set_reg(rs1, addr.wrapping_add(offset as u32));
                 self.core.set_reg(rd, value);
                 if !rd.is_zero() {
-                    self.pending_load = Some((rd, instr.mnemonic()));
+                    self.pending_load = Some((rd, instr.mnemonic_id()));
                 }
             }
             Instr::LoadReg { op, rd, rs1, rs2 } => {
@@ -251,7 +288,7 @@ impl Machine {
                 let value = self.load_value(op, addr)?;
                 self.core.set_reg(rd, value);
                 if !rd.is_zero() {
-                    self.pending_load = Some((rd, instr.mnemonic()));
+                    self.pending_load = Some((rd, instr.mnemonic_id()));
                 }
             }
             Instr::Store {
@@ -574,7 +611,8 @@ impl Machine {
         }
 
         let cycles = 1 + extra_cycles;
-        self.stats.record(instr.mnemonic(), cycles, instr.mac_ops());
+        self.stats
+            .record(instr.mnemonic_id(), cycles, instr.mac_ops());
         self.core.cycle += cycles;
         self.core.instret += 1;
         self.core.pc = next_pc;

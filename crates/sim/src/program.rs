@@ -1,7 +1,6 @@
 //! Loadable program images.
 
 use rnnasip_isa::{compress, decode, decode_compressed, is_compressed, DecodeError, Instr};
-use std::collections::HashMap;
 
 /// One placed instruction of a [`Program`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,7 +39,13 @@ pub struct ProgItem {
 pub struct Program {
     base: u32,
     items: Vec<ProgItem>,
-    by_addr: HashMap<u32, u32>,
+    /// Direct-mapped fetch table, one slot per halfword of the image:
+    /// slot `(addr - base) >> 1` holds `item index + 1`, or 0 for a
+    /// halfword that is not an instruction start (the interior of a
+    /// 4-byte instruction). Fetch is therefore a bounds-checked array
+    /// load — every address outside `[base, end)`, odd, or mid-
+    /// instruction falls out as `None` with no map probe.
+    slots: Vec<u32>,
     cursor: u32,
 }
 
@@ -58,7 +63,7 @@ impl Program {
         Self {
             base,
             items: Vec::new(),
-            by_addr: HashMap::new(),
+            slots: Vec::new(),
             cursor: base,
         }
     }
@@ -81,7 +86,10 @@ impl Program {
     pub fn push(&mut self, instr: Instr, size: u8) -> u32 {
         assert!(size == 2 || size == 4, "instruction size must be 2 or 4");
         let addr = self.cursor;
-        self.by_addr.insert(addr, self.items.len() as u32);
+        self.slots.push(self.items.len() as u32 + 1);
+        if size == 4 {
+            self.slots.push(0); // interior halfword of a 4-byte instruction
+        }
         self.items.push(ProgItem { addr, instr, size });
         self.cursor += size as u32;
         addr
@@ -113,8 +121,25 @@ impl Program {
     }
 
     /// Fetches the instruction at `addr`, if one starts there.
+    ///
+    /// Returns `None` for any address that is not an instruction start:
+    /// below `base` or at/past [`end`](Self::end), halfword-misaligned,
+    /// or pointing into the interior of a 4-byte instruction. The
+    /// machine turns that into a fetch fault, so a PC that walks off
+    /// either end of the image halts deterministically instead of
+    /// executing garbage.
+    #[inline]
     pub fn fetch(&self, addr: u32) -> Option<&ProgItem> {
-        self.by_addr.get(&addr).map(|&i| &self.items[i as usize])
+        // `wrapping_sub` folds `addr < base` into a huge offset that the
+        // bounds check below rejects, keeping the fast path branch-lean.
+        let off = addr.wrapping_sub(self.base);
+        if off & 1 != 0 {
+            return None;
+        }
+        match self.slots.get((off >> 1) as usize) {
+            Some(&slot) if slot != 0 => Some(&self.items[(slot - 1) as usize]),
+            _ => None,
+        }
     }
 
     /// Iterates the placed instructions in address order.
@@ -208,6 +233,31 @@ mod tests {
         assert!(p.fetch(2).is_none());
         assert!(p.fetch(4).is_some());
         assert!(p.fetch(8).is_none());
+    }
+
+    #[test]
+    fn fetch_boundary_semantics() {
+        // base 0x80: a 2-byte instr at 0x80, a 4-byte at 0x82, end 0x86.
+        let mut p = Program::new(0x80);
+        p.push(addi(Reg::A0, Reg::A0, 1), 2);
+        p.push(addi(Reg::A1, Reg::SP, 1234), 4);
+        // Below base (including the word just under it and address 0).
+        assert!(p.fetch(0).is_none());
+        assert!(p.fetch(0x7E).is_none());
+        assert!(p.fetch(0x7F).is_none());
+        // Instruction starts resolve.
+        assert_eq!(p.fetch(0x80).unwrap().addr, 0x80);
+        assert_eq!(p.fetch(0x82).unwrap().addr, 0x82);
+        // Interior halfword of the 4-byte instruction is not a start.
+        assert!(p.fetch(0x84).is_none());
+        // Odd (halfword-misaligned) PCs never resolve, even in range.
+        assert!(p.fetch(0x81).is_none());
+        assert!(p.fetch(0x83).is_none());
+        // At and past the end of the image.
+        assert_eq!(p.end(), 0x86);
+        assert!(p.fetch(0x86).is_none());
+        assert!(p.fetch(0x88).is_none());
+        assert!(p.fetch(u32::MAX - 1).is_none());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Per-mnemonic execution statistics (the raw material of Table I).
 
-use std::collections::BTreeMap;
+use rnnasip_isa::MnemonicId;
 use std::fmt;
 
 /// Instruction and cycle counts for one mnemonic.
@@ -13,13 +13,27 @@ pub struct Row {
     pub cycles: u64,
 }
 
+impl Row {
+    fn is_empty(&self) -> bool {
+        self.instrs == 0 && self.cycles == 0
+    }
+}
+
 /// Execution statistics collected by the simulator.
 ///
-/// Rows are keyed by the stable mnemonics of
-/// [`Instr::mnemonic`](rnnasip_isa::Instr::mnemonic). Stall cycles caused
-/// by load-use dependencies are charged to the *producing load's* row —
-/// the convention the paper's Table I uses (`lw!` shows 2 432 kcycles for
-/// 1 621 kinstr in column b: one bubble per `pv.sdotsp` iteration).
+/// Rows are keyed by [`MnemonicId`] — the dense per-mnemonic index of
+/// [`Instr::mnemonic_id`](rnnasip_isa::Instr::mnemonic_id) — and stored
+/// as a fixed-size counter array, so the simulator's retire path is two
+/// array-indexed additions with no map lookup or string comparison. The
+/// name-keyed view Table I needs is materialized only at report time
+/// ([`iter`](Self::iter), [`rows_by_cycles`](Self::rows_by_cycles),
+/// [`to_csv`](Self::to_csv)); rows never touched stay invisible there,
+/// so reports are identical to the former map-based implementation.
+///
+/// Stall cycles caused by load-use dependencies are charged to the
+/// *producing load's* row — the convention the paper's Table I uses
+/// (`lw!` shows 2 432 kcycles for 1 621 kinstr in column b: one bubble
+/// per `pv.sdotsp` iteration).
 ///
 /// # Example
 ///
@@ -27,20 +41,32 @@ pub struct Row {
 /// use rnnasip_sim::Stats;
 ///
 /// let mut s = Stats::new();
-/// s.record("addi", 1, 0);
-/// s.record("p.lw!", 1, 0);
-/// s.attribute_stall("p.lw!");
+/// s.record_name("addi", 1, 0);
+/// s.record_name("p.lw!", 1, 0);
+/// s.attribute_stall_name("p.lw!");
 /// assert_eq!(s.cycles(), 3);
 /// assert_eq!(s.instrs(), 2);
 /// assert_eq!(s.row("p.lw!").cycles, 2);
 /// ```
-#[derive(Clone, Default, Debug)]
+#[derive(Clone, Debug)]
 pub struct Stats {
-    rows: BTreeMap<&'static str, Row>,
+    rows: Box<[Row; MnemonicId::COUNT]>,
     total_instrs: u64,
     total_cycles: u64,
     stall_cycles: u64,
     mac_ops: u64,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Self {
+            rows: Box::new([Row::default(); MnemonicId::COUNT]),
+            total_instrs: 0,
+            total_cycles: 0,
+            stall_cycles: 0,
+            mac_ops: 0,
+        }
+    }
 }
 
 impl Stats {
@@ -49,10 +75,11 @@ impl Stats {
         Self::default()
     }
 
-    /// Records one retired instruction of `mnemonic` costing `cycles`
+    /// Records one retired instruction of mnemonic `id` costing `cycles`
     /// cycles and performing `macs` 16-bit multiply-accumulates.
-    pub fn record(&mut self, mnemonic: &'static str, cycles: u64, macs: u32) {
-        let row = self.rows.entry(mnemonic).or_default();
+    #[inline]
+    pub fn record(&mut self, id: MnemonicId, cycles: u64, macs: u32) {
+        let row = &mut self.rows[id.index()];
         row.instrs += 1;
         row.cycles += cycles;
         self.total_instrs += 1;
@@ -60,12 +87,35 @@ impl Stats {
         self.mac_ops += macs as u64;
     }
 
-    /// Attributes one stall cycle to `mnemonic` (no instruction retired).
-    pub fn attribute_stall(&mut self, mnemonic: &'static str) {
-        let row = self.rows.entry(mnemonic).or_default();
-        row.cycles += 1;
+    /// Attributes one stall cycle to mnemonic `id` (no instruction
+    /// retired).
+    #[inline]
+    pub fn attribute_stall(&mut self, id: MnemonicId) {
+        self.rows[id.index()].cycles += 1;
         self.total_cycles += 1;
         self.stall_cycles += 1;
+    }
+
+    /// [`record`](Self::record) addressed by mnemonic string — a
+    /// convenience for tests and doctests, not the simulator hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a stable mnemonic.
+    pub fn record_name(&mut self, name: &str, cycles: u64, macs: u32) {
+        let id = MnemonicId::from_name(name).unwrap_or_else(|| panic!("unknown mnemonic {name:?}"));
+        self.record(id, cycles, macs);
+    }
+
+    /// [`attribute_stall`](Self::attribute_stall) addressed by mnemonic
+    /// string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a stable mnemonic.
+    pub fn attribute_stall_name(&mut self, name: &str) {
+        let id = MnemonicId::from_name(name).unwrap_or_else(|| panic!("unknown mnemonic {name:?}"));
+        self.attribute_stall(id);
     }
 
     /// Total cycles.
@@ -89,31 +139,47 @@ impl Stats {
         self.mac_ops
     }
 
-    /// The row for one mnemonic (zero row if never executed).
+    /// The row for one mnemonic id.
+    pub fn row_id(&self, id: MnemonicId) -> Row {
+        self.rows[id.index()]
+    }
+
+    /// The row for one mnemonic (zero row if never executed or unknown).
     pub fn row(&self, mnemonic: &str) -> Row {
-        self.rows.get(mnemonic).copied().unwrap_or_default()
+        MnemonicId::from_name(mnemonic)
+            .map(|id| self.rows[id.index()])
+            .unwrap_or_default()
     }
 
     /// All rows sorted by descending cycle count — the order Table I
     /// lists them in.
     pub fn rows_by_cycles(&self) -> Vec<(&'static str, Row)> {
-        let mut v: Vec<_> = self.rows.iter().map(|(&k, &r)| (k, r)).collect();
+        let mut v: Vec<_> = self.named_rows().collect();
         v.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then(a.0.cmp(b.0)));
         v
     }
 
-    /// Iterates all rows in mnemonic order.
+    /// Iterates all touched rows in mnemonic order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, Row)> + '_ {
-        self.rows.iter().map(|(&k, &r)| (k, r))
+        let mut v: Vec<_> = self.named_rows().collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v.into_iter()
+    }
+
+    /// Touched rows as `(name, row)` pairs, in id order.
+    fn named_rows(&self) -> impl Iterator<Item = (&'static str, Row)> + '_ {
+        MnemonicId::ALL
+            .iter()
+            .map(|id| (id.name(), self.rows[id.index()]))
+            .filter(|(_, row)| !row.is_empty())
     }
 
     /// Merges another statistics object into this one (used to aggregate
     /// a whole benchmark suite from per-network runs).
     pub fn merge(&mut self, other: &Stats) {
-        for (k, r) in &other.rows {
-            let row = self.rows.entry(k).or_default();
-            row.instrs += r.instrs;
-            row.cycles += r.cycles;
+        for (row, o) in self.rows.iter_mut().zip(other.rows.iter()) {
+            row.instrs += o.instrs;
+            row.cycles += o.cycles;
         }
         self.total_instrs += other.total_instrs;
         self.total_cycles += other.total_cycles;
@@ -164,10 +230,10 @@ mod tests {
     #[test]
     fn totals_track_rows() {
         let mut s = Stats::new();
-        s.record("add", 1, 0);
-        s.record("p.mac", 1, 1);
-        s.record("pv.sdotsp", 1, 2);
-        s.attribute_stall("p.lw!");
+        s.record_name("add", 1, 0);
+        s.record_name("p.mac", 1, 1);
+        s.record_name("pv.sdotsp", 1, 2);
+        s.attribute_stall_name("p.lw!");
         assert_eq!(s.cycles(), 4);
         assert_eq!(s.instrs(), 3);
         assert_eq!(s.stall_cycles(), 1);
@@ -177,10 +243,10 @@ mod tests {
     #[test]
     fn merge_accumulates() {
         let mut a = Stats::new();
-        a.record("add", 1, 0);
+        a.record_name("add", 1, 0);
         let mut b = Stats::new();
-        b.record("add", 2, 0);
-        b.record("sub", 1, 0);
+        b.record_name("add", 2, 0);
+        b.record_name("sub", 1, 0);
         a.merge(&b);
         assert_eq!(
             a.row("add"),
@@ -196,9 +262,9 @@ mod tests {
     #[test]
     fn rows_sorted_by_cycles_desc() {
         let mut s = Stats::new();
-        s.record("add", 1, 0);
-        s.record("sub", 5, 0);
-        s.record("xor", 3, 0);
+        s.record_name("add", 1, 0);
+        s.record_name("sub", 5, 0);
+        s.record_name("xor", 3, 0);
         let rows = s.rows_by_cycles();
         let names: Vec<_> = rows.iter().map(|(n, _)| *n).collect();
         assert_eq!(names, vec!["sub", "xor", "add"]);
@@ -207,8 +273,8 @@ mod tests {
     #[test]
     fn csv_has_header_rows_and_total() {
         let mut s = Stats::new();
-        s.record("addi", 2, 0);
-        s.record("p.lw!", 5, 0);
+        s.record_name("addi", 2, 0);
+        s.record_name("p.lw!", 5, 0);
         let csv = s.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "mnemonic,cycles,instrs");
@@ -220,9 +286,35 @@ mod tests {
     #[test]
     fn display_contains_total() {
         let mut s = Stats::new();
-        s.record("add", 1, 0);
+        s.record_name("add", 1, 0);
         let text = s.to_string();
         assert!(text.contains("Total"));
         assert!(text.contains("add"));
+    }
+
+    #[test]
+    fn untouched_rows_are_invisible() {
+        let mut s = Stats::new();
+        s.record_name("add", 1, 0);
+        assert_eq!(s.iter().count(), 1);
+        assert_eq!(s.rows_by_cycles().len(), 1);
+        assert_eq!(s.row("sub"), Row::default());
+        assert_eq!(s.row("not-a-mnemonic"), Row::default());
+    }
+
+    #[test]
+    fn iter_is_name_sorted() {
+        let mut s = Stats::new();
+        s.record_name("sub", 1, 0);
+        s.record_name("add", 1, 0);
+        s.record_name("p.mac", 1, 0);
+        let names: Vec<_> = s.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["add", "p.mac", "sub"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown mnemonic")]
+    fn record_name_rejects_unknown() {
+        Stats::new().record_name("bogus", 1, 0);
     }
 }

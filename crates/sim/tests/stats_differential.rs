@@ -1,0 +1,203 @@
+//! Differential test: the dense `MnemonicId`-indexed [`Stats`] must be
+//! observably identical to the string-keyed `BTreeMap` implementation it
+//! replaced. `RefStats` below is that old implementation, kept verbatim
+//! as the reference model; both are driven with the same deterministic
+//! pseudo-random event streams over every stable mnemonic and compared
+//! on totals, per-row counts, report ordering, CSV, and Display output.
+
+use rnnasip_isa::MnemonicId;
+use rnnasip_rng::StdRng;
+use rnnasip_sim::{Row, Stats};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The seed repository's `Stats`: rows keyed by mnemonic string in a
+/// `BTreeMap`, upserted on every event. Logic copied unchanged.
+#[derive(Clone, Default, Debug)]
+struct RefStats {
+    rows: BTreeMap<&'static str, Row>,
+    total_instrs: u64,
+    total_cycles: u64,
+    stall_cycles: u64,
+    mac_ops: u64,
+}
+
+impl RefStats {
+    fn record(&mut self, mnemonic: &'static str, cycles: u64, macs: u32) {
+        let row = self.rows.entry(mnemonic).or_default();
+        row.instrs += 1;
+        row.cycles += cycles;
+        self.total_instrs += 1;
+        self.total_cycles += cycles;
+        self.mac_ops += macs as u64;
+    }
+
+    fn attribute_stall(&mut self, mnemonic: &'static str) {
+        let row = self.rows.entry(mnemonic).or_default();
+        row.cycles += 1;
+        self.total_cycles += 1;
+        self.stall_cycles += 1;
+    }
+
+    fn row(&self, mnemonic: &str) -> Row {
+        self.rows.get(mnemonic).copied().unwrap_or_default()
+    }
+
+    fn rows_by_cycles(&self) -> Vec<(&'static str, Row)> {
+        let mut v: Vec<_> = self.rows.iter().map(|(&k, &r)| (k, r)).collect();
+        v.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then(a.0.cmp(b.0)));
+        v
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&'static str, Row)> + '_ {
+        self.rows.iter().map(|(&k, &r)| (k, r))
+    }
+
+    fn merge(&mut self, other: &RefStats) {
+        for (k, r) in &other.rows {
+            let row = self.rows.entry(k).or_default();
+            row.instrs += r.instrs;
+            row.cycles += r.cycles;
+        }
+        self.total_instrs += other.total_instrs;
+        self.total_cycles += other.total_cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.mac_ops += other.mac_ops;
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("mnemonic,cycles,instrs\n");
+        for (name, row) in self.rows_by_cycles() {
+            out.push_str(&format!("{},{},{}\n", name, row.cycles, row.instrs));
+        }
+        out.push_str(&format!(
+            "TOTAL,{},{}\n",
+            self.total_cycles, self.total_instrs
+        ));
+        out
+    }
+}
+
+impl fmt::Display for RefStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<12} {:>12} {:>12}", "Instr.", "cycles", "instrs")?;
+        for (name, row) in self.rows_by_cycles() {
+            writeln!(f, "{:<12} {:>12} {:>12}", name, row.cycles, row.instrs)?;
+        }
+        writeln!(
+            f,
+            "{:<12} {:>12} {:>12}",
+            "Total", self.total_cycles, self.total_instrs
+        )
+    }
+}
+
+/// Asserts every observable surface of the two implementations agrees.
+fn assert_equivalent(new: &Stats, reference: &RefStats) {
+    assert_eq!(new.cycles(), reference.total_cycles, "total cycles");
+    assert_eq!(new.instrs(), reference.total_instrs, "total instrs");
+    assert_eq!(new.stall_cycles(), reference.stall_cycles, "stall cycles");
+    assert_eq!(new.mac_ops(), reference.mac_ops, "mac ops");
+    for id in MnemonicId::ALL {
+        assert_eq!(
+            new.row(id.name()),
+            reference.row(id.name()),
+            "row {}",
+            id.name()
+        );
+    }
+    assert_eq!(
+        new.rows_by_cycles(),
+        reference.rows_by_cycles(),
+        "rows_by_cycles order and content"
+    );
+    assert_eq!(
+        new.iter().collect::<Vec<_>>(),
+        reference.iter().collect::<Vec<_>>(),
+        "iter order and content"
+    );
+    assert_eq!(new.to_csv(), reference.to_csv(), "CSV serialization");
+    assert_eq!(new.to_string(), reference.to_string(), "Display output");
+}
+
+/// Drives one pseudo-random event stream into both implementations.
+fn random_pair(rng: &mut StdRng, events: usize) -> (Stats, RefStats) {
+    let mut new = Stats::new();
+    let mut reference = RefStats::default();
+    for _ in 0..events {
+        let id = MnemonicId::from_index((rng.next_u64() % MnemonicId::COUNT as u64) as usize)
+            .expect("index in range");
+        // ~1 in 8 events is a stall, matching the load-use-bubble rate of
+        // a busy kernel; the rest retire with realistic cycle counts.
+        if rng.next_u64().is_multiple_of(8) {
+            new.attribute_stall(id);
+            reference.attribute_stall(id.name());
+        } else {
+            let cycles = 1 + rng.next_u64() % 33; // step() cost range
+            let macs = (rng.next_u64() % 5) as u32;
+            new.record(id, cycles, macs);
+            reference.record(id.name(), cycles, macs);
+        }
+    }
+    (new, reference)
+}
+
+#[test]
+fn randomized_streams_match_reference() {
+    let mut rng = StdRng::seed_from_u64(0x7ab1e1);
+    for round in 0..16 {
+        // Sparse streams exercise ties and absent rows; dense ones hit
+        // every mnemonic.
+        let events = if round % 2 == 0 { 40 } else { 4000 };
+        let (new, reference) = random_pair(&mut rng, events);
+        assert_equivalent(&new, &reference);
+    }
+}
+
+#[test]
+fn merge_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0x7ab1e2);
+    let (mut new_a, mut ref_a) = random_pair(&mut rng, 500);
+    let (new_b, ref_b) = random_pair(&mut rng, 700);
+    new_a.merge(&new_b);
+    ref_a.merge(&ref_b);
+    assert_equivalent(&new_a, &ref_a);
+}
+
+#[test]
+fn clear_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0x7ab1e3);
+    let (mut new, _) = random_pair(&mut rng, 300);
+    new.clear();
+    assert_equivalent(&new, &RefStats::default());
+}
+
+#[test]
+fn every_mnemonic_roundtrips_by_name() {
+    // The dense table panics on unknown names; every stable mnemonic the
+    // decoder can emit must therefore be a known `MnemonicId`.
+    let mut new = Stats::new();
+    let mut reference = RefStats::default();
+    for id in MnemonicId::ALL {
+        new.record_name(id.name(), 2, 1);
+        new.attribute_stall_name(id.name());
+        reference.record(id.name(), 2, 1);
+        reference.attribute_stall(id.name());
+    }
+    assert_equivalent(&new, &reference);
+}
+
+#[test]
+fn tie_breaking_is_name_order() {
+    // Equal cycle counts must fall back to byte-wise name order, exactly
+    // as the BTreeMap reference does.
+    let mut new = Stats::new();
+    let mut reference = RefStats::default();
+    for name in ["xor", "add", "p.mac", "pv.add", "lw", "sub"] {
+        new.record_name(name, 7, 0);
+        reference.record(name, 7, 0);
+    }
+    assert_equivalent(&new, &reference);
+    let order: Vec<&str> = new.rows_by_cycles().iter().map(|(n, _)| *n).collect();
+    assert_eq!(order, ["add", "lw", "p.mac", "pv.add", "sub", "xor"]);
+}
