@@ -9,7 +9,7 @@
 //! pinned by the differential tests, so this bench tracks host speed
 //! only.
 
-use rnnasip_bench::run_suite_report;
+use rnnasip_bench::run_suite_split;
 use rnnasip_core::OptLevel;
 use rnnasip_isa::MnemonicId;
 use rnnasip_sim::Stats;
@@ -24,31 +24,37 @@ const SAMPLES: usize = 5;
 fn main() {
     println!("sim-throughput: full RRM suite per optimization level");
     println!(
-        "{:<10} {:>12} {:>14} {:>14} {:>12}",
-        "level", "instrs", "per-core MIPS", "wall MIPS", "wall ms"
+        "{:<10} {:>12} {:>14} {:>14} {:>12} {:>12} {:>12}",
+        "level", "instrs", "per-core MIPS", "wall MIPS", "wall ms", "compile ms", "execute ms"
     );
     for level in OptLevel::ALL {
         let mut best_core = 0.0f64;
         let mut best_wall = 0.0f64;
         let mut best_ms = f64::MAX;
+        let mut best_compile_ms = f64::MAX;
+        let mut best_execute_ms = f64::MAX;
         let mut instrs = 0u64;
         for _ in 0..SAMPLES {
             let t = Instant::now();
-            let report = run_suite_report(level);
+            let (compile_nanos, report) = run_suite_split(level);
             let wall = t.elapsed();
             instrs = report.instrs();
             let wall_mips = report.instrs() as f64 / wall.as_secs_f64() / 1e6;
             best_core = best_core.max(report.sim_mips().unwrap_or(0.0));
             best_wall = best_wall.max(wall_mips);
             best_ms = best_ms.min(wall.as_secs_f64() * 1e3);
+            best_compile_ms = best_compile_ms.min(compile_nanos as f64 / 1e6);
+            best_execute_ms = best_execute_ms.min(report.host_nanos() as f64 / 1e6);
         }
         println!(
-            "{:<10} {:>12} {:>14.1} {:>14.1} {:>12.2}",
+            "{:<10} {:>12} {:>14.1} {:>14.1} {:>12.2} {:>12.2} {:>12.2}",
             level.tag(),
             instrs,
             best_core,
             best_wall,
-            best_ms
+            best_ms,
+            best_compile_ms,
+            best_execute_ms
         );
     }
     hot_path_comparison();

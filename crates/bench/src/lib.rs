@@ -26,10 +26,23 @@ use std::collections::BTreeMap;
 /// Runs one network at one level (panics on kernel errors — the suite is
 /// known-good; failures indicate a regression worth crashing on).
 pub fn run_net(net: &BenchmarkNet, level: OptLevel) -> RunReport {
-    KernelBackend::new(level)
-        .run_network(&net.network, &net.input())
-        .unwrap_or_else(|e| panic!("{} at {level:?}: {e}", net.id))
-        .report
+    run_net_split(net, level).1
+}
+
+/// Like [`run_net`], but compiles explicitly and reports the host-time
+/// split: `(compile nanos, execute report)`. The report's
+/// [`host_nanos`](RunReport::host_nanos) covers simulation only, so
+/// compile cost is visible rather than folded into the MIPS figure.
+pub fn run_net_split(net: &BenchmarkNet, level: OptLevel) -> (u64, RunReport) {
+    let compiled = KernelBackend::new(level)
+        .compile_network(&net.network)
+        .unwrap_or_else(|e| panic!("{} at {level:?}: {e}", net.id));
+    let compile_nanos = compiled.compile_nanos();
+    let run = compiled
+        .engine()
+        .run(&net.input())
+        .unwrap_or_else(|e| panic!("{} at {level:?}: {e}", net.id));
+    (compile_nanos, run.report)
 }
 
 /// Runs the whole suite at one level and merges the statistics.
@@ -44,13 +57,18 @@ pub fn run_suite(level: OptLevel) -> Stats {
 /// Like [`run_suite`] but keeps the full [`RunReport`], including the
 /// accumulated host simulation time (per-core simulated-MIPS figure).
 pub fn run_suite_report(level: OptLevel) -> RunReport {
+    run_suite_split(level).1
+}
+
+/// Runs the whole suite at one level, returning the summed compile
+/// nanos alongside the merged execute report — the compile-vs-execute
+/// host time split at suite granularity.
+pub fn run_suite_split(level: OptLevel) -> (u64, RunReport) {
     let nets = rnnasip_rrm::suite();
-    let reports = par::par_map(&nets, |net| run_net(net, level));
-    let mut total = RunReport::default();
-    for report in &reports {
-        total.merge(report);
-    }
-    total
+    let split = par::par_map(&nets, |net| run_net_split(net, level));
+    let compile: u64 = split.iter().map(|(c, _)| c).sum();
+    let total = RunReport::merged(split.iter().map(|(_, r)| r));
+    (compile, total)
 }
 
 /// Maps a simulator mnemonic to the row name Table I uses.

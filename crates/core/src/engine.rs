@@ -1,0 +1,115 @@
+//! The run phase of the compile-once / run-many split.
+//!
+//! An [`Engine`] owns a reusable [`Machine`] seeded from a
+//! [`CompiledNetwork`]'s staged image. Each [`run`](Engine::run) rewinds
+//! the machine (restoring only the memory blocks the previous run
+//! dirtied — see `rnnasip_sim::Memory::restore_image`), patches the new
+//! input window, simulates, and reads the outputs back. Per-request host
+//! cost is therefore simulation plus a restore proportional to the
+//! kernel's write footprint, not re-staging megabytes of weights or
+//! re-assembling the program.
+//!
+//! Runs are bit-identical to the legacy fresh-session path: same Q3.12
+//! outputs, same cycle counts, same per-mnemonic histograms.
+
+use crate::compile::CompiledNetwork;
+use crate::error::CoreError;
+use crate::report::RunReport;
+use crate::runner::NetworkRun;
+use rnnasip_fixed::Q3p12;
+use rnnasip_sim::{Machine, Memory};
+
+/// A reusable executor for one [`CompiledNetwork`].
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_core::{KernelBackend, OptLevel};
+///
+/// let net = rnnasip_rrm::suite().remove(3).network; // eisen2019 MLP
+/// let compiled = KernelBackend::new(OptLevel::IfmTile).compile_network(&net)?;
+/// let mut engine = compiled.engine();
+/// let input = vec![rnnasip_rrm::seeded_input(net.n_in(), 1)];
+/// let first = engine.run(&input)?;
+/// let second = engine.run(&input)?;
+/// assert_eq!(first.outputs, second.outputs);
+/// assert_eq!(first.report.cycles(), second.report.cycles());
+/// # Ok::<(), rnnasip_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    compiled: CompiledNetwork,
+    machine: Machine,
+    last_restored: usize,
+}
+
+impl Engine {
+    /// Builds an engine around `compiled`: one machine, its memory
+    /// loaded from the staged image, the program loaded once.
+    pub fn new(compiled: CompiledNetwork) -> Self {
+        let mut machine = Machine::with_memory(Memory::from_image(compiled.image()));
+        machine.load_program(compiled.program());
+        Self {
+            compiled,
+            machine,
+            last_restored: 0,
+        }
+    }
+
+    /// The artifact this engine executes.
+    pub fn compiled(&self) -> &CompiledNetwork {
+        &self.compiled
+    }
+
+    /// Memory bytes the last [`run`](Self::run) had to restore from the
+    /// staged image (0 before the first run; small relative to the TCDM
+    /// because only kernel-written blocks are dirty).
+    pub fn last_restored_bytes(&self) -> usize {
+        self.last_restored
+    }
+
+    /// Runs one inference: rewind, patch inputs, simulate, read outputs.
+    ///
+    /// `sequence` must have the network's `seq_len` steps of `n_in`
+    /// elements each (non-recurrent networks take a single step).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Shape`] on sequence length/width mismatch, or any
+    /// simulation error (the engine stays reusable afterwards — the next
+    /// run's rewind restores whatever a faulted run wrote).
+    pub fn run(&mut self, sequence: &[Vec<Q3p12>]) -> Result<NetworkRun, CoreError> {
+        let input = self.compiled.input();
+        if sequence.len() != input.steps() {
+            return Err(CoreError::Shape(format!(
+                "sequence length {} != network seq_len {}",
+                sequence.len(),
+                input.steps()
+            )));
+        }
+        for x in sequence {
+            if x.len() != input.width() {
+                return Err(CoreError::Shape(format!(
+                    "input width {} != network input width {}",
+                    x.len(),
+                    input.width()
+                )));
+            }
+        }
+        self.last_restored = self.machine.rewind(self.compiled.image());
+        for (t, x) in sequence.iter().enumerate() {
+            self.machine
+                .mem_mut()
+                .write_q3p12_slice(input.base() + (t * input.width() * 2) as u32, x)?;
+        }
+        let started = std::time::Instant::now();
+        self.machine.run(self.compiled.max_cycles())?;
+        let host_nanos = started.elapsed().as_nanos() as u64;
+        let out = self.compiled.output();
+        let outputs = self.machine.mem().read_q3p12_slice(out.base(), out.len())?;
+        Ok(NetworkRun {
+            outputs,
+            report: RunReport::new(self.machine.stats().clone()).with_host_nanos(host_nanos),
+        })
+    }
+}

@@ -13,6 +13,10 @@ pub enum CoreError {
     Sim(SimError),
     /// A layer shape the kernels cannot handle (after padding).
     Shape(String),
+    /// A network topology the compiler does not implement (e.g. an LSTM
+    /// stage after the first stage) — structurally valid, just not
+    /// supported by the current code generator.
+    Unsupported(String),
     /// The memory layout did not fit in the configured TCDM size.
     OutOfMemory {
         /// Bytes requested beyond the TCDM capacity.
@@ -28,6 +32,7 @@ impl fmt::Display for CoreError {
             CoreError::Asm(e) => write!(f, "assembly failed: {e}"),
             CoreError::Sim(e) => write!(f, "simulation failed: {e}"),
             CoreError::Shape(msg) => write!(f, "unsupported layer shape: {msg}"),
+            CoreError::Unsupported(msg) => write!(f, "unsupported network topology: {msg}"),
             CoreError::OutOfMemory { needed, capacity } => {
                 write!(f, "data layout needs {needed} bytes, TCDM has {capacity}")
             }

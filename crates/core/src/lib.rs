@@ -43,6 +43,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compile;
+mod engine;
 mod error;
 pub mod kernels;
 mod layout;
@@ -50,6 +52,8 @@ mod optlevel;
 mod report;
 mod runner;
 
+pub use compile::{CompiledNetwork, InputDesc, OutputDesc};
+pub use engine::Engine;
 pub use error::CoreError;
 pub use kernels::fc8::Int8Kernel;
 pub use layout::DataLayout;

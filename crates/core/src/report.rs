@@ -95,6 +95,25 @@ impl RunReport {
         self.stats.merge(&other.stats);
         self.host_nanos += other.host_nanos;
     }
+
+    /// Aggregates any number of reports into one (suite totals,
+    /// staged-run totals). The empty iterator yields the default report.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rnnasip_core::RunReport;
+    ///
+    /// let parts: Vec<RunReport> = Vec::new();
+    /// assert_eq!(RunReport::merged(&parts).cycles(), 0);
+    /// ```
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a RunReport>) -> RunReport {
+        let mut total = RunReport::default();
+        for part in parts {
+            total.merge(part);
+        }
+        total
+    }
 }
 
 impl From<Stats> for RunReport {

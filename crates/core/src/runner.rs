@@ -1,24 +1,25 @@
-//! Compile-stage-run harness: golden-model layers in, simulated outputs
-//! and cycle statistics out.
+//! Compatibility facade over the compile/execute split: golden-model
+//! layers in, simulated outputs and cycle statistics out.
+//!
+//! [`KernelBackend::run_network`] is now a thin wrapper that
+//! [compiles](KernelBackend::compile_network) the network and executes
+//! it through a one-shot [`Engine`](crate::engine::Engine); callers that
+//! run the same network repeatedly should hold on to the
+//! [`CompiledNetwork`](crate::compile::CompiledNetwork) and reuse one
+//! engine instead. Outputs, cycle counts and per-mnemonic histograms are
+//! bit-identical either way. The per-layer entry points (`run_fc`,
+//! `run_lstm`, `run_conv`, `run_fc8`) keep their single-shot sessions —
+//! they exist for kernel-level experiments where compile cost is not on
+//! the measured path.
 
+use crate::compile::{compile_stages, Session, StageInput};
+use crate::engine::Engine;
 use crate::error::CoreError;
-use crate::kernels::conv::{emit_conv, ConvSpec};
-use crate::kernels::fc::emit_matvec;
 use crate::kernels::fc8::{emit_matvec8, Int8Kernel, Matvec8Spec};
-use crate::kernels::lstm::{emit_lstm, LstmSpec};
-use crate::kernels::{KernelCtx, MatvecSpec, PtrSrc};
-use crate::layout::DataLayout;
 use crate::optlevel::OptLevel;
 use crate::report::RunReport;
-use rnnasip_asm::Asm;
 use rnnasip_fixed::{Q1p6, Q3p12};
-use rnnasip_nn::{Conv2dLayer, FcLayer, FcLayer8, LstmLayer, Matrix, Network, Stage};
-use rnnasip_sim::Machine;
-
-/// First data address in the TCDM (code addresses live below it; the
-/// simulator fetches from the decoded program image, so the split is a
-/// realism convention, not a correctness requirement).
-const DATA_BASE: u32 = 0x10000;
+use rnnasip_nn::{Conv2dLayer, FcLayer, FcLayer8, LstmLayer, Network, Stage};
 
 /// One executed layer: outputs plus statistics.
 #[derive(Clone, Debug)]
@@ -53,9 +54,9 @@ pub struct NetworkRun {
 #[derive(Clone, Debug)]
 pub struct KernelBackend {
     level: OptLevel,
-    mem_bytes: usize,
-    max_cycles: u64,
-    max_tile: usize,
+    pub(crate) mem_bytes: usize,
+    pub(crate) max_cycles: u64,
+    pub(crate) max_tile: usize,
 }
 
 impl KernelBackend {
@@ -111,7 +112,7 @@ impl KernelBackend {
             )));
         }
         let mut s = Session::new(self)?;
-        let out_addr = s.emit_fc_stage(layer, StageInput::Staged(input.to_vec()))?;
+        let (out_addr, _) = s.emit_fc_stage(layer, StageInput::Staged(input.to_vec()))?;
         let (outputs, report) = s.finish(out_addr, layer.n_out(), self.max_cycles)?;
         Ok(LayerRun { outputs, report })
     }
@@ -128,7 +129,7 @@ impl KernelBackend {
         sequence: &[Vec<Q3p12>],
     ) -> Result<LayerRun, CoreError> {
         let mut s = Session::new(self)?;
-        let out_addr = s.emit_lstm_stage(layer, sequence)?;
+        let (out_addr, _) = s.emit_lstm_stage(layer, sequence)?;
         let (outputs, report) = s.finish(out_addr, layer.n_hidden(), self.max_cycles)?;
         Ok(LayerRun { outputs, report })
     }
@@ -164,8 +165,8 @@ impl KernelBackend {
         let mut s = Session::new(self)?;
         let zeros = vec![Q3p12::ZERO; layer.n_in()];
         s.emit_fc_stage(layer, StageInput::Staged(zeros))?;
-        s.asm.ecall();
-        Ok(s.asm.assemble()?)
+        let (prog, _machine) = s.into_program()?;
+        Ok(prog)
     }
 
     /// Runs an INT8 fully-connected layer (the future-work path) with
@@ -224,15 +225,14 @@ impl KernelBackend {
         };
         let mut ctx = s.ctx();
         emit_matvec8(&mut ctx, &spec, kernel)?;
-        s.asm.ecall();
-        let prog = s.asm.assemble()?;
-        s.machine.load_program(&prog);
+        let (prog, mut machine) = s.into_program()?;
+        machine.load_program(&prog);
         let started = std::time::Instant::now();
-        s.machine.run(self.max_cycles)?;
+        machine.run(self.max_cycles)?;
         let host_nanos = started.elapsed().as_nanos() as u64;
         let outputs = (0..layer.n_out())
             .map(|o| {
-                s.machine
+                machine
                     .mem()
                     .read_u8(out_base + o as u32)
                     .map(|b| Q1p6::from_raw(b as i8))
@@ -240,15 +240,23 @@ impl KernelBackend {
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Layer8Run {
             outputs,
-            report: RunReport::new(s.machine.stats().clone()).with_host_nanos(host_nanos),
+            report: RunReport::new(machine.stats().clone()).with_host_nanos(host_nanos),
         })
     }
 
     /// Runs a whole network inference.
     ///
+    /// Equivalent to compiling with [`compile_network`] and running a
+    /// one-shot [`Engine`](crate::engine::Engine); callers in inference
+    /// loops should do that explicitly to pay compile cost once.
+    ///
+    /// [`compile_network`]: KernelBackend::compile_network
+    ///
     /// # Errors
     ///
-    /// Shape, layout, assembly or simulation errors ([`CoreError`]).
+    /// Shape, layout, assembly or simulation errors ([`CoreError`]);
+    /// [`CoreError::Shape`] for empty networks,
+    /// [`CoreError::Unsupported`] for LSTM stages after the first.
     pub fn run_network(
         &self,
         net: &Network,
@@ -261,44 +269,8 @@ impl KernelBackend {
                 net.seq_len()
             )));
         }
-        let mut s = Session::new(self)?;
-        let mut stages = net.stages().iter();
-        // First stage consumes the staged input.
-        let first = stages.next().expect("networks are non-empty");
-        let (mut cur_addr, mut cur_width) = match first {
-            Stage::Lstm { layer, .. } => {
-                let addr = s.emit_lstm_stage(layer, sequence)?;
-                (addr, layer.n_hidden())
-            }
-            Stage::Fc(layer) => {
-                let addr = s.emit_fc_stage(layer, StageInput::Staged(sequence[0].clone()))?;
-                (addr, layer.n_out())
-            }
-            Stage::Conv(conv) => {
-                let src = s.stage_vector(&sequence[0])?;
-                let addr = s.emit_conv_stage(conv, src, sequence[0].len())?;
-                (addr, conv.n_out())
-            }
-        };
-        for stage in stages {
-            match stage {
-                Stage::Fc(layer) => {
-                    cur_addr = s.emit_fc_stage(layer, StageInput::Buffer(cur_addr))?;
-                    cur_width = layer.n_out();
-                }
-                Stage::Conv(conv) => {
-                    cur_addr = s.emit_conv_stage(conv, cur_addr, cur_width)?;
-                    cur_width = conv.n_out();
-                }
-                Stage::Lstm { .. } => {
-                    return Err(CoreError::Shape(
-                        "LSTM stages are only supported first".into(),
-                    ))
-                }
-            }
-        }
-        let (outputs, report) = s.finish(cur_addr, cur_width, self.max_cycles)?;
-        Ok(NetworkRun { outputs, report })
+        let compiled = compile_stages(self, net.name(), net.stages())?;
+        Engine::new(compiled).run(sequence)
     }
 }
 
@@ -367,309 +339,16 @@ impl KernelBackend {
                     )
                 }
             };
-            cur = Some(run.outputs.clone());
             stages.push(StageRun {
                 label,
                 report: run.report,
             });
+            // Move, don't clone: `run` is consumed field by field.
+            cur = Some(run.outputs);
         }
-        Ok((cur.expect("networks are non-empty"), stages))
-    }
-}
-
-/// Where an FC stage's input comes from.
-enum StageInput {
-    /// Values staged by the host into a fresh buffer.
-    Staged(Vec<Q3p12>),
-    /// An existing buffer produced by a previous stage.
-    Buffer(u32),
-}
-
-/// A compilation + simulation session.
-struct Session {
-    machine: Machine,
-    asm: Asm,
-    layout: DataLayout,
-    luts: (u32, u32, u32, u32),
-    scratch: u32,
-    level: OptLevel,
-    max_tile: usize,
-}
-
-impl Session {
-    fn new(backend: &KernelBackend) -> Result<Self, CoreError> {
-        let mut machine = Machine::new(backend.mem_bytes);
-        let mut layout = DataLayout::new(DATA_BASE, backend.mem_bytes);
-        let luts = layout.stage_pla_luts(machine.mem_mut())?;
-        let scratch = layout.alloc_words(1)?;
-        Ok(Self {
-            machine,
-            asm: Asm::new(0),
-            layout,
-            luts,
-            scratch,
-            level: backend.level,
-            max_tile: backend.max_tile,
-        })
-    }
-
-    fn ctx(&mut self) -> KernelCtx<'_> {
-        KernelCtx {
-            asm: &mut self.asm,
-            level: self.level,
-            luts: self.luts,
-            max_tile: self.max_tile,
+        match cur {
+            Some(outputs) => Ok((outputs, stages)),
+            None => Err(CoreError::Shape("network has no stages".into())),
         }
     }
-
-    /// Stages a vector with one trailing zero halfword of padding slack.
-    fn stage_vector(&mut self, values: &[Q3p12]) -> Result<u32, CoreError> {
-        let addr = self.layout.alloc_halves(values.len() + 1)?;
-        self.layout.stage_q(self.machine.mem_mut(), addr, values)?;
-        Ok(addr)
-    }
-
-    /// Allocates an output buffer with one trailing zero halfword.
-    fn alloc_buffer(&mut self, len: usize) -> Result<u32, CoreError> {
-        self.layout.alloc_halves(len + 1)
-    }
-
-    /// Pads a weight matrix to an even column count (appending a zero
-    /// column whose input counterpart is the buffer's trailing zero).
-    fn pad_even(m: &Matrix) -> Matrix {
-        if m.cols().is_multiple_of(2) {
-            return m.clone();
-        }
-        let mut data = Vec::with_capacity(m.rows() * (m.cols() + 1));
-        for r in 0..m.rows() {
-            data.extend_from_slice(m.row(r));
-            data.push(Q3p12::ZERO);
-        }
-        Matrix::new(m.rows(), m.cols() + 1, data)
-    }
-
-    /// Emits one FC stage; returns the output buffer address.
-    fn emit_fc_stage(&mut self, layer: &FcLayer, input: StageInput) -> Result<u32, CoreError> {
-        let weights = Self::pad_even(layer.weights());
-        let w_base = self.layout.alloc_matrix(&weights)?;
-        self.layout
-            .stage_matrix(self.machine.mem_mut(), w_base, &weights)?;
-        let bias32 = self.layout.alloc_words(layer.n_out())?;
-        self.layout
-            .stage_bias32(self.machine.mem_mut(), bias32, layer.bias())?;
-        let x_addr = match input {
-            StageInput::Staged(values) => self.stage_vector(&values)?,
-            StageInput::Buffer(addr) => addr,
-        };
-        let out = self.alloc_buffer(layer.n_out())?;
-        let spec = MatvecSpec {
-            w_base,
-            bias32,
-            x: PtrSrc::Const(x_addr),
-            out: PtrSrc::Const(out),
-            out_stride: 2,
-            n_in: weights.cols(),
-            n_out: layer.n_out(),
-            act: layer.act(),
-            scratch: self.scratch,
-        };
-        let mut ctx = self.ctx();
-        emit_matvec(&mut ctx, &spec)?;
-        Ok(out)
-    }
-
-    /// Emits one LSTM stage; returns the address of the final hidden
-    /// state.
-    fn emit_lstm_stage(
-        &mut self,
-        layer: &LstmLayer,
-        sequence: &[Vec<Q3p12>],
-    ) -> Result<u32, CoreError> {
-        let (m, n) = (layer.n_in(), layer.n_hidden());
-        if m % 2 != 0 || n % 2 != 0 {
-            return Err(CoreError::Shape(format!(
-                "LSTM widths must be even, got {m}x{n}"
-            )));
-        }
-        if sequence.is_empty() {
-            return Err(CoreError::Shape("empty LSTM sequence".into()));
-        }
-        for x in sequence {
-            if x.len() != m {
-                return Err(CoreError::Shape("LSTM sequence width mismatch".into()));
-            }
-        }
-        // Combined per-gate weight matrices [Wx ‖ Wh].
-        let mut gates_w = [0u32; 4];
-        let mut gates_b32 = [0u32; 4];
-        let mut gate_bufs = [0u32; 4];
-        for g in 0..4 {
-            let mut data = Vec::with_capacity(n * (m + n));
-            for j in 0..n {
-                data.extend_from_slice(layer.wx(g).row(j));
-                data.extend_from_slice(layer.wh(g).row(j));
-            }
-            let combined = Matrix::new(n, m + n, data);
-            let w = self.layout.alloc_matrix(&combined)?;
-            self.layout
-                .stage_matrix(self.machine.mem_mut(), w, &combined)?;
-            gates_w[g] = w;
-            let b = self.layout.alloc_words(n)?;
-            self.layout
-                .stage_bias32(self.machine.mem_mut(), b, layer.bias(g))?;
-            gates_b32[g] = b;
-            gate_bufs[g] = self.alloc_buffer(n)?;
-        }
-        let xh = self.alloc_buffer(m + n)?;
-        let c_buf = self.alloc_buffer(n)?;
-        // The whole sequence, contiguous.
-        let x_seq = self.layout.alloc_halves(sequence.len() * m)?;
-        for (t, x) in sequence.iter().enumerate() {
-            self.layout
-                .stage_q(self.machine.mem_mut(), x_seq + (t * m * 2) as u32, x)?;
-        }
-        let g_xptr = self.layout.alloc_words(1)?;
-        let g_steps = self.layout.alloc_words(1)?;
-        let spec = LstmSpec {
-            gates_w,
-            gates_b32,
-            gate_bufs,
-            xh,
-            c_buf,
-            x_seq,
-            g_xptr,
-            g_steps,
-            steps: sequence.len(),
-            n_in: m,
-            n_hidden: n,
-            scratch: self.scratch,
-        };
-        let mut ctx = self.ctx();
-        emit_lstm(&mut ctx, &spec)?;
-        Ok(spec.h_addr())
-    }
-
-    /// Emits one convolution stage reading from `src` (a buffer of
-    /// `src_len` halfwords with a zeroed trailing slack element);
-    /// returns the output buffer address.
-    fn emit_conv_stage(
-        &mut self,
-        conv: &Conv2dLayer,
-        src: u32,
-        src_len: usize,
-    ) -> Result<u32, CoreError> {
-        if src_len != conv.n_in() {
-            return Err(CoreError::Shape(format!(
-                "conv input width {} != staged buffer {}",
-                conv.n_in(),
-                src_len
-            )));
-        }
-        let weights = Self::pad_even(conv.weights());
-        let taps = weights.cols();
-        let n_pix = conv.out_h() * conv.out_w();
-        if 2 * (src_len + 1) > 32767 {
-            return Err(CoreError::Shape(
-                "conv source exceeds the 16-bit gather-offset range".into(),
-            ));
-        }
-        let w_base = self.layout.alloc_matrix(&weights)?;
-        self.layout
-            .stage_matrix(self.machine.mem_mut(), w_base, &weights)?;
-        let bias32 = self.layout.alloc_words(conv.out_ch())?;
-        self.layout
-            .stage_bias32(self.machine.mem_mut(), bias32, conv.bias())?;
-
-        // Gather index table (+1 slack entry for the software pipeline).
-        let offsets = conv_gather_offsets(conv, taps, src_len);
-        let idx_base = self.layout.alloc_halves(offsets.len() + 1)?;
-        for (k, off) in offsets.iter().enumerate() {
-            self.machine
-                .mem_mut()
-                .write_u16(idx_base + 2 * k as u32, *off)?;
-        }
-        let cols_base = self.layout.alloc_halves(n_pix * taps)?;
-        let out = self.alloc_buffer(conv.out_ch() * n_pix)?;
-        let g_pix = self.layout.alloc_words(1)?;
-        let g_out = self.layout.alloc_words(1)?;
-        let g_cnt = self.layout.alloc_words(1)?;
-        let spec = ConvSpec {
-            w_base,
-            bias32,
-            src,
-            idx_base,
-            cols_base,
-            out_base: out,
-            g_pix,
-            g_out,
-            g_cnt,
-            n_pix,
-            taps,
-            out_ch: conv.out_ch(),
-            act: conv.act(),
-            scratch: self.scratch,
-        };
-        let mut ctx = self.ctx();
-        emit_conv(&mut ctx, &spec)?;
-        Ok(out)
-    }
-
-    /// Appends the halt, assembles, runs, and reads the result.
-    fn finish(
-        mut self,
-        out_addr: u32,
-        out_len: usize,
-        max_cycles: u64,
-    ) -> Result<(Vec<Q3p12>, RunReport), CoreError> {
-        self.asm.ecall();
-        let prog = self.asm.assemble()?;
-        self.machine.load_program(&prog);
-        let started = std::time::Instant::now();
-        self.machine.run(max_cycles)?;
-        let host_nanos = started.elapsed().as_nanos() as u64;
-        let outputs = self.machine.mem().read_q3p12_slice(out_addr, out_len)?;
-        Ok((
-            outputs,
-            RunReport::new(self.machine.stats().clone()).with_host_nanos(host_nanos),
-        ))
-    }
-}
-
-/// Builds the im2col gather offsets (bytes into the source buffer),
-/// pixel-major, in exactly the tap order of the golden model's
-/// [`Conv2dLayer::im2col`]; padded taps point at the source's trailing
-/// zero element.
-fn conv_gather_offsets(conv: &Conv2dLayer, taps: usize, src_len: usize) -> Vec<u16> {
-    let (oh, ow) = (conv.out_h(), conv.out_w());
-    let real_taps = conv.weights().cols();
-    let zero_off = (2 * src_len) as u16;
-    let mut offsets = Vec::with_capacity(oh * ow * taps);
-    let (stride, pad) = (conv.stride() as isize, conv.pad() as isize);
-    for oy in 0..oh {
-        for ox in 0..ow {
-            for c in 0..conv.in_ch() {
-                for ky in 0..conv.kh() {
-                    for kx in 0..conv.kw() {
-                        let iy = oy as isize * stride + ky as isize - pad;
-                        let ix = ox as isize * stride + kx as isize - pad;
-                        if iy < 0
-                            || ix < 0
-                            || iy >= conv.in_h() as isize
-                            || ix >= conv.in_w() as isize
-                        {
-                            // Padded tap: gather the staged zero element.
-                            offsets.push(zero_off);
-                        } else {
-                            let idx = (c * conv.in_h() + iy as usize) * conv.in_w() + ix as usize;
-                            offsets.push((2 * idx) as u16);
-                        }
-                    }
-                }
-            }
-            for _ in real_taps..taps {
-                offsets.push(zero_off);
-            }
-        }
-    }
-    offsets
 }

@@ -1,0 +1,111 @@
+//! Cached compile-once / run-many inference for RRM decision loops.
+//!
+//! RRM environments call their policy network every scheduling interval;
+//! recompiling the kernel program and re-staging every weight matrix per
+//! step would dwarf the simulated inference itself. [`EngineCache`]
+//! keeps one warm [`Engine`] per `(network name, OptLevel)` so each step
+//! pays only input patching, simulation, and a dirty-block memory
+//! restore.
+
+use rnnasip_core::{CoreError, Engine, KernelBackend, NetworkRun, OptLevel};
+use rnnasip_fixed::Q3p12;
+use rnnasip_nn::Network;
+use std::collections::HashMap;
+
+/// A pool of warm [`Engine`]s keyed by `(network name, OptLevel)`.
+///
+/// Networks are compiled on first use and reused afterwards; the cache
+/// assumes a name identifies one fixed set of weights (true for the
+/// [`suite`](crate::suite) and for any loop driving a single model).
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_core::OptLevel;
+/// use rnnasip_rrm::EngineCache;
+///
+/// let net = &rnnasip_rrm::suite()[3]; // eisen2019, a tiny MLP
+/// let mut cache = EngineCache::new();
+/// let input = net.input();
+/// let a = cache.run(&net.network, OptLevel::IfmTile, &input)?;
+/// let b = cache.run(&net.network, OptLevel::IfmTile, &input)?; // warm
+/// assert_eq!(a.outputs, b.outputs);
+/// assert_eq!(cache.len(), 1);
+/// # Ok::<(), rnnasip_core::CoreError>(())
+/// ```
+#[derive(Default)]
+pub struct EngineCache {
+    engines: HashMap<(String, OptLevel), Engine>,
+}
+
+impl EngineCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of compiled engines currently cached.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// The warm engine for `(net, level)`, compiling on first use.
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors ([`CoreError`]) on a cache miss.
+    pub fn engine(&mut self, net: &Network, level: OptLevel) -> Result<&mut Engine, CoreError> {
+        let key = (net.name().to_string(), level);
+        if !self.engines.contains_key(&key) {
+            let compiled = KernelBackend::new(level).compile_network(net)?;
+            self.engines.insert(key.clone(), Engine::new(compiled));
+        }
+        Ok(self.engines.get_mut(&key).expect("just inserted"))
+    }
+
+    /// Runs one inference through the cached engine for `(net, level)`.
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors on first use, shape/simulation errors on every
+    /// run ([`CoreError`]).
+    pub fn run(
+        &mut self,
+        net: &Network,
+        level: OptLevel,
+        sequence: &[Vec<Q3p12>],
+    ) -> Result<NetworkRun, CoreError> {
+        self.engine(net, level)?.run(sequence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_compiles_once_per_network_and_level() {
+        let suite = crate::suite();
+        let net = &suite[3]; // eisen2019: smallest, fastest to compile
+        let mut cache = EngineCache::new();
+        let input = net.input();
+        let warm = cache.run(&net.network, OptLevel::IfmTile, &input).unwrap();
+        assert_eq!(cache.len(), 1);
+        cache.run(&net.network, OptLevel::IfmTile, &input).unwrap();
+        assert_eq!(cache.len(), 1);
+        cache.run(&net.network, OptLevel::Xpulp, &input).unwrap();
+        assert_eq!(cache.len(), 2);
+
+        // Cached runs match the fresh single-shot path bit-for-bit.
+        let fresh = KernelBackend::new(OptLevel::IfmTile)
+            .run_network(&net.network, &input)
+            .unwrap();
+        assert_eq!(warm.outputs, fresh.outputs);
+        assert_eq!(warm.report.cycles(), fresh.report.cycles());
+    }
+}

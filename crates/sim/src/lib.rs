@@ -58,7 +58,7 @@ mod trace;
 pub use core_state::{Core, HwLoop};
 pub use error::{ExitReason, SimError};
 pub use machine::{Machine, StepOutcome};
-pub use mem::Memory;
+pub use mem::{MemImage, Memory};
 pub use program::{ProgItem, Program};
 pub use stats::{Row, Stats};
 pub use trace::TraceEntry;

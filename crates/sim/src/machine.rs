@@ -2,7 +2,7 @@
 
 use crate::core_state::Core;
 use crate::error::{ExitReason, SimError};
-use crate::mem::Memory;
+use crate::mem::{MemImage, Memory};
 use crate::program::Program;
 use crate::stats::Stats;
 use rnnasip_isa::{
@@ -70,6 +70,40 @@ impl Machine {
             spr_pending: VecDeque::new(),
             halted: None,
         }
+    }
+
+    /// Creates a machine around an existing memory (e.g. one built with
+    /// [`Memory::from_image`]) and no program.
+    pub fn with_memory(mem: Memory) -> Self {
+        Self {
+            core: Core::new(0),
+            mem,
+            program: Program::default(),
+            stats: Stats::new(),
+            pending_load: None,
+            spr_pending: VecDeque::new(),
+            halted: None,
+        }
+    }
+
+    /// Rewinds the machine for another run of the loaded program:
+    /// restores memory from `image` (dirty blocks only — see
+    /// [`Memory::restore_image`]), clears the accumulated statistics and
+    /// resets the core to the program entry. Returns the number of
+    /// memory bytes restored.
+    ///
+    /// After a `rewind`, a [`run`](Self::run) is bit-identical to the
+    /// first run from a freshly image-loaded machine, provided `image`
+    /// is the snapshot this machine last started from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image size differs from the memory size.
+    pub fn rewind(&mut self, image: &MemImage) -> usize {
+        let restored = self.mem.restore_image(image);
+        self.stats.clear();
+        self.reset_core();
+        restored
     }
 
     /// Loads a program and resets the core to its entry point.
@@ -1084,6 +1118,49 @@ mod tests {
         m.step().unwrap();
         // Next fetch is past the program end.
         assert!(matches!(m.step(), Err(SimError::FetchFault { pc: 4 })));
+    }
+
+    #[test]
+    fn rewind_makes_reruns_bit_identical() {
+        // lw a0, 0(a1); addi a0, a0, 1; sw a0, 0(a1); ecall — a program
+        // whose output depends on its own previous run unless rewound.
+        let prog = Program::from_instrs(
+            0,
+            vec![
+                addi(Reg::A1, Reg::ZERO, 0x100),
+                Instr::Load {
+                    op: LoadOp::Lw,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    offset: 0,
+                },
+                addi(Reg::A0, Reg::A0, 1),
+                Instr::Store {
+                    op: StoreOp::Sw,
+                    rs2: Reg::A0,
+                    rs1: Reg::A1,
+                    offset: 0,
+                },
+                Instr::Ecall,
+            ],
+        );
+        let mut m = Machine::new(4096);
+        m.mem_mut().write_u32(0x100, 41).unwrap();
+        let image = m.mem().image();
+        m.mem_mut().load_image(&image);
+        m.load_program(&prog);
+
+        m.run(1000).unwrap();
+        let first_cycles = m.stats().cycles();
+        assert_eq!(m.core().reg(Reg::A0), 42);
+        assert_eq!(m.mem().read_u32(0x100).unwrap(), 42);
+
+        let restored = m.rewind(&image);
+        assert!(restored > 0, "the store must have dirtied memory");
+        assert_eq!(m.mem().read_u32(0x100).unwrap(), 41);
+        m.run(1000).unwrap();
+        assert_eq!(m.core().reg(Reg::A0), 42);
+        assert_eq!(m.stats().cycles(), first_cycles);
     }
 
     #[test]

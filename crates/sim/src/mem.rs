@@ -2,6 +2,46 @@
 
 use crate::error::SimError;
 use rnnasip_fixed::Q3p12;
+use std::sync::Arc;
+
+/// Granularity of dirty-region tracking, in bytes.
+///
+/// Every write marks its 64-byte block dirty; restoring from a
+/// [`MemImage`] copies only dirty blocks back. 64 bytes keeps the
+/// bitset small (one bit per block, 8 KiB of bits for a 4 MiB TCDM)
+/// while staying close to the actual footprint of kernel writes
+/// (activation buffers, gate buffers, step globals).
+const BLOCK_BYTES: usize = 64;
+const BLOCK_SHIFT: u32 = 6;
+
+/// An immutable snapshot of a [`Memory`]'s contents.
+///
+/// Snapshots share their bytes behind an [`Arc`], so cloning one (for
+/// example when a compiled-network artifact is cloned per worker) costs
+/// a reference count, not a copy. Produce one with [`Memory::image`];
+/// restore with [`Memory::restore_image`] (dirty blocks only) or
+/// [`Memory::from_image`] / [`Memory::load_image`] (full copy).
+#[derive(Clone, Debug)]
+pub struct MemImage {
+    bytes: Arc<[u8]>,
+}
+
+impl MemImage {
+    /// Snapshot size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The raw snapshot bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
 
 /// Byte-addressable, little-endian data memory with single-cycle access.
 ///
@@ -24,6 +64,14 @@ use rnnasip_fixed::Q3p12;
 #[derive(Clone, Debug)]
 pub struct Memory {
     bytes: Vec<u8>,
+    /// One bit per [`BLOCK_BYTES`] block, set on every write since the
+    /// last snapshot load/restore. Lets [`restore_image`](Self::restore_image)
+    /// undo a kernel run in time proportional to what the kernel wrote.
+    dirty: Vec<u64>,
+}
+
+fn dirty_words(size: usize) -> usize {
+    size.div_ceil(BLOCK_BYTES).div_ceil(64)
 }
 
 impl Memory {
@@ -31,12 +79,88 @@ impl Memory {
     pub fn new(size: usize) -> Self {
         Self {
             bytes: vec![0; size],
+            dirty: vec![0; dirty_words(size)],
+        }
+    }
+
+    /// Creates a memory whose contents are a full copy of `image`, with
+    /// no blocks marked dirty.
+    pub fn from_image(image: &MemImage) -> Self {
+        Self {
+            bytes: image.as_bytes().to_vec(),
+            dirty: vec![0; dirty_words(image.len())],
         }
     }
 
     /// Memory size in bytes.
     pub fn size(&self) -> usize {
         self.bytes.len()
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, addr: usize) {
+        let block = addr >> BLOCK_SHIFT;
+        self.dirty[block >> 6] |= 1 << (block & 63);
+    }
+
+    /// Takes an immutable snapshot of the current contents.
+    pub fn image(&self) -> MemImage {
+        MemImage {
+            bytes: Arc::from(self.bytes.as_slice()),
+        }
+    }
+
+    /// Replaces the whole contents with `image` and clears all dirty
+    /// bits (full copy — use [`restore_image`](Self::restore_image) for
+    /// the incremental path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image size differs from the memory size.
+    pub fn load_image(&mut self, image: &MemImage) {
+        assert_eq!(image.len(), self.bytes.len(), "image size mismatch");
+        self.bytes.copy_from_slice(image.as_bytes());
+        self.dirty.fill(0);
+    }
+
+    /// Copies back only the blocks written since the last snapshot
+    /// load/restore, clearing the dirty bits. Returns the number of
+    /// bytes copied.
+    ///
+    /// This assumes `image` is the same snapshot the memory last
+    /// started from (otherwise clean-but-divergent blocks stay stale) —
+    /// exactly the compile-once / run-many contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image size differs from the memory size.
+    pub fn restore_image(&mut self, image: &MemImage) -> usize {
+        assert_eq!(image.len(), self.bytes.len(), "image size mismatch");
+        let src = image.as_bytes();
+        let mut restored = 0;
+        for (w, word) in self.dirty.iter_mut().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let start = ((w << 6) + bit) << BLOCK_SHIFT;
+                if start >= self.bytes.len() {
+                    continue;
+                }
+                let end = (start + BLOCK_BYTES).min(self.bytes.len());
+                self.bytes[start..end].copy_from_slice(&src[start..end]);
+                restored += end - start;
+            }
+            *word = 0;
+        }
+        restored
+    }
+
+    /// Bytes covered by currently-dirty blocks (an upper bound on what
+    /// the next [`restore_image`](Self::restore_image) will copy).
+    pub fn dirty_bytes(&self) -> usize {
+        let blocks: usize = self.dirty.iter().map(|w| w.count_ones() as usize).sum();
+        (blocks * BLOCK_BYTES).min(self.bytes.len())
     }
 
     fn check(&self, addr: u32, size: u32) -> Result<usize, SimError> {
@@ -94,6 +218,7 @@ impl Memory {
     pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), SimError> {
         let a = self.check(addr, 1)?;
         self.bytes[a] = value;
+        self.mark_dirty(a);
         Ok(())
     }
 
@@ -105,6 +230,7 @@ impl Memory {
     pub fn write_u16(&mut self, addr: u32, value: u16) -> Result<(), SimError> {
         let a = self.check(addr, 2)?;
         self.bytes[a..a + 2].copy_from_slice(&value.to_le_bytes());
+        self.mark_dirty(a);
         Ok(())
     }
 
@@ -116,6 +242,7 @@ impl Memory {
     pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
         let a = self.check(addr, 4)?;
         self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        self.mark_dirty(a);
         Ok(())
     }
 
@@ -149,9 +276,10 @@ impl Memory {
             .collect()
     }
 
-    /// Fills the whole memory with zeros.
+    /// Fills the whole memory with zeros and marks everything dirty.
     pub fn clear(&mut self) {
         self.bytes.fill(0);
+        self.dirty.fill(u64::MAX);
     }
 }
 
@@ -190,6 +318,53 @@ mod tests {
             mem.write_u32(2, 7),
             Err(SimError::Misaligned { .. })
         ));
+    }
+
+    #[test]
+    fn restore_undoes_writes_and_scales_with_dirt() {
+        let mut mem = Memory::new(4096);
+        mem.write_u32(0x100, 0xAAAA_5555).unwrap();
+        let image = mem.image();
+        // A fresh snapshot load leaves nothing dirty.
+        mem.load_image(&image);
+        assert_eq!(mem.dirty_bytes(), 0);
+        assert_eq!(mem.restore_image(&image), 0);
+        // Scribble over two distant blocks.
+        mem.write_u16(0x0, 0xDEAD).unwrap();
+        mem.write_u32(0x100, 0).unwrap();
+        mem.write_u8(0xFFF, 7).unwrap();
+        assert_eq!(mem.dirty_bytes(), 3 * 64);
+        let restored = mem.restore_image(&image);
+        assert_eq!(restored, 3 * 64);
+        assert_eq!(mem.read_u16(0x0).unwrap(), 0);
+        assert_eq!(mem.read_u32(0x100).unwrap(), 0xAAAA_5555);
+        assert_eq!(mem.read_u8(0xFFF).unwrap(), 0);
+        assert_eq!(mem.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn from_image_copies_contents_clean() {
+        let mut mem = Memory::new(256);
+        mem.write_u32(8, 0x0102_0304).unwrap();
+        let image = mem.image();
+        let copy = Memory::from_image(&image);
+        assert_eq!(copy.size(), 256);
+        assert_eq!(copy.read_u32(8).unwrap(), 0x0102_0304);
+        assert_eq!(copy.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn clear_marks_everything_dirty() {
+        // 100 bytes: final block is partial, exercising the tail guard.
+        let mut mem = Memory::new(100);
+        mem.write_u8(42, 9).unwrap();
+        let image = mem.image();
+        let mut other = Memory::from_image(&image);
+        other.clear();
+        assert_eq!(other.read_u8(42).unwrap(), 0);
+        let restored = other.restore_image(&image);
+        assert_eq!(restored, 100);
+        assert_eq!(other.read_u8(42).unwrap(), 9);
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //! `pl.sdotsp.b` extension (four MACs per merged load-and-compute) —
 //! and reports the throughput gain and the quantization cost.
 //!
+//! Single-layer one-shot runs have no inference loop, so this example
+//! stays on the layer-level `run_fc`/`run_fc8` API rather than the
+//! compile-once `CompiledNetwork`/`Engine` path.
+//!
 //! ```text
 //! cargo run --release --example int8_inference
 //! ```

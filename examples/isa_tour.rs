@@ -6,6 +6,10 @@
 //! Table II style — SPR preloads, one input load per iteration, merged
 //! load-and-compute `pl.sdotsp.h`, and a `pl.sig` activation.
 //!
+//! This example drives the assembler and [`Machine`] directly — there is
+//! no network or inference loop, so the compile-once
+//! `CompiledNetwork`/`Engine` API does not apply.
+//!
 //! ```text
 //! cargo run --example isa_tour
 //! ```

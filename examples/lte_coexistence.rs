@@ -11,8 +11,9 @@
 //! cargo run --release --example lte_coexistence
 //! ```
 
-use rnnasip::core::{KernelBackend, OptLevel};
+use rnnasip::core::OptLevel;
 use rnnasip::rrm::env::LteCoexEnv;
+use rnnasip::rrm::EngineCache;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let suite = rnnasip::rrm::suite();
@@ -28,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let steps = net.network.seq_len();
     let subbands = net.network.n_in() / 2;
     let mut env = LteCoexEnv::new(subbands, 99);
-    let backend = KernelBackend::new(OptLevel::IfmTile);
+    // An EngineCache compiles the network on the first decision and
+    // serves every later frame from the warm engine — the shape a
+    // scheduler serving several policies at once would use.
+    let mut cache = EngineCache::new();
+    let level = OptLevel::IfmTile;
 
     // Warm the sensing window.
     let mut window = Vec::new();
@@ -41,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (mut nn_u, mut const_u, mut oracle_u) = (0.0, 0.0, 0.0);
     let mut cycles = 0u64;
     for f in 0..frames {
-        let run = backend.run_network(&net.network, &window)?;
+        let run = cache.run(&net.network, level, &window)?;
         // First output in [0,1] is the duty cycle.
         let duty = (run.outputs[0].to_f64() * 0.5 + 0.5).clamp(0.0, 1.0);
         let nn = env.apply_duty_cycle(duty);

@@ -33,7 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         net.network.mac_count()
     );
 
-    let backend = KernelBackend::new(OptLevel::IfmTile);
+    // Compile once — the decision loop reuses one warm engine, paying
+    // only input patching, simulation, and a dirty-block restore per
+    // scheduling interval instead of recompiling the kernel.
+    let mut engine = KernelBackend::new(OptLevel::IfmTile)
+        .compile_network(&net.network)?
+        .engine();
     let model = PowerModel::gf22fdx_065v();
 
     let intervals = 5;
@@ -43,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut last_stats = None;
     for t in 0..intervals {
         let features = env.features();
-        let run = backend.run_network(&net.network, &[features])?;
+        let run = engine.run(&[features])?;
         // Map the first n outputs through [0,1] as power levels.
         let powers: Vec<f64> = run.outputs[..n_pairs]
             .iter()

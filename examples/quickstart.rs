@@ -1,44 +1,61 @@
-//! Quickstart: compile a small fully-connected layer for the RNN-extended
-//! core, run it on the instruction-set simulator at two optimization
-//! levels, and verify bit-exactness against the golden model.
+//! Quickstart: compile a small network **once** for the RNN-extended
+//! core, then run the compiled engine many times on the instruction-set
+//! simulator, verifying bit-exactness against the golden model.
+//!
+//! The compile-once / run-many split is the library's intended shape:
+//! [`KernelBackend::compile_network`] produces a reusable
+//! `CompiledNetwork` (assembled program + staged memory image), and its
+//! [`Engine`] executes inferences by patching only the input window and
+//! restoring only the memory the previous run dirtied.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
 use rnnasip::core::{KernelBackend, OptLevel};
+use rnnasip::nn::{Network, Stage};
 use rnnasip::rrm::{seeded_fc_layer, seeded_input};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A 32->16 ReLU layer with seeded synthetic Q3.12 weights.
+    // A 32->16 ReLU layer with seeded synthetic Q3.12 weights, wrapped
+    // as a one-stage network (the unit the compiler works on).
     let layer = seeded_fc_layer(32, 16, 42);
-    let input = seeded_input(32, 7);
+    let net = Network::new("quickstart", vec![Stage::Fc(layer)]);
 
-    // Golden fixed-point reference (plain Rust, no simulator).
-    let expected = layer.forward_fixed(&input);
-
-    println!("fc 32->16 on the simulated core:\n");
+    println!("fc 32->16, compiled once per level, run on 3 inputs each:\n");
     println!(
         "{:<28} {:>8} {:>8} {:>9} {:>8}",
         "level", "cycles", "instrs", "cyc/MAC", "exact"
     );
     for level in OptLevel::ALL {
-        let run = KernelBackend::new(level).run_fc(&layer, &input)?;
+        // Compile once: assemble the kernel and stage the weights.
+        let compiled = KernelBackend::new(level).compile_network(&net)?;
+        let mut engine = compiled.engine();
+
+        // Run many: each call patches the input, restores dirty memory,
+        // and simulates — no recompilation, no re-staging.
+        let mut exact = true;
+        let mut last = None;
+        for seed in [7u64, 8, 9] {
+            let input = seeded_input(32, seed);
+            let run = engine.run(std::slice::from_ref(&input))?;
+            exact &= run.outputs == net.forward_fixed(&[input]);
+            last = Some(run.report);
+        }
+        let report = last.expect("ran");
         println!(
             "{:<28} {:>8} {:>8} {:>9.3} {:>8}",
             level.column(),
-            run.report.cycles(),
-            run.report.instrs(),
-            run.report.cycles_per_mac(),
-            if run.outputs == expected {
-                "yes"
-            } else {
-                "NO!"
-            }
+            report.cycles(),
+            report.instrs(),
+            report.cycles_per_mac(),
+            if exact { "yes" } else { "NO!" }
         );
     }
 
-    println!("\nFirst outputs: ");
+    // The golden model is plain Rust — no simulator involved.
+    let expected = net.forward_fixed(&[seeded_input(32, 7)]);
+    println!("\nFirst outputs (input seed 7): ");
     for (i, o) in expected.iter().take(4).enumerate() {
         println!("  o[{i}] = {:+.4}", o.to_f64());
     }
