@@ -1,16 +1,29 @@
 //! Simulator-throughput bench: how fast does the ISS itself run?
 //!
 //! Reports simulated MIPS (millions of simulated instructions per host
-//! second) for the full Table I suite — per-core (summed host CPU time
-//! of the per-network runs) and wall-clock (all networks simulated in
-//! parallel). This is the number the fetch-table / indexed-stats /
-//! block-run-loop fast path is measured by; the architectural outputs
-//! (cycle counts, histograms) are bit-identical by construction and
-//! pinned by the differential tests, so this bench tracks host speed
-//! only.
+//! second) for the full Table I suite, on *both* execution paths: the
+//! pre-decoded micro-op path with hardware-loop specialization
+//! (`Machine::run`, the production path) and the per-step reference
+//! interpreter (`Machine::run_legacy`, the pre-micro-op baseline kept as
+//! the bit-identity oracle). The architectural outputs (cycle counts,
+//! histograms) are identical by construction and pinned by the
+//! differential tests, so this bench tracks host speed only; the
+//! `speedup` column is the micro-op translation's payoff.
+//!
+//! Flags:
+//!
+//! - `--json` — also write `BENCH_sim.json` (hand-rolled JSON,
+//!   [`rnnasip_bench::json`]) with the raw numbers for CI artifacts.
+//! - `--check` — compare against the committed
+//!   `BENCH_sim_baseline.json` and fail on a >10% regression of the
+//!   micro-op speedup on the small policy network. Raw MIPS are
+//!   machine-dependent, so the regression gate is the uop-vs-legacy
+//!   *ratio measured on the same host*, which is portable across CI
+//!   runners.
 
+use rnnasip_bench::json::{array, Obj};
 use rnnasip_bench::run_suite_split;
-use rnnasip_core::OptLevel;
+use rnnasip_core::{KernelBackend, OptLevel};
 use rnnasip_isa::MnemonicId;
 use rnnasip_sim::Stats;
 use std::collections::{BTreeMap, HashMap};
@@ -21,43 +34,264 @@ use std::time::Instant;
 /// minimizing scheduler noise as in any min-of-N timing harness.
 const SAMPLES: usize = 5;
 
-fn main() {
-    println!("sim-throughput: full RRM suite per optimization level");
-    println!(
-        "{:<10} {:>12} {:>14} {:>14} {:>12} {:>12} {:>12}",
-        "level", "instrs", "per-core MIPS", "wall MIPS", "wall ms", "compile ms", "execute ms"
-    );
-    for level in OptLevel::ALL {
-        let mut best_core = 0.0f64;
-        let mut best_wall = 0.0f64;
-        let mut best_ms = f64::MAX;
-        let mut best_compile_ms = f64::MAX;
-        let mut best_execute_ms = f64::MAX;
-        let mut instrs = 0u64;
+/// The micro-op path must beat the per-step interpreter by at least this
+/// factor on the O3 kernels (levels d and e), whose hardware-loop bodies
+/// the specialized block runner executes in bulk.
+const MIN_O3_SPEEDUP: f64 = 2.0;
+
+/// `--check` fails when the policy-network speedup falls below this
+/// fraction of the committed baseline's (>10% regression).
+const MAX_REGRESSION: f64 = 0.9;
+
+/// The small policy network the regression gate is keyed on.
+const POLICY_NET: &str = "eisen2019";
+
+/// Runs aggregated per policy sample: one inference of [`POLICY_NET`] is
+/// only a few hundred instructions (~tens of microseconds), which is
+/// timer-noise territory, so each sample sums the simulate time of this
+/// many back-to-back runs.
+const POLICY_REPS: usize = 32;
+
+struct LevelRow {
+    tag: &'static str,
+    instrs: u64,
+    legacy_mips: f64,
+    uop_mips: f64,
+    wall_mips: f64,
+    wall_ms: f64,
+    compile_ms: f64,
+}
+
+impl LevelRow {
+    fn speedup(&self) -> f64 {
+        self.uop_mips / self.legacy_mips
+    }
+}
+
+fn measure_level(level: OptLevel) -> LevelRow {
+    // Wall-clock and compile columns come from the parallel suite runner
+    // — the shape users actually invoke. They are informational only:
+    // parallel wall time is scheduler-noisy, so nothing asserts on it.
+    let mut wall_mips = 0.0f64;
+    let mut wall_ms = f64::MAX;
+    let mut compile_ms = f64::MAX;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        let (compile_nanos, report) = run_suite_split(level);
+        let wall = t.elapsed();
+        wall_mips = wall_mips.max(report.instrs() as f64 / wall.as_secs_f64() / 1e6);
+        wall_ms = wall_ms.min(wall.as_secs_f64() * 1e3);
+        compile_ms = compile_ms.min(compile_nanos as f64 / 1e6);
+    }
+
+    // The legacy/uop columns feed the asserted speedup ratio, so they
+    // are measured serially (no par_map CPU contention) on one reused
+    // engine per network, with the two paths' samples interleaved so
+    // scheduler and thermal drift hit both equally. Best-of-SAMPLES per
+    // network and path, summed across the suite.
+    let mut instrs = 0u64;
+    let mut legacy_nanos = 0u64;
+    let mut uop_nanos = 0u64;
+    for net in rnnasip_rrm::suite() {
+        let compiled = KernelBackend::new(level)
+            .compile_network(&net.network)
+            .unwrap_or_else(|e| panic!("{} at {level:?}: {e}", net.id));
+        let mut engine = compiled.engine();
+        let input = net.input();
+        let mut best_legacy = u64::MAX;
+        let mut best_uop = u64::MAX;
+        let mut net_instrs = 0u64;
         for _ in 0..SAMPLES {
-            let t = Instant::now();
-            let (compile_nanos, report) = run_suite_split(level);
-            let wall = t.elapsed();
-            instrs = report.instrs();
-            let wall_mips = report.instrs() as f64 / wall.as_secs_f64() / 1e6;
-            best_core = best_core.max(report.sim_mips().unwrap_or(0.0));
-            best_wall = best_wall.max(wall_mips);
-            best_ms = best_ms.min(wall.as_secs_f64() * 1e3);
-            best_compile_ms = best_compile_ms.min(compile_nanos as f64 / 1e6);
-            best_execute_ms = best_execute_ms.min(report.host_nanos() as f64 / 1e6);
+            let run = engine.run_reference(&input).unwrap();
+            best_legacy = best_legacy.min(run.report.host_nanos());
+            let run = engine.run(&input).unwrap();
+            best_uop = best_uop.min(run.report.host_nanos());
+            net_instrs = run.report.instrs();
         }
+        instrs += net_instrs;
+        legacy_nanos += best_legacy;
+        uop_nanos += best_uop;
+    }
+    LevelRow {
+        tag: level.tag(),
+        instrs,
+        legacy_mips: instrs as f64 * 1e3 / legacy_nanos as f64,
+        uop_mips: instrs as f64 * 1e3 / uop_nanos as f64,
+        wall_mips,
+        wall_ms,
+        compile_ms,
+    }
+}
+
+struct PolicyRow {
+    instrs: u64,
+    legacy_mips: f64,
+    uop_mips: f64,
+}
+
+impl PolicyRow {
+    fn speedup(&self) -> f64 {
+        self.uop_mips / self.legacy_mips
+    }
+}
+
+/// Per-core MIPS of one network on both paths — serial, one reused
+/// engine, interleaved samples, best of [`SAMPLES`] per path (same
+/// protocol as [`measure_level`]'s ratio columns).
+fn measure_policy(level: OptLevel) -> PolicyRow {
+    let suite = rnnasip_rrm::suite();
+    let net = suite
+        .iter()
+        .find(|n| n.id == POLICY_NET)
+        .unwrap_or_else(|| panic!("{POLICY_NET} not in suite"));
+    let compiled = KernelBackend::new(level)
+        .compile_network(&net.network)
+        .unwrap_or_else(|e| panic!("{} at {level:?}: {e}", net.id));
+    let mut engine = compiled.engine();
+    let input = net.input();
+    let mut legacy_mips = 0.0f64;
+    let mut uop_mips = 0.0f64;
+    let mut instrs = 0u64;
+    for _ in 0..SAMPLES {
+        let mut legacy_nanos = 0u64;
+        let mut uop_nanos = 0u64;
+        for _ in 0..POLICY_REPS {
+            let r = engine.run_reference(&input).unwrap();
+            legacy_nanos += r.report.host_nanos();
+            let r = engine.run(&input).unwrap();
+            uop_nanos += r.report.host_nanos();
+            instrs = r.report.instrs();
+        }
+        let total = (instrs * POLICY_REPS as u64) as f64;
+        legacy_mips = legacy_mips.max(total * 1e3 / legacy_nanos as f64);
+        uop_mips = uop_mips.max(total * 1e3 / uop_nanos as f64);
+    }
+    PolicyRow {
+        instrs,
+        legacy_mips,
+        uop_mips,
+    }
+}
+
+/// Pulls the policy speedup out of a baseline document. This is a
+/// minimal field extraction for our own flat emitter's output, not a
+/// JSON parser: it finds the `"policy"` object and the first
+/// `"speedup":` after it.
+fn extract_policy_speedup(text: &str) -> Option<f64> {
+    let rest = &text[text.find("\"policy\"")?..];
+    let num = &rest[rest.find("\"speedup\":")? + "\"speedup\":".len()..];
+    let end = num
+        .find(|c: char| !(c.is_ascii_digit() || ".-+e".contains(c)))
+        .unwrap_or(num.len());
+    num[..end].parse().ok()
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let check = std::env::args().any(|a| a == "--check");
+
+    println!("sim-throughput: full RRM suite per optimization level, micro-op vs per-step path");
+    println!(
+        "{:<10} {:>12} {:>13} {:>13} {:>9} {:>12} {:>10} {:>11}",
+        "level",
+        "instrs",
+        "legacy MIPS",
+        "uop MIPS",
+        "speedup",
+        "wall MIPS",
+        "wall ms",
+        "compile ms"
+    );
+    let rows: Vec<LevelRow> = OptLevel::ALL
+        .iter()
+        .map(|&level| {
+            let row = measure_level(level);
+            println!(
+                "{:<10} {:>12} {:>13.1} {:>13.1} {:>8.1}x {:>12.1} {:>10.2} {:>11.2}",
+                row.tag,
+                row.instrs,
+                row.legacy_mips,
+                row.uop_mips,
+                row.speedup(),
+                row.wall_mips,
+                row.wall_ms,
+                row.compile_ms
+            );
+            row
+        })
+        .collect();
+
+    for row in &rows {
+        if row.tag == "d" || row.tag == "e" {
+            assert!(
+                row.speedup() >= MIN_O3_SPEEDUP,
+                "micro-op speedup regressed on level {}: {:.2}x < {MIN_O3_SPEEDUP}x",
+                row.tag,
+                row.speedup()
+            );
+        }
+    }
+
+    let policy_level = OptLevel::IfmTile;
+    let policy = measure_policy(policy_level);
+    println!(
+        "\npolicy net ({POLICY_NET}, level {}): legacy {:.1} MIPS, uop {:.1} MIPS, {:.1}x",
+        policy_level.tag(),
+        policy.legacy_mips,
+        policy.uop_mips,
+        policy.speedup()
+    );
+
+    hot_path_comparison();
+
+    if json {
+        let items = rows.iter().map(|r| {
+            Obj::new()
+                .str("level", r.tag)
+                .num("instrs", r.instrs)
+                .float("legacy_mips", Some(r.legacy_mips))
+                .float("uop_mips", Some(r.uop_mips))
+                .float("speedup", Some(r.speedup()))
+                .float("wall_mips", Some(r.wall_mips))
+                .float("wall_ms", Some(r.wall_ms))
+                .float("compile_ms", Some(r.compile_ms))
+                .build()
+        });
+        let policy_obj = Obj::new()
+            .str("network", POLICY_NET)
+            .str("level", policy_level.tag())
+            .num("instrs", policy.instrs)
+            .float("legacy_mips", Some(policy.legacy_mips))
+            .float("uop_mips", Some(policy.uop_mips))
+            .float("speedup", Some(policy.speedup()))
+            .build();
+        let doc = Obj::new()
+            .str("bench", "sim_throughput")
+            .num("samples", SAMPLES as u64)
+            .raw("levels", array(items))
+            .raw("policy", policy_obj)
+            .build();
+        std::fs::write("BENCH_sim.json", doc + "\n").expect("write BENCH_sim.json");
+        println!("wrote BENCH_sim.json");
+    }
+
+    if check {
+        let baseline = std::fs::read_to_string("BENCH_sim_baseline.json")
+            .expect("read BENCH_sim_baseline.json");
+        let baseline_speedup =
+            extract_policy_speedup(&baseline).expect("policy speedup in baseline");
+        let floor = MAX_REGRESSION * baseline_speedup;
+        assert!(
+            policy.speedup() >= floor,
+            "sim-MIPS regression on {POLICY_NET}: uop speedup {:.2}x < {floor:.2}x \
+             (90% of committed baseline {baseline_speedup:.2}x)",
+            policy.speedup()
+        );
         println!(
-            "{:<10} {:>12} {:>14.1} {:>14.1} {:>12.2} {:>12.2} {:>12.2}",
-            level.tag(),
-            instrs,
-            best_core,
-            best_wall,
-            best_ms,
-            best_compile_ms,
-            best_execute_ms
+            "check: {POLICY_NET} speedup {:.1}x vs baseline {baseline_speedup:.1}x — ok",
+            policy.speedup()
         );
     }
-    hot_path_comparison();
 }
 
 /// Best-of-SAMPLES wall time of `f` over `iters` iterations, in ns/iter.

@@ -27,7 +27,8 @@ use crate::runner::KernelBackend;
 use rnnasip_asm::Asm;
 use rnnasip_fixed::Q3p12;
 use rnnasip_nn::{Conv2dLayer, FcLayer, LstmLayer, Matrix, Network, Stage};
-use rnnasip_sim::{Machine, MemImage, Program};
+use rnnasip_sim::{Machine, MemImage, Program, UopProgram};
+use std::sync::Arc;
 
 /// First data address in the TCDM (code addresses live below it; the
 /// simulator fetches from the decoded program image, so the split is a
@@ -98,6 +99,10 @@ impl OutputDesc {
 #[derive(Clone, Debug)]
 pub struct CompiledNetwork {
     pub(crate) program: Program,
+    /// The program's micro-op translation, built once here so every
+    /// engine instantiated from this artifact skips re-translation
+    /// (`Machine::load_program_shared`).
+    pub(crate) uops: Arc<UopProgram>,
     pub(crate) image: MemImage,
     pub(crate) input: InputDesc,
     pub(crate) output: OutputDesc,
@@ -112,6 +117,11 @@ impl CompiledNetwork {
     /// The assembled kernel program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The program's shared micro-op translation.
+    pub fn uop_program(&self) -> &Arc<UopProgram> {
+        &self.uops
     }
 
     /// The staged initial memory image (weights loaded, inputs zeroed).
@@ -264,8 +274,10 @@ pub(crate) fn compile_stages(
     }
     let (program, machine) = s.into_program()?;
     let image = machine.mem().image();
+    let uops = Arc::new(UopProgram::translate(&program));
     Ok(CompiledNetwork {
         program,
+        uops,
         image,
         input,
         output: OutputDesc {

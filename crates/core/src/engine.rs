@@ -45,10 +45,11 @@ pub struct Engine {
 
 impl Engine {
     /// Builds an engine around `compiled`: one machine, its memory
-    /// loaded from the staged image, the program loaded once.
+    /// loaded from the staged image, the program loaded once — sharing
+    /// the artifact's micro-op translation instead of re-translating.
     pub fn new(compiled: CompiledNetwork) -> Self {
         let mut machine = Machine::with_memory(Memory::from_image(compiled.image()));
-        machine.load_program(compiled.program());
+        machine.load_program_shared(compiled.program(), compiled.uop_program().clone());
         Self {
             compiled,
             machine,
@@ -59,6 +60,13 @@ impl Engine {
     /// The artifact this engine executes.
     pub fn compiled(&self) -> &CompiledNetwork {
         &self.compiled
+    }
+
+    /// Read-only view of the underlying machine — cycle counters,
+    /// statistics, and block-runner coverage diagnostics
+    /// (`Machine::bulk_instrs`).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
     }
 
     /// Memory bytes the last [`run`](Self::run) had to restore from the
@@ -79,6 +87,28 @@ impl Engine {
     /// simulation error (the engine stays reusable afterwards — the next
     /// run's rewind restores whatever a faulted run wrote).
     pub fn run(&mut self, sequence: &[Vec<Q3p12>]) -> Result<NetworkRun, CoreError> {
+        self.run_inner(sequence, false)
+    }
+
+    /// Like [`run`](Self::run), but simulating through the reference
+    /// per-step interpreter (`Machine::run_legacy`) instead of the
+    /// micro-op path. Outputs, cycle counts and per-mnemonic rows are
+    /// bit-identical to [`run`](Self::run); only host time differs. Used
+    /// by the differential tests and the `sim_throughput` benchmark's
+    /// legacy column.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_reference(&mut self, sequence: &[Vec<Q3p12>]) -> Result<NetworkRun, CoreError> {
+        self.run_inner(sequence, true)
+    }
+
+    fn run_inner(
+        &mut self,
+        sequence: &[Vec<Q3p12>],
+        reference: bool,
+    ) -> Result<NetworkRun, CoreError> {
         let input = self.compiled.input();
         if sequence.len() != input.steps() {
             return Err(CoreError::Shape(format!(
@@ -103,7 +133,11 @@ impl Engine {
                 .write_q3p12_slice(input.base() + (t * input.width() * 2) as u32, x)?;
         }
         let started = std::time::Instant::now();
-        self.machine.run(self.compiled.max_cycles())?;
+        if reference {
+            self.machine.run_legacy(self.compiled.max_cycles())?;
+        } else {
+            self.machine.run(self.compiled.max_cycles())?;
+        }
         let host_nanos = started.elapsed().as_nanos() as u64;
         let out = self.compiled.output();
         let outputs = self.machine.mem().read_q3p12_slice(out.base(), out.len())?;

@@ -435,6 +435,19 @@ impl DotOp {
     }
 }
 
+/// Static functional-unit latency bucket of an instruction — see
+/// [`Instr::timing_class`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TimingClass {
+    /// Single-cycle issue and retire (everything but the buckets below).
+    Single,
+    /// High-half multiplies (`mulh`/`mulhsu`/`mulhu`): multi-cycle on
+    /// RI5CY's 32×32→64 multiplier.
+    HighMultiply,
+    /// The serial divider (`div`/`divu`/`rem`/`remu`).
+    SerialDivide,
+}
+
 /// A decoded instruction of the RNN-extended RISC-V core.
 ///
 /// The enum is organised by instruction *class*; static per-class operand
@@ -1063,6 +1076,43 @@ impl Instr {
     /// Whether the instruction writes data memory.
     pub fn is_store(&self) -> bool {
         matches!(self, Instr::Store { .. } | Instr::StorePostInc { .. })
+    }
+
+    /// The registers this instruction reads, as a 32-bit mask indexed by
+    /// register number (bit `n` set ⇔ `xn` ∈ [`uses`](Self::uses)).
+    ///
+    /// Equivalent to scanning the [`RegList`], pre-flattened for consumers
+    /// that test membership on a hot path (the simulator's load-use stall
+    /// check is a single `and` against this mask).
+    pub fn uses_mask(&self) -> u32 {
+        self.uses().iter().fold(0, |m, r| m | (1u32 << r.num()))
+    }
+
+    /// The registers this instruction writes, as a 32-bit mask indexed by
+    /// register number — the mask companion of [`defs`](Self::defs).
+    pub fn defs_mask(&self) -> u32 {
+        self.defs().iter().fold(0, |m, r| m | (1u32 << r.num()))
+    }
+
+    /// The static timing class of this instruction — which functional-unit
+    /// latency bucket it retires through on the modelled RI5CY pipeline.
+    ///
+    /// Dynamic costs (taken-branch penalty, load-use bubbles) are *not*
+    /// part of the class; they depend on run-time state and stay with the
+    /// simulator. The class captures only what is knowable at decode time,
+    /// so a pre-decoding simulator can fold the extra latency into a
+    /// per-instruction constant.
+    pub fn timing_class(&self) -> TimingClass {
+        match self {
+            Instr::MulDiv { op, .. } => match op {
+                MulDivOp::Mulh | MulDivOp::Mulhsu | MulDivOp::Mulhu => TimingClass::HighMultiply,
+                MulDivOp::Div | MulDivOp::Divu | MulDivOp::Rem | MulDivOp::Remu => {
+                    TimingClass::SerialDivide
+                }
+                MulDivOp::Mul => TimingClass::Single,
+            },
+            _ => TimingClass::Single,
+        }
     }
 
     /// The number of 16-bit multiply-accumulate operations this instruction

@@ -55,7 +55,7 @@ pub use decode::{decode, DecodeError};
 pub use encode::encode;
 pub use instr::{
     AluImmOp, AluOp, BranchOp, CsrOp, DotOp, Instr, LoadOp, LoopIdx, MulDivOp, PvAluOp, SimdMode,
-    SimdSize, StoreOp,
+    SimdSize, StoreOp, TimingClass,
 };
 pub use mnemonic::MnemonicId;
 pub use reg::{ParseRegError, Reg};

@@ -54,6 +54,7 @@ mod mem;
 mod program;
 mod stats;
 mod trace;
+mod uop;
 
 pub use core_state::{Core, HwLoop};
 pub use error::{ExitReason, SimError};
@@ -62,3 +63,4 @@ pub use mem::{MemImage, Memory};
 pub use program::{ProgItem, Program};
 pub use stats::{Row, Stats};
 pub use trace::TraceEntry;
+pub use uop::UopProgram;

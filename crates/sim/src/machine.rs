@@ -5,11 +5,16 @@ use crate::error::{ExitReason, SimError};
 use crate::mem::{MemImage, Memory};
 use crate::program::Program;
 use crate::stats::Stats;
+use crate::uop::{
+    Target, UnaryOp, Uop, UopKind, UopProgram, DIV_EXTRA_CYCLES, MULH_EXTRA_CYCLES, NO_BODY,
+    NO_IDX, NO_RUN,
+};
 use rnnasip_isa::{
     AluImmOp, AluOp, BranchOp, Csr, CsrOp, DotOp, Instr, LoadOp, MnemonicId, MulDivOp, PvAluOp,
     Reg, SimdMode, SimdSize, StoreOp,
 };
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Result of a single [`Machine::step`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,15 +25,28 @@ pub enum StepOutcome {
     Halted(ExitReason),
 }
 
-/// Extra latency of the serial divider beyond the base cycle.
-///
-/// RI5CY's divider takes 2–32 cycles depending on operand magnitude; the
-/// kernels never divide in hot loops, so a flat worst-case cost keeps the
-/// model simple without influencing any reported number.
-const DIV_EXTRA_CYCLES: u64 = 31;
+/// Outcome of one micro-op step inside [`Machine::run`].
+enum UStep {
+    /// One instruction retired; at most `MAX_CYCLES_PER_STEP` consumed.
+    Cont,
+    /// A bulk hardware-loop run advanced the cycle counter by more than
+    /// one step's worth; the run loop must re-derive its watchdog block.
+    Bulk,
+    /// The program halted.
+    Halt(ExitReason),
+}
 
-/// Extra latency of the `mulh*` high-half multiplies (RI5CY: 5 cycles).
-const MULH_EXTRA_CYCLES: u64 = 4;
+/// Control-flow result of a micro-op's data semantics
+/// ([`Machine::exec_uop`]); the retire bookkeeping maps it to the next
+/// PC/index and the taken-branch cycle.
+enum Flow {
+    /// Fall through to the next micro-op.
+    Fall,
+    /// Redirect to a (pre- or run-time-resolved) target.
+    Jump(Target),
+    /// `ecall`/`ebreak`.
+    Halt(ExitReason),
+}
 
 /// Upper bound on the cycles one [`Machine::step`] can consume, used by
 /// [`Machine::run`] to size watchdog-check-free blocks.
@@ -48,6 +66,10 @@ pub struct Machine {
     core: Core,
     mem: Memory,
     program: Program,
+    /// The program lowered to micro-ops — [`Machine::run`]'s execution
+    /// format. `Arc`-shared so a compiled artifact can hand one
+    /// translation to any number of machines.
+    uops: Arc<UopProgram>,
     stats: Stats,
     /// Destination of the immediately preceding load, for the load-use
     /// stall rule, with the mnemonic the stall is attributed to.
@@ -55,21 +77,17 @@ pub struct Machine {
     /// SPR writes in flight: (instruction index at issue, SPR index, data).
     spr_pending: VecDeque<(u64, usize, u32)>,
     halted: Option<ExitReason>,
+    /// Instructions retired through the bulk block runners (loop bodies
+    /// and straight-line runs), for coverage diagnostics. One addition
+    /// per bulk entry, not per op.
+    bulk_instrs: u64,
 }
 
 impl Machine {
     /// Creates a machine with `mem_size` bytes of zeroed TCDM and no
     /// program.
     pub fn new(mem_size: usize) -> Self {
-        Self {
-            core: Core::new(0),
-            mem: Memory::new(mem_size),
-            program: Program::default(),
-            stats: Stats::new(),
-            pending_load: None,
-            spr_pending: VecDeque::new(),
-            halted: None,
-        }
+        Self::with_memory(Memory::new(mem_size))
     }
 
     /// Creates a machine around an existing memory (e.g. one built with
@@ -79,11 +97,21 @@ impl Machine {
             core: Core::new(0),
             mem,
             program: Program::default(),
+            uops: Arc::new(UopProgram::default()),
             stats: Stats::new(),
             pending_load: None,
             spr_pending: VecDeque::new(),
             halted: None,
+            bulk_instrs: 0,
         }
+    }
+
+    /// Instructions retired through the specialized block runners rather
+    /// than the generic per-op path, since construction. The
+    /// bulk-coverage ratio `bulk_instrs() / core().instret` is the main
+    /// diagnostic for micro-op-path throughput.
+    pub fn bulk_instrs(&self) -> u64 {
+        self.bulk_instrs
     }
 
     /// Rewinds the machine for another run of the loaded program:
@@ -108,11 +136,39 @@ impl Machine {
 
     /// Loads a program and resets the core to its entry point.
     ///
-    /// Memory contents and accumulated statistics are preserved, so data
-    /// can be staged before or after loading code.
+    /// The program is lowered to micro-ops here, once; [`run`](Self::run)
+    /// executes the lowered form. Memory contents and accumulated
+    /// statistics are preserved, so data can be staged before or after
+    /// loading code.
     pub fn load_program(&mut self, program: &Program) {
         self.program = program.clone();
+        self.uops = Arc::new(UopProgram::translate(program));
         self.reset_core();
+    }
+
+    /// Loads a program together with an already-translated micro-op
+    /// image, skipping re-translation — the compile-once/run-many path
+    /// used by engines that instantiate several machines from one
+    /// compiled artifact.
+    ///
+    /// `uops` must be [`UopProgram::translate`]\(`program`\) (or a clone
+    /// of the `Arc` another machine got from the same program); anything
+    /// else breaks the PC ↔ micro-op correspondence `run` relies on.
+    pub fn load_program_shared(&mut self, program: &Program, uops: Arc<UopProgram>) {
+        debug_assert_eq!(
+            uops.len(),
+            program.len(),
+            "micro-op image must be the translation of the loaded program"
+        );
+        self.program = program.clone();
+        self.uops = uops;
+        self.reset_core();
+    }
+
+    /// The loaded program's micro-op translation (shareable via
+    /// [`load_program_shared`](Self::load_program_shared)).
+    pub fn uop_program(&self) -> &Arc<UopProgram> {
+        &self.uops
     }
 
     /// Resets the architectural core state (PC to program entry, registers
@@ -163,19 +219,75 @@ impl Machine {
 
     /// Runs until the program halts via `ecall`/`ebreak`.
     ///
+    /// Execution is driven off the pre-decoded micro-op array built by
+    /// [`load_program`](Self::load_program): the hot loop tracks the
+    /// micro-op *index* alongside the PC, so sequential flow is an index
+    /// increment and direct jumps use their pre-resolved target index.
+    /// Straight-line hardware-loop bodies recognized at translation time
+    /// run through a specialized block runner that executes only data
+    /// semantics per iteration and accounts cycles and statistics in
+    /// bulk. Everything observable — cycle counts, per-mnemonic rows,
+    /// trace-visible state, fault points — is bit-identical to the
+    /// reference loop [`run_legacy`](Self::run_legacy).
+    ///
     /// Steps are executed in watchdog-check-free blocks: while the cycle
     /// budget left exceeds `block · MAX_CYCLES_PER_STEP`, no step in the
     /// block can push the counter past `max_cycles`, so the per-step
     /// budget comparison (and the halted re-check it guards) is hoisted
     /// out of the hot loop. Once the budget gets close the loop falls
     /// back to per-step checking, making the watchdog fire on exactly
-    /// the same cycle as the naive step-and-check loop.
+    /// the same cycle as the naive step-and-check loop. A bulk loop run
+    /// never overshoots: its iteration count is capped by the remaining
+    /// budget, and the block size is re-derived right after it.
     ///
     /// # Errors
     ///
     /// [`SimError::Watchdog`] if `max_cycles` elapse first, or any
     /// fetch/memory error raised by the program.
     pub fn run(&mut self, max_cycles: u64) -> Result<ExitReason, SimError> {
+        if let Some(reason) = self.halted {
+            return Ok(reason);
+        }
+        let uops = Arc::clone(&self.uops);
+        let mut idx = self
+            .program
+            .index_of(self.core.pc)
+            .map_or(NO_IDX, |i| i as u32);
+        loop {
+            let remaining = max_cycles.saturating_sub(self.core.cycle);
+            let mut block = remaining / MAX_CYCLES_PER_STEP;
+            if block == 0 {
+                match self.uop_step(&uops, &mut idx, max_cycles)? {
+                    UStep::Halt(reason) => return Ok(reason),
+                    UStep::Cont | UStep::Bulk => {
+                        if self.core.cycle > max_cycles {
+                            return Err(SimError::Watchdog { max_cycles });
+                        }
+                    }
+                }
+            } else {
+                while block > 0 {
+                    match self.uop_step(&uops, &mut idx, max_cycles)? {
+                        UStep::Halt(reason) => return Ok(reason),
+                        // The cycle counter jumped by a whole loop run;
+                        // leave the inner loop to re-size the block.
+                        UStep::Bulk => break,
+                        UStep::Cont => block -= 1,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The reference run loop: identical contract to [`run`](Self::run),
+    /// executed by re-matching the decoded [`Instr`] stream one
+    /// [`step`](Self::step) at a time. Kept as the bit-identity oracle
+    /// the differential tests compare the micro-op path against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_legacy(&mut self, max_cycles: u64) -> Result<ExitReason, SimError> {
         if let Some(reason) = self.halted {
             return Ok(reason);
         }
@@ -204,6 +316,415 @@ impl Machine {
         }
     }
 
+    /// Executes one micro-op: the pre-decoded image of [`step`]\(Self::step).
+    ///
+    /// `idx` is the micro-op index of the current PC (or [`NO_IDX`] when
+    /// the PC does not start an instruction), maintained across calls so
+    /// the common case never consults the fetch table.
+    fn uop_step(
+        &mut self,
+        uops: &UopProgram,
+        idx: &mut u32,
+        max_cycles: u64,
+    ) -> Result<UStep, SimError> {
+        if !self.spr_pending.is_empty() {
+            self.drain_spr();
+        }
+
+        let Some(&u) = uops.uops.get(*idx as usize) else {
+            return Err(SimError::FetchFault { pc: self.core.pc });
+        };
+        debug_assert_eq!(u.addr, self.core.pc, "micro-op index out of sync with PC");
+
+        // Load-use stall: one bubble, charged to the producing load.
+        if let Some((reg, id)) = self.pending_load.take() {
+            if u.uses_mask & (1u32 << reg.num()) != 0 {
+                self.stats.attribute_stall(id);
+                self.core.cycle += 1;
+            }
+        }
+
+        // A specialized straight-line run starts here: execute the whole
+        // run in bulk if the runtime preconditions hold (no armed loop
+        // end inside, enough watchdog budget). The entry stall above is
+        // already charged either way.
+        if u.run != NO_RUN && self.run_straight(uops, u.run, idx, max_cycles)? {
+            return Ok(UStep::Bulk);
+        }
+
+        let flow = self.exec_uop(&u)?;
+        let (mut next_addr, mut next_idx, extra, halted) = match flow {
+            Flow::Fall => (u.next_addr, *idx + 1, 0, None),
+            Flow::Jump(t) => (t.addr, t.idx, 1, None),
+            Flow::Halt(reason) => (u.next_addr, *idx + 1, 0, Some(reason)),
+        };
+
+        // Hardware loops: zero-cycle jump-back when the fall-through PC
+        // reaches an armed loop's end. Inner loop (level 0) has priority.
+        let mut hw_jump = false;
+        let mut jump_level = 0usize;
+        if matches!(flow, Flow::Fall) {
+            for level in 0..2 {
+                let lp = &mut self.core.hwloop[level];
+                if lp.count > 0 && next_addr == lp.end {
+                    if lp.count > 1 {
+                        lp.count -= 1;
+                        next_addr = lp.start;
+                        hw_jump = true;
+                        jump_level = level;
+                        break;
+                    }
+                    // Inner loop expired: fall through so an outer loop
+                    // sharing the same end address gets its jump-back.
+                    lp.count = 0;
+                }
+            }
+        }
+        if hw_jump {
+            next_idx = self
+                .program
+                .index_of(next_addr)
+                .map_or(NO_IDX, |i| i as u32);
+        }
+
+        let cycles = u64::from(u.base_cycles) + extra;
+        self.stats.record(u.id, cycles, u32::from(u.mac_ops));
+        self.core.cycle += cycles;
+        self.core.instret += 1;
+        self.core.pc = next_addr;
+        *idx = next_idx;
+        if u.load_rd != 0 {
+            self.pending_load = Some((Reg::from_bits(u32::from(u.load_rd)), u.id));
+        }
+
+        if let Some(reason) = halted {
+            self.halted = Some(reason);
+            return Ok(UStep::Halt(reason));
+        }
+        if hw_jump {
+            if u.body != NO_BODY
+                && self.run_loop_body(uops, u.body, jump_level, max_cycles, false)?
+            {
+                return Ok(UStep::Bulk);
+            }
+        } else if u.body != NO_BODY {
+            // An lp.setup/lp.setupi that just armed a specializable loop:
+            // the fall-through PC is the body start, so iteration 0 can
+            // run in bulk too (top entry).
+            if let UopKind::LpSetup { l, .. } | UopKind::LpSetupi { l, .. } = u.kind {
+                if self.run_loop_body(uops, u.body, usize::from(l), max_cycles, true)? {
+                    return Ok(UStep::Bulk);
+                }
+            }
+        }
+        Ok(UStep::Cont)
+    }
+
+    /// Attempts a bulk run of the specialized loop body chain starting at
+    /// descriptor `head`, with the PC on the body's first op — either
+    /// just after a generic jump-back of hardware loop `level`
+    /// (`top_entry == false`) or just after the loop's `lp.setup` armed
+    /// it (`top_entry == true`, running from iteration 0).
+    ///
+    /// Returns `Ok(false)` when no descriptor matches the armed loop or
+    /// the preconditions for bulk execution don't hold (fewer than two
+    /// iterations left, a conflicting other-level loop, no cycle budget)
+    /// — the caller then continues on the generic path, which handles
+    /// those cases bit-identically. On `Ok(true)`, whole iterations were
+    /// executed and accounted in bulk; the machine state (PC, counters,
+    /// statistics, pending load) is exactly what the generic path would
+    /// have produced. A mid-body fault unwinds to exact per-op
+    /// accounting before returning the error.
+    fn run_loop_body(
+        &mut self,
+        uops: &UopProgram,
+        head: u32,
+        level: usize,
+        max_cycles: u64,
+        top_entry: bool,
+    ) -> Result<bool, SimError> {
+        let lp = self.core.hwloop[level];
+        let mut bi = head;
+        let body = loop {
+            if bi == NO_BODY {
+                return Ok(false);
+            }
+            let b = &uops.bodies[bi as usize];
+            if b.start_addr == lp.start && b.end_addr == lp.end {
+                break b;
+            }
+            bi = b.next;
+        };
+        // The final iteration (count == 1) must run generically: its
+        // jump-back check falls through and may hand over to an outer
+        // loop sharing the end address.
+        if lp.count < 2 {
+            return Ok(false);
+        }
+        // Steady-state iterations pay the wrap-around stall into op 0;
+        // iteration 0 does not (nothing can be pending after lp.setup).
+        // Bulk accounting charges every iteration identically, so top
+        // entry is only valid when that stall is statically absent.
+        if top_entry && body.stall_in[0].is_some() {
+            return Ok(false);
+        }
+        // The other loop level must not be able to trigger anywhere in
+        // the body. Its end address strictly inside the body always
+        // conflicts; an end equal to this body's end conflicts only when
+        // the other level is the *inner* one (level 0 has priority).
+        let other = self.core.hwloop[1 - level];
+        if other.count > 0
+            && other.end > body.start_addr
+            && (other.end < body.end_addr || (level == 1 && other.end == body.end_addr))
+        {
+            return Ok(false);
+        }
+        let budget = max_cycles.saturating_sub(self.core.cycle);
+        let iters = (budget / body.iter_cycles).min(u64::from(lp.count - 1));
+        if iters == 0 {
+            return Ok(false);
+        }
+
+        let slice = &uops.uops[body.start_idx as usize..(body.start_idx + body.len) as usize];
+        let (done, fault) = self.exec_bulk(slice, iters);
+
+        // Bulk-account the completed iterations: cycles, loop count and
+        // one row update per mnemonic. PC stays at the body start — every
+        // completed iteration ended in a jump-back (count never dropped
+        // below 2 before its decrement, by the `iters` cap).
+        self.core.cycle += done * body.iter_cycles;
+        self.core.hwloop[level].count -= done as u32;
+        self.bulk_instrs += done * u64::from(body.len);
+        for &(id, instrs, cycles, macs) in &body.retire_rows {
+            self.stats
+                .record_many(id, instrs * done, cycles * done, macs * done);
+        }
+        for &(id, n) in &body.stall_rows {
+            self.stats.attribute_stalls(id, n * done);
+        }
+
+        match fault {
+            None => {
+                // The generic path would have retired the body's last op
+                // just before returning here, leaving its load pending.
+                let last = slice[slice.len() - 1];
+                self.pending_load =
+                    (last.load_rd != 0).then(|| (Reg::from_bits(u32::from(last.load_rd)), last.id));
+                Ok(true)
+            }
+            Some((k, e)) => {
+                // A fault in op `k` of the partial iteration: retire ops
+                // 0..k individually (their register/memory effects are
+                // already applied), charge the stall the faulting op
+                // suffered on entry, and leave the PC on the faulting op
+                // — exactly the state the generic path faults with.
+                for (j, u) in slice.iter().take(k).enumerate() {
+                    if let Some(id) = body.stall_in[j] {
+                        self.stats.attribute_stall(id);
+                        self.core.cycle += 1;
+                    }
+                    self.stats
+                        .record(u.id, u64::from(u.base_cycles), u32::from(u.mac_ops));
+                    self.core.cycle += u64::from(u.base_cycles);
+                }
+                if let Some(id) = body.stall_in[k] {
+                    self.stats.attribute_stall(id);
+                    self.core.cycle += 1;
+                }
+                self.pending_load = None;
+                self.core.pc = slice[k].addr;
+                Err(e)
+            }
+        }
+    }
+
+    /// Attempts a bulk pass of straight-line run `ri`, whose first op the
+    /// PC sits on.
+    ///
+    /// Returns `Ok(false)` when the preconditions don't hold: an *armed*
+    /// hardware loop's end address lies on one of the run's fall-through
+    /// addresses (the generic path would divert control there), or the
+    /// watchdog budget can't cover the whole run. On `Ok(true)` the run
+    /// was executed and accounted in bulk, leaving exactly the state the
+    /// generic path would have produced; a mid-run fault unwinds to exact
+    /// per-op accounting before returning the error.
+    fn run_straight(
+        &mut self,
+        uops: &UopProgram,
+        ri: u32,
+        idx: &mut u32,
+        max_cycles: u64,
+    ) -> Result<bool, SimError> {
+        let run = &uops.runs[ri as usize];
+        for lp in &self.core.hwloop {
+            if lp.count > 0 && lp.end > run.start_addr && lp.end <= run.end_addr {
+                return Ok(false);
+            }
+        }
+        if run.cycles > max_cycles.saturating_sub(self.core.cycle) {
+            return Ok(false);
+        }
+
+        let slice = &uops.uops[run.start_idx as usize..(run.start_idx + run.len) as usize];
+        let (_, fault) = self.exec_bulk(slice, 1);
+
+        match fault {
+            None => {
+                self.core.cycle += run.cycles;
+                self.bulk_instrs += u64::from(run.len);
+                for &(id, instrs, cycles, macs) in &run.retire_rows {
+                    self.stats.record_many(id, instrs, cycles, macs);
+                }
+                for &(id, n) in &run.stall_rows {
+                    self.stats.attribute_stalls(id, n);
+                }
+                let last = slice[slice.len() - 1];
+                self.pending_load =
+                    (last.load_rd != 0).then(|| (Reg::from_bits(u32::from(last.load_rd)), last.id));
+                self.core.pc = run.end_addr;
+                *idx = run.start_idx + run.len;
+                Ok(true)
+            }
+            Some((k, e)) => {
+                // Retire ops 0..k individually (their register/memory
+                // effects are already applied) and charge the faulting
+                // op's entry stall, leaving the PC on the faulting op —
+                // exactly the state the generic path faults with. (The
+                // *run* entry stall was charged by the caller.)
+                for (j, u) in slice.iter().take(k).enumerate() {
+                    if let Some(id) = run.stall_in[j] {
+                        self.stats.attribute_stall(id);
+                        self.core.cycle += 1;
+                    }
+                    self.stats
+                        .record(u.id, u64::from(u.base_cycles), u32::from(u.mac_ops));
+                    self.core.cycle += u64::from(u.base_cycles);
+                }
+                if let Some(id) = run.stall_in[k] {
+                    self.stats.attribute_stall(id);
+                    self.core.cycle += 1;
+                }
+                self.pending_load = None;
+                self.core.pc = slice[k].addr;
+                Err(e)
+            }
+        }
+    }
+
+    /// Executes `iters` passes over `slice` — data semantics and
+    /// `instret` retirement only, no cycle or statistics accounting.
+    ///
+    /// The SPR write pipeline lives in host locals for the whole pass:
+    /// the `issued + 2 <= instret` visibility rule bounds the in-flight
+    /// set to two writes, so a two-slot array replaces the shared
+    /// `spr_pending` deque and `pl.sdotsp` — the dominant op in the O3
+    /// kernels — executes without any deque traffic or `drain_spr`
+    /// calls. Writes land at exactly the same retirement points as on
+    /// the generic path, and the deque is reconstructed verbatim (same
+    /// `instret` keys) on exit, so machine state stays bit-identical.
+    ///
+    /// Returns the number of completed passes and, for a partial pass,
+    /// the faulting op's slice index with the error. The faulting op
+    /// does not retire; earlier ops of the partial pass do.
+    fn exec_bulk(&mut self, slice: &[Uop], iters: u64) -> (u64, Option<(usize, SimError)>) {
+        let mut spr = self.core.spr;
+        let mut instret = self.core.instret;
+        // In-flight SPR writes, oldest first. Every path drains before
+        // executing an op, so at most the two most recent retirements
+        // can still have a write pending.
+        assert!(self.spr_pending.len() <= 2);
+        let mut q = [(0u64, 0usize, 0u32); 2];
+        let mut qn = 0usize;
+        while let Some(e) = self.spr_pending.pop_front() {
+            q[qn] = e;
+            qn += 1;
+        }
+
+        let mut done = 0u64;
+        let mut fault: Option<(usize, SimError)> = None;
+        'passes: for _ in 0..iters {
+            for (k, u) in slice.iter().enumerate() {
+                // Writes issued two or more retirements ago land now —
+                // the same drain point as `uop_step` / `step`.
+                while qn > 0 && q[0].0 + 2 <= instret {
+                    spr[q[0].1] = q[0].2;
+                    q[0] = q[1];
+                    qn -= 1;
+                }
+                if let UopKind::PlSdotsp {
+                    spr: s,
+                    size,
+                    rd,
+                    rs1,
+                    rs2,
+                } = u.kind
+                {
+                    // `spr` was masked to 0/1 at translation; re-masking
+                    // here lets the compiler drop the bounds checks.
+                    let sl = usize::from(s & 1);
+                    let w = spr[sl];
+                    let x = self.core.reg(rs2);
+                    // Specialized signed×signed dot: lane products fit in
+                    // i32, and wrapping i32 sums equal the generic i64
+                    // accumulation truncated to 32 bits.
+                    let dot = match size {
+                        SimdSize::Half => {
+                            let p0 = (w as i16 as i32) * (x as i16 as i32);
+                            let p1 = ((w >> 16) as i16 as i32) * ((x >> 16) as i16 as i32);
+                            p0.wrapping_add(p1) as u32
+                        }
+                        SimdSize::Byte => {
+                            let mut sum = 0i32;
+                            for sh in [0u32, 8, 16, 24] {
+                                sum += ((w >> sh) as i8 as i32) * ((x >> sh) as i8 as i32);
+                            }
+                            sum as u32
+                        }
+                    };
+                    debug_assert_eq!(dot, exec_dot(DotOp::SdotSp, size, w, x));
+                    let acc = self.core.reg(rd).wrapping_add(dot);
+                    let addr = self.core.reg(rs1);
+                    match self.mem.read_u32(addr) {
+                        Ok(value) => {
+                            // After aging, at most the previous op's
+                            // write is still in flight, so qn <= 1.
+                            debug_assert!(qn < 2);
+                            q[qn & 1] = (instret, sl, value);
+                            qn += 1;
+                            self.core.set_reg(rd, acc);
+                            self.core.set_reg(rs1, addr.wrapping_add(4));
+                        }
+                        Err(e) => {
+                            fault = Some((k, e));
+                            break 'passes;
+                        }
+                    }
+                } else {
+                    // Only `pl.sdotsp` reads or writes the SPR state and
+                    // only the (body-ineligible) CSR reads observe
+                    // `instret`, so the locals can stay stale across
+                    // this call.
+                    match self.exec_uop(u) {
+                        Ok(flow) => debug_assert!(matches!(flow, Flow::Fall)),
+                        Err(e) => {
+                            fault = Some((k, e));
+                            break 'passes;
+                        }
+                    }
+                }
+                instret += 1;
+            }
+            done += 1;
+        }
+
+        self.core.spr = spr;
+        self.core.instret = instret;
+        for &e in q.iter().take(qn) {
+            self.spr_pending.push_back(e);
+        }
+        (done, fault)
+    }
+
     /// Executes one instruction.
     ///
     /// # Errors
@@ -218,14 +739,7 @@ impl Machine {
         // The deque is empty except inside `pl.sdotsp` streams, so guard
         // the drain with the cheap length check.
         if !self.spr_pending.is_empty() {
-            while let Some(&(issued, idx, value)) = self.spr_pending.front() {
-                if issued + 2 <= self.core.instret {
-                    self.core.spr[idx] = value;
-                    self.spr_pending.pop_front();
-                } else {
-                    break;
-                }
-            }
+            self.drain_spr();
         }
 
         let pc = self.core.pc;
@@ -656,6 +1170,371 @@ impl Machine {
             return Ok(StepOutcome::Halted(reason));
         }
         Ok(StepOutcome::Continue)
+    }
+
+    /// Makes SPR writes issued two or more instructions ago visible.
+    /// Visibility is keyed on `instret`, so the micro-op bulk runner —
+    /// which defers *cycle* accounting but retires `instret` per op —
+    /// drains at exactly the same points as the per-step path.
+    #[inline]
+    fn drain_spr(&mut self) {
+        while let Some(&(issued, idx, value)) = self.spr_pending.front() {
+            if issued + 2 <= self.core.instret {
+                self.core.spr[idx] = value;
+                self.spr_pending.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Executes a micro-op's data semantics: register/memory/SPR effects
+    /// only. Timing, statistics, PC update, hardware-loop jump-back and
+    /// the pending-load hand-off are the caller's responsibility, which
+    /// is what lets the loop-body runner share this with `uop_step` while
+    /// accounting time in bulk.
+    fn exec_uop(&mut self, u: &Uop) -> Result<Flow, SimError> {
+        match u.kind {
+            UopKind::SetReg { rd, val } => self.core.set_reg(rd, val),
+            UopKind::Jal { rd, target } => {
+                self.core.set_reg(rd, u.next_addr);
+                return Ok(Flow::Jump(target));
+            }
+            UopKind::Jalr { rd, rs1, offset } => {
+                let addr = self.core.reg(rs1).wrapping_add(offset) & !1;
+                self.core.set_reg(rd, u.next_addr);
+                return Ok(Flow::Jump(Target {
+                    addr,
+                    idx: self.program.index_of(addr).map_or(NO_IDX, |i| i as u32),
+                }));
+            }
+            UopKind::Branch {
+                op,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let a = self.core.reg(rs1);
+                let b = self.core.reg(rs2);
+                let taken = match op {
+                    BranchOp::Beq => a == b,
+                    BranchOp::Bne => a != b,
+                    BranchOp::Blt => (a as i32) < (b as i32),
+                    BranchOp::Bge => (a as i32) >= (b as i32),
+                    BranchOp::Bltu => a < b,
+                    BranchOp::Bgeu => a >= b,
+                };
+                if taken {
+                    return Ok(Flow::Jump(target));
+                }
+            }
+            UopKind::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.core.reg(rs1).wrapping_add(offset);
+                let value = self.load_value(op, addr)?;
+                self.core.set_reg(rd, value);
+            }
+            UopKind::LoadPostInc {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.core.reg(rs1);
+                let value = self.load_value(op, addr)?;
+                self.core.set_reg(rs1, addr.wrapping_add(offset));
+                self.core.set_reg(rd, value);
+            }
+            UopKind::LoadReg { op, rd, rs1, rs2 } => {
+                let addr = self.core.reg(rs1).wrapping_add(self.core.reg(rs2));
+                let value = self.load_value(op, addr)?;
+                self.core.set_reg(rd, value);
+            }
+            UopKind::Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let addr = self.core.reg(rs1).wrapping_add(offset);
+                self.store_value(op, addr, self.core.reg(rs2))?;
+            }
+            UopKind::StorePostInc {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let addr = self.core.reg(rs1);
+                self.store_value(op, addr, self.core.reg(rs2))?;
+                self.core.set_reg(rs1, addr.wrapping_add(offset));
+            }
+            UopKind::OpImm { op, rd, rs1, imm } => {
+                let a = self.core.reg(rs1);
+                let v = match op {
+                    AluImmOp::Addi => a.wrapping_add(imm as u32),
+                    AluImmOp::Slti => ((a as i32) < imm) as u32,
+                    AluImmOp::Sltiu => (a < imm as u32) as u32,
+                    AluImmOp::Xori => a ^ imm as u32,
+                    AluImmOp::Ori => a | imm as u32,
+                    AluImmOp::Andi => a & imm as u32,
+                    AluImmOp::Slli => a << (imm & 0x1F),
+                    AluImmOp::Srli => a >> (imm & 0x1F),
+                    AluImmOp::Srai => ((a as i32) >> (imm & 0x1F)) as u32,
+                };
+                self.core.set_reg(rd, v);
+            }
+            UopKind::Op { op, rd, rs1, rs2 } => {
+                let a = self.core.reg(rs1);
+                let b = self.core.reg(rs2);
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Sll => a << (b & 0x1F),
+                    AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+                    AluOp::Sltu => (a < b) as u32,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Srl => a >> (b & 0x1F),
+                    AluOp::Sra => ((a as i32) >> (b & 0x1F)) as u32,
+                    AluOp::Or => a | b,
+                    AluOp::And => a & b,
+                };
+                self.core.set_reg(rd, v);
+            }
+            UopKind::MulDiv { op, rd, rs1, rs2 } => {
+                // Value semantics only: the mulh/div extra latency is
+                // folded into the op's static `base_cycles`.
+                let a = self.core.reg(rs1);
+                let b = self.core.reg(rs2);
+                let v = match op {
+                    MulDivOp::Mul => a.wrapping_mul(b),
+                    MulDivOp::Mulh => ((a as i32 as i64 * b as i32 as i64) >> 32) as u32,
+                    MulDivOp::Mulhsu => ((a as i32 as i64 * b as u64 as i64) >> 32) as u32,
+                    MulDivOp::Mulhu => ((a as u64 * b as u64) >> 32) as u32,
+                    MulDivOp::Div => match (a as i32, b as i32) {
+                        (_, 0) => u32::MAX,
+                        (i32::MIN, -1) => i32::MIN as u32,
+                        (x, y) => x.wrapping_div(y) as u32,
+                    },
+                    MulDivOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+                    MulDivOp::Rem => match (a as i32, b as i32) {
+                        (x, 0) => x as u32,
+                        (i32::MIN, -1) => 0,
+                        (x, y) => x.wrapping_rem(y) as u32,
+                    },
+                    MulDivOp::Remu => {
+                        if b == 0 {
+                            a
+                        } else {
+                            a % b
+                        }
+                    }
+                };
+                self.core.set_reg(rd, v);
+            }
+            UopKind::Nop => {}
+            UopKind::Halt(reason) => return Ok(Flow::Halt(reason)),
+            UopKind::CsrRead { rd, csr } => {
+                let v = self.read_csr(csr);
+                self.core.set_reg(rd, v);
+            }
+            UopKind::LpSetAddr { l, is_end, addr } => {
+                let lp = &mut self.core.hwloop[l as usize];
+                if is_end {
+                    lp.end = addr;
+                } else {
+                    lp.start = addr;
+                }
+            }
+            UopKind::LpCount { l, rs1 } => {
+                self.core.hwloop[l as usize].count = self.core.reg(rs1);
+            }
+            UopKind::LpCounti { l, count } => {
+                self.core.hwloop[l as usize].count = count;
+            }
+            UopKind::LpSetup { l, rs1, start, end } => {
+                let count = self.core.reg(rs1);
+                let lp = &mut self.core.hwloop[l as usize];
+                lp.start = start;
+                lp.end = end;
+                lp.count = count;
+                if lp.count > 0 && lp.start >= lp.end {
+                    return Err(SimError::BadHwLoop { level: l as usize });
+                }
+            }
+            UopKind::LpSetupi {
+                l,
+                count,
+                start,
+                end,
+            } => {
+                let lp = &mut self.core.hwloop[l as usize];
+                lp.start = start;
+                lp.end = end;
+                lp.count = count;
+                if lp.count > 0 && lp.start >= lp.end {
+                    return Err(SimError::BadHwLoop { level: l as usize });
+                }
+            }
+            UopKind::Mac { rd, rs1, rs2 } => {
+                let v = self.core.reg(rd).wrapping_add(
+                    (self.core.reg_i32(rs1).wrapping_mul(self.core.reg_i32(rs2))) as u32,
+                );
+                self.core.set_reg(rd, v);
+            }
+            UopKind::Msu { rd, rs1, rs2 } => {
+                let v = self.core.reg(rd).wrapping_sub(
+                    (self.core.reg_i32(rs1).wrapping_mul(self.core.reg_i32(rs2))) as u32,
+                );
+                self.core.set_reg(rd, v);
+            }
+            UopKind::Clip { rd, rs1, lo, hi } => {
+                let v = self.core.reg_i32(rs1).clamp(lo, hi);
+                self.core.set_reg(rd, v as u32);
+            }
+            UopKind::ClipU { rd, rs1, hi } => {
+                let v = self.core.reg_i32(rs1).clamp(0, hi);
+                self.core.set_reg(rd, v as u32);
+            }
+            UopKind::Unary { op, rd, rs1 } => {
+                let a = self.core.reg(rs1);
+                let v = match op {
+                    UnaryOp::ExtHs => a as u16 as i16 as i32 as u32,
+                    UnaryOp::ExtHz => a & 0xFFFF,
+                    UnaryOp::ExtBs => a as u8 as i8 as i32 as u32,
+                    UnaryOp::ExtBz => a & 0xFF,
+                    UnaryOp::Abs => (a as i32).wrapping_abs() as u32,
+                    UnaryOp::Ff1 => {
+                        if a == 0 {
+                            32
+                        } else {
+                            a.trailing_zeros()
+                        }
+                    }
+                    UnaryOp::Fl1 => {
+                        if a == 0 {
+                            32
+                        } else {
+                            31 - a.leading_zeros()
+                        }
+                    }
+                    UnaryOp::Cnt => a.count_ones(),
+                    UnaryOp::Clb => {
+                        // Count of leading bits equal to the sign bit,
+                        // minus one; zero input yields 0 per RI5CY.
+                        if a == 0 {
+                            0
+                        } else if (a as i32) < 0 {
+                            (!a).leading_zeros() - 1
+                        } else {
+                            a.leading_zeros() - 1
+                        }
+                    }
+                    UnaryOp::Tanh => {
+                        let x = rnnasip_fixed::Q3p12::from_raw(a as u16 as i16);
+                        rnnasip_fixed::hw_tanh(x).raw() as i32 as u32
+                    }
+                    UnaryOp::Sig => {
+                        let x = rnnasip_fixed::Q3p12::from_raw(a as u16 as i16);
+                        rnnasip_fixed::hw_sig(x).raw() as i32 as u32
+                    }
+                };
+                self.core.set_reg(rd, v);
+            }
+            UopKind::PMin { rd, rs1, rs2 } => {
+                self.core.set_reg(
+                    rd,
+                    self.core.reg_i32(rs1).min(self.core.reg_i32(rs2)) as u32,
+                );
+            }
+            UopKind::PMax { rd, rs1, rs2 } => {
+                self.core.set_reg(
+                    rd,
+                    self.core.reg_i32(rs1).max(self.core.reg_i32(rs2)) as u32,
+                );
+            }
+            UopKind::Ror { rd, rs1, rs2 } => {
+                let amount = self.core.reg(rs2) & 31;
+                self.core
+                    .set_reg(rd, self.core.reg(rs1).rotate_right(amount));
+            }
+            UopKind::PvAluVv {
+                op,
+                size,
+                rd,
+                rs1,
+                rs2,
+            } => {
+                let a = self.core.reg(rs1);
+                let b = self.core.reg(rs2);
+                self.core.set_reg(rd, exec_pv_alu(op, size, a, b));
+            }
+            UopKind::PvAluSc {
+                op,
+                size,
+                rd,
+                rs1,
+                rs2,
+            } => {
+                let a = self.core.reg(rs1);
+                let b = self.simd_operand(size, SimdMode::Sc, rs2);
+                self.core.set_reg(rd, exec_pv_alu(op, size, a, b));
+            }
+            UopKind::PvAluImm {
+                op,
+                size,
+                rd,
+                rs1,
+                b,
+            } => {
+                let a = self.core.reg(rs1);
+                self.core.set_reg(rd, exec_pv_alu(op, size, a, b));
+            }
+            UopKind::PvDot {
+                op,
+                size,
+                rd,
+                rs1,
+                rs2,
+            } => {
+                let a = self.core.reg(rs1);
+                let b = self.core.reg(rs2);
+                let dot = exec_dot(op, size, a, b);
+                let v = if op.accumulates() {
+                    self.core.reg(rd).wrapping_add(dot)
+                } else {
+                    dot
+                };
+                self.core.set_reg(rd, v);
+            }
+            UopKind::PlSdotsp {
+                spr,
+                size,
+                rd,
+                rs1,
+                rs2,
+            } => {
+                // MAC with the weight currently in SPR[spr], while the
+                // LSU fetches the next weight into the same SPR (visible
+                // two instructions later) and post-increments the stream
+                // pointer. `spr` was masked to 0/1 at translation.
+                let w = self.core.spr[spr as usize];
+                let x = self.core.reg(rs2);
+                let dot = exec_dot(DotOp::SdotSp, size, w, x);
+                let acc = self.core.reg(rd).wrapping_add(dot);
+                let addr = self.core.reg(rs1);
+                let value = self.mem.read_u32(addr)?;
+                self.spr_pending
+                    .push_back((self.core.instret, spr as usize, value));
+                self.core.set_reg(rd, acc);
+                self.core.set_reg(rs1, addr.wrapping_add(4));
+            }
+        }
+        Ok(Flow::Fall)
     }
 
     fn load_value(&mut self, op: LoadOp, addr: u32) -> Result<u32, SimError> {

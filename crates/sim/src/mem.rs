@@ -163,6 +163,7 @@ impl Memory {
         (blocks * BLOCK_BYTES).min(self.bytes.len())
     }
 
+    #[inline]
     fn check(&self, addr: u32, size: u32) -> Result<usize, SimError> {
         let a = addr as usize;
         if !a.is_multiple_of(size as usize) {
@@ -200,14 +201,11 @@ impl Memory {
     /// # Errors
     ///
     /// [`SimError::Misaligned`] / [`SimError::MemOutOfBounds`].
+    #[inline]
     pub fn read_u32(&self, addr: u32) -> Result<u32, SimError> {
         let a = self.check(addr, 4)?;
-        Ok(u32::from_le_bytes([
-            self.bytes[a],
-            self.bytes[a + 1],
-            self.bytes[a + 2],
-            self.bytes[a + 3],
-        ]))
+        let word: [u8; 4] = self.bytes[a..a + 4].try_into().unwrap();
+        Ok(u32::from_le_bytes(word))
     }
 
     /// Writes a byte.
@@ -365,6 +363,77 @@ mod tests {
         let restored = other.restore_image(&image);
         assert_eq!(restored, 100);
         assert_eq!(other.read_u8(42).unwrap(), 9);
+    }
+
+    /// A multi-halfword store whose data straddles a 64-byte block
+    /// boundary must mark *both* blocks dirty — each element write marks
+    /// its own block, so nothing on the far side of the boundary can be
+    /// left stale for the next restore.
+    #[test]
+    fn slice_write_across_block_boundary_dirties_both_blocks() {
+        let mut mem = Memory::new(256);
+        let image = mem.image();
+        mem.load_image(&image);
+        assert_eq!(mem.dirty_bytes(), 0);
+        // Four halfwords at 60, 62, 64, 66: the first two land in block
+        // 0, the last two in block 1.
+        let vals: Vec<Q3p12> = (1..=4).map(Q3p12::from_raw).collect();
+        mem.write_q3p12_slice(60, &vals).unwrap();
+        assert_eq!(mem.dirty_bytes(), 2 * 64, "both straddled blocks dirty");
+        let restored = mem.restore_image(&image);
+        assert_eq!(restored, 2 * 64);
+        for k in 0..4 {
+            assert_eq!(mem.read_u16(60 + 2 * k).unwrap(), 0, "element {k} undone");
+        }
+    }
+
+    /// Same edge through the machine: a kernel whose stores straddle a
+    /// block boundary is fully undone by [`crate::Machine::rewind`].
+    #[test]
+    fn rewind_restores_stores_on_both_sides_of_a_block_boundary() {
+        use crate::{Machine, Program};
+        use rnnasip_isa::{AluImmOp, Instr, Reg, StoreOp};
+        // sw at 60 writes bytes 60..64 (block 0); sw at 64 writes bytes
+        // 64..68 (block 1): the store data crosses the boundary.
+        let prog = Program::from_instrs(
+            0,
+            vec![
+                Instr::OpImm {
+                    op: AluImmOp::Addi,
+                    rd: Reg::A0,
+                    rs1: Reg::ZERO,
+                    imm: -1,
+                },
+                Instr::Store {
+                    op: StoreOp::Sw,
+                    rs2: Reg::A0,
+                    rs1: Reg::ZERO,
+                    offset: 60,
+                },
+                Instr::Store {
+                    op: StoreOp::Sw,
+                    rs2: Reg::A0,
+                    rs1: Reg::ZERO,
+                    offset: 64,
+                },
+                Instr::Ecall,
+            ],
+        );
+        let mut mem = Memory::new(256);
+        mem.write_u32(60, 0x1111_1111).unwrap();
+        mem.write_u32(64, 0x2222_2222).unwrap();
+        let image = mem.image();
+        mem.load_image(&image);
+        let mut m = Machine::with_memory(mem);
+        m.load_program(&prog);
+        m.run(1000).unwrap();
+        assert_eq!(m.mem().read_u32(60).unwrap(), 0xFFFF_FFFF);
+        assert_eq!(m.mem().read_u32(64).unwrap(), 0xFFFF_FFFF);
+        assert_eq!(m.mem().dirty_bytes(), 2 * 64);
+        let restored = m.rewind(&image);
+        assert_eq!(restored, 2 * 64, "both blocks restored");
+        assert_eq!(m.mem().read_u32(60).unwrap(), 0x1111_1111);
+        assert_eq!(m.mem().read_u32(64).unwrap(), 0x2222_2222);
     }
 
     #[test]

@@ -130,6 +130,18 @@ impl Program {
     /// executing garbage.
     #[inline]
     pub fn fetch(&self, addr: u32) -> Option<&ProgItem> {
+        self.index_of(addr).map(|i| &self.items[i])
+    }
+
+    /// The instruction *index* (position in [`iter`](Self::iter) order) of
+    /// the instruction starting at `addr`, with the same boundary
+    /// semantics as [`fetch`](Self::fetch).
+    ///
+    /// Because [`push`](Self::push) keeps the image contiguous, this index
+    /// doubles as the address→micro-op mapping of the pre-decoded
+    /// execution path: micro-op `i` is the lowering of instruction `i`.
+    #[inline]
+    pub fn index_of(&self, addr: u32) -> Option<usize> {
         // `wrapping_sub` folds `addr < base` into a huge offset that the
         // bounds check below rejects, keeping the fast path branch-lean.
         let off = addr.wrapping_sub(self.base);
@@ -137,7 +149,7 @@ impl Program {
             return None;
         }
         match self.slots.get((off >> 1) as usize) {
-            Some(&slot) if slot != 0 => Some(&self.items[(slot - 1) as usize]),
+            Some(&slot) if slot != 0 => Some((slot - 1) as usize),
             _ => None,
         }
     }

@@ -96,6 +96,34 @@ impl Stats {
         self.stall_cycles += 1;
     }
 
+    /// Records `instrs` retired instructions of mnemonic `id` costing
+    /// `cycles` cycles and `macs` MACs *in total* — the bulk form of
+    /// [`record`](Self::record) used by the hardware-loop block runner,
+    /// which accounts a whole run of identical loop iterations with one
+    /// row update per mnemonic instead of one per retire.
+    ///
+    /// `record_many(id, n, n * c, n * m)` leaves the statistics exactly as
+    /// `n` calls of `record(id, c, m)` would.
+    #[inline]
+    pub fn record_many(&mut self, id: MnemonicId, instrs: u64, cycles: u64, macs: u64) {
+        let row = &mut self.rows[id.index()];
+        row.instrs += instrs;
+        row.cycles += cycles;
+        self.total_instrs += instrs;
+        self.total_cycles += cycles;
+        self.mac_ops += macs;
+    }
+
+    /// Attributes `stalls` stall cycles to mnemonic `id` — the bulk form
+    /// of [`attribute_stall`](Self::attribute_stall), with the same
+    /// equivalence guarantee as [`record_many`](Self::record_many).
+    #[inline]
+    pub fn attribute_stalls(&mut self, id: MnemonicId, stalls: u64) {
+        self.rows[id.index()].cycles += stalls;
+        self.total_cycles += stalls;
+        self.stall_cycles += stalls;
+    }
+
     /// [`record`](Self::record) addressed by mnemonic string — a
     /// convenience for tests and doctests, not the simulator hot path.
     ///

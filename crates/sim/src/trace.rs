@@ -22,6 +22,13 @@ impl Machine {
     /// instruction — the standard way to produce an execution trace or
     /// feed a custom profiler.
     ///
+    /// Tracing deliberately drives the generic per-step interpreter, not
+    /// the micro-op fast path: hardware-loop bodies that [`Machine::run`]
+    /// would execute through the specialized block runner retire here one
+    /// instruction at a time, so the callback observes every iteration.
+    /// Cycle counts, instret and statistics are bit-identical either way
+    /// (see `traced_run_matches_untraced_uop_run`).
+    ///
     /// # Errors
     ///
     /// Same as [`Machine::run`].
@@ -129,6 +136,67 @@ mod tests {
         })
         .unwrap();
         assert_eq!(body_count, 3, "hardware loop body retires three times");
+    }
+
+    /// A trace forces per-step execution; `Machine::run` executes the
+    /// same hardware loops through the specialized bulk runner. The two
+    /// must agree on every architectural counter and statistics row.
+    #[test]
+    fn traced_run_matches_untraced_uop_run() {
+        use rnnasip_isa::{DotOp, LoadOp, SimdSize};
+        // A loop body heavy enough to specialize: post-inc load, dot
+        // product, mac — 64 iterations dominated by the bulk runner.
+        let instrs = vec![
+            addi(Reg::A1, Reg::ZERO, 256),
+            addi(Reg::A0, Reg::ZERO, 64),
+            Instr::LpSetup {
+                l: LoopIdx::L0,
+                rs1: Reg::A0,
+                uimm: 8,
+            },
+            Instr::LoadPostInc {
+                op: LoadOp::Lw,
+                rd: Reg::A2,
+                rs1: Reg::A1,
+                offset: 4,
+            },
+            Instr::PvDot {
+                op: DotOp::SdotSp,
+                size: SimdSize::Half,
+                rd: Reg::A4,
+                rs1: Reg::A2,
+                rs2: Reg::A2,
+            },
+            Instr::Mac {
+                rd: Reg::A5,
+                rs1: Reg::A2,
+                rs2: Reg::A4,
+            },
+            Instr::Ecall,
+        ];
+        let prog = Program::from_instrs(0, instrs);
+
+        let mut traced = Machine::new(2048);
+        traced.load_program(&prog);
+        let mut retired = 0u64;
+        let exit_traced = traced.run_with_trace(100_000, |_| retired += 1).unwrap();
+
+        let mut plain = Machine::new(2048);
+        plain.load_program(&prog);
+        let exit_plain = plain.run(100_000).unwrap();
+
+        assert_eq!(exit_traced, exit_plain);
+        assert_eq!(retired, traced.core().instret);
+        assert_eq!(traced.core().cycle, plain.core().cycle);
+        assert_eq!(traced.core().instret, plain.core().instret);
+        for r in Reg::all() {
+            assert_eq!(traced.core().reg(r), plain.core().reg(r));
+        }
+        let rows_t: Vec<_> = traced.stats().iter().collect();
+        let rows_p: Vec<_> = plain.stats().iter().collect();
+        assert_eq!(rows_t, rows_p);
+        assert_eq!(traced.stats().stall_cycles(), plain.stats().stall_cycles());
+        assert_eq!(traced.stats().mac_ops(), plain.stats().mac_ops());
     }
 
     #[test]

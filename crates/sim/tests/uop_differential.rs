@@ -1,0 +1,466 @@
+//! Randomized differential test: the pre-decoded micro-op execution path
+//! (`Machine::run`) against the per-step reference interpreter
+//! (`Machine::run_legacy`).
+//!
+//! Programs are generated from a vocabulary biased toward the features
+//! where the two paths genuinely diverge in mechanism: hardware loops
+//! (specializable straight-line bodies, nested loops sharing an end
+//! address, bodies with control flow or CSR reads that must fall back),
+//! post-increment load/store streams, `pl.sdotsp` SPR pipelines, taken
+//! and untaken branches, `jalr`, serial divides, and pointer streams
+//! that eventually fault mid-loop. Every seed is run under several cycle
+//! budgets so the watchdog fires inside bulk loop runs too.
+//!
+//! After both paths run the same program on identically staged machines,
+//! *everything observable* must match: the `Result`, all 32 registers,
+//! PC, cycle and instret counters, hardware-loop and SPR state, every
+//! per-mnemonic statistics row, and the full memory image.
+
+use rnnasip_isa::{
+    AluImmOp, AluOp, BranchOp, Csr, CsrOp, DotOp, Instr, LoadOp, LoopIdx, MulDivOp, PvAluOp, Reg,
+    SimdMode, SimdSize, StoreOp,
+};
+use rnnasip_rng::StdRng;
+use rnnasip_sim::{Machine, Memory, Program};
+
+/// Small memory so runaway pointer streams fault within a few hundred
+/// iterations instead of never.
+const MEM_BYTES: usize = 2048;
+
+const REG_POOL: [Reg; 8] = [
+    Reg::A0,
+    Reg::A3,
+    Reg::A4,
+    Reg::T0,
+    Reg::T1,
+    Reg::S0,
+    Reg::S1,
+    Reg::ZERO,
+];
+
+/// `a1` is the load/`pl.sdotsp` pointer, `a2` the store pointer — kept
+/// out of the general pool so streams stay mostly in bounds.
+const PTR_LOAD: Reg = Reg::A1;
+const PTR_STORE: Reg = Reg::A2;
+
+struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    fn u(&mut self, n: u32) -> u32 {
+        self.rng.gen::<u32>() % n
+    }
+
+    fn reg(&mut self) -> Reg {
+        REG_POOL[self.u(REG_POOL.len() as u32) as usize]
+    }
+
+    fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> Instr {
+        let _ = self;
+        Instr::OpImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1,
+            imm,
+        }
+    }
+
+    /// One straight-line (loop-body-eligible) instruction.
+    fn body_instr(&mut self) -> Instr {
+        match self.u(12) {
+            0 | 1 => {
+                let (rd, rs1) = (self.reg(), self.reg());
+                let imm = self.u(64) as i32 - 32;
+                self.addi(rd, rs1, imm)
+            }
+            2 => Instr::Op {
+                op: [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And][self.u(4) as usize],
+                rd: self.reg(),
+                rs1: self.reg(),
+                rs2: self.reg(),
+            },
+            3 => Instr::Mac {
+                rd: self.reg(),
+                rs1: self.reg(),
+                rs2: self.reg(),
+            },
+            4 => Instr::PvDot {
+                op: [DotOp::SdotSp, DotOp::DotUp, DotOp::SdotUsp][self.u(3) as usize],
+                size: if self.u(2) == 0 {
+                    SimdSize::Half
+                } else {
+                    SimdSize::Byte
+                },
+                rd: self.reg(),
+                rs1: self.reg(),
+                rs2: self.reg(),
+            },
+            5 => Instr::PvAlu {
+                op: [PvAluOp::Add, PvAluOp::Max, PvAluOp::Sra][self.u(3) as usize],
+                size: SimdSize::Half,
+                mode: match self.u(3) {
+                    0 => SimdMode::Vv,
+                    1 => SimdMode::Sc,
+                    _ => SimdMode::Sci(self.u(63) as i8 - 31),
+                },
+                rd: self.reg(),
+                rs1: self.reg(),
+                rs2: self.reg(),
+            },
+            6 | 7 => Instr::LoadPostInc {
+                op: LoadOp::Lw,
+                rd: self.reg(),
+                rs1: PTR_LOAD,
+                offset: 4,
+            },
+            8 => Instr::StorePostInc {
+                op: StoreOp::Sw,
+                rs2: self.reg(),
+                rs1: PTR_STORE,
+                offset: 4,
+            },
+            9 => Instr::PlSdotsp {
+                spr: self.u(2) as u8,
+                size: SimdSize::Half,
+                rd: self.reg(),
+                rs1: PTR_LOAD,
+                rs2: self.reg(),
+            },
+            10 => Instr::MulDiv {
+                op: [MulDivOp::Mul, MulDivOp::Mulh, MulDivOp::Div, MulDivOp::Remu]
+                    [self.u(4) as usize],
+                rd: self.reg(),
+                rs1: self.reg(),
+                rs2: self.reg(),
+            },
+            _ => Instr::PlTanh {
+                rd: self.reg(),
+                rs1: self.reg(),
+            },
+        }
+    }
+
+    /// A hardware loop over a body of `body_len` generated instructions.
+    fn emit_loop(&mut self, out: &mut Vec<Instr>) {
+        let body_len = 1 + self.u(4);
+        let nested = self.u(4) == 0;
+        let poison = self.u(5) == 0; // body gets a fallback-forcing op
+        if nested {
+            let outer = 1 + self.u(4);
+            let inner = 1 + self.u(24);
+            // Outer body = inner setup + shared body; both loops end at
+            // the same address (the canonical RI5CY nesting pattern).
+            out.push(Instr::LpSetupi {
+                l: LoopIdx::L1,
+                count: outer,
+                uimm: 2 + 2 * (body_len + 1),
+            });
+            out.push(Instr::LpSetupi {
+                l: LoopIdx::L0,
+                count: inner,
+                uimm: 2 + 2 * body_len,
+            });
+        } else {
+            let count = self.u(48);
+            let l = if self.u(2) == 0 {
+                LoopIdx::L0
+            } else {
+                LoopIdx::L1
+            };
+            if self.u(2) == 0 {
+                out.push(self.addi(Reg::T2, Reg::ZERO, count as i32));
+                out.push(Instr::LpSetup {
+                    l,
+                    rs1: Reg::T2,
+                    uimm: 2 + 2 * body_len,
+                });
+            } else {
+                out.push(Instr::LpSetupi {
+                    l,
+                    count,
+                    uimm: 2 + 2 * body_len,
+                });
+            }
+        }
+        for k in 0..body_len {
+            if poison && k == body_len / 2 {
+                // A branch or CSR read in the body defeats specialization
+                // at translate time; the generic path must handle the
+                // loop identically.
+                out.push(if self.u(2) == 0 {
+                    Instr::Branch {
+                        op: BranchOp::Bne,
+                        rs1: Reg::ZERO,
+                        rs2: Reg::ZERO,
+                        offset: 8, // never taken
+                    }
+                } else {
+                    Instr::Csr {
+                        op: CsrOp::Csrrs,
+                        rd: self.reg(),
+                        rs1: Reg::ZERO,
+                        csr: Csr::Mcycle,
+                    }
+                });
+            } else {
+                out.push(self.body_instr());
+            }
+        }
+    }
+
+    fn emit_chunk(&mut self, out: &mut Vec<Instr>) {
+        match self.u(10) {
+            0..=1 => {
+                for _ in 0..=self.u(3) {
+                    let i = self.body_instr();
+                    out.push(i);
+                }
+            }
+            2 => {
+                // Forward branch over filler instructions.
+                let skip = 1 + self.u(3);
+                out.push(Instr::Branch {
+                    op: [BranchOp::Beq, BranchOp::Bne, BranchOp::Blt, BranchOp::Bgeu]
+                        [self.u(4) as usize],
+                    rs1: self.reg(),
+                    rs2: self.reg(),
+                    offset: 4 * (1 + skip as i32),
+                });
+                for _ in 0..=skip {
+                    let (rd, rs1) = (self.reg(), self.reg());
+                    let i = self.addi(rd, rs1, 1);
+                    out.push(i);
+                }
+            }
+            3..=5 => self.emit_loop(out),
+            6 => {
+                // pl.sdotsp stream with a spacer, the paper's idiom.
+                for _ in 0..2 + self.u(3) {
+                    out.push(Instr::PlSdotsp {
+                        spr: self.u(2) as u8,
+                        size: SimdSize::Half,
+                        rd: self.reg(),
+                        rs1: PTR_LOAD,
+                        rs2: self.reg(),
+                    });
+                    if self.u(2) == 0 {
+                        let i = self.addi(Reg::ZERO, Reg::ZERO, 0);
+                        out.push(i);
+                    }
+                }
+            }
+            7 => {
+                // auipc + jalr: a register-indirect jump to a known-good
+                // forward target (auipc addr + 8 or + 12).
+                let skip = self.u(2); // 0 or 1 filler skipped
+                out.push(Instr::Auipc {
+                    rd: Reg::T2,
+                    imm20: 0,
+                });
+                out.push(Instr::Jalr {
+                    rd: Reg::RA,
+                    rs1: Reg::T2,
+                    offset: 8 + 4 * skip as i32,
+                });
+                for _ in 0..=skip {
+                    let i = self.addi(Reg::ZERO, Reg::ZERO, 0);
+                    out.push(i);
+                }
+            }
+            8 => {
+                // Load/store pairs through the pointer regs, with a
+                // halfword variant that de-aligns the word stream.
+                out.push(Instr::LoadPostInc {
+                    op: if self.u(5) == 0 {
+                        LoadOp::Lh
+                    } else {
+                        LoadOp::Lw
+                    },
+                    rd: self.reg(),
+                    rs1: PTR_LOAD,
+                    offset: if self.u(5) == 0 { 2 } else { 4 },
+                });
+                out.push(Instr::Store {
+                    op: StoreOp::Sw,
+                    rs2: self.reg(),
+                    rs1: PTR_STORE,
+                    offset: 4 * self.u(8) as i32,
+                });
+                out.push(Instr::LoadReg {
+                    op: LoadOp::Lbu,
+                    rd: self.reg(),
+                    rs1: PTR_LOAD,
+                    rs2: Reg::ZERO,
+                });
+            }
+            _ => match self.u(5) {
+                // Rarities: manual loop CSR setup, a degenerate lp.setupi
+                // (start >= end -> BadHwLoop), fence, CSR reads, and a
+                // backward jal (infinite loop -> watchdog).
+                0 => {
+                    out.push(Instr::LpCounti {
+                        l: LoopIdx::L0,
+                        uimm: self.u(4),
+                    });
+                    out.push(Instr::LpStarti {
+                        l: LoopIdx::L0,
+                        uimm: self.u(8),
+                    });
+                    out.push(Instr::LpEndi {
+                        l: LoopIdx::L0,
+                        uimm: self.u(8),
+                    });
+                    let i = self.body_instr();
+                    out.push(i);
+                    let i = self.body_instr();
+                    out.push(i);
+                }
+                1 => out.push(Instr::LpSetupi {
+                    l: LoopIdx::L1,
+                    count: 1 + self.u(4),
+                    uimm: self.u(2),
+                }),
+                2 => out.push(Instr::Fence),
+                3 => out.push(Instr::Csr {
+                    op: CsrOp::Csrrs,
+                    rd: self.reg(),
+                    rs1: Reg::ZERO,
+                    csr: [Csr::Mcycle, Csr::Minstret, Csr::LpCount0][self.u(3) as usize],
+                }),
+                _ => out.push(Instr::Jal {
+                    rd: Reg::ZERO,
+                    offset: -8,
+                }),
+            },
+        }
+    }
+
+    fn program(&mut self) -> Program {
+        let mut v = Vec::new();
+        // Pointer setup: word-aligned, usually low (streams stay in
+        // bounds), sometimes near the top of memory (streams fault).
+        let load_base = if self.u(4) == 0 {
+            (MEM_BYTES as u32 - 64) & !3
+        } else {
+            4 * self.u(200)
+        };
+        v.push(self.addi(PTR_LOAD, Reg::ZERO, load_base as i32));
+        let store_base = 4 * (100 + self.u(100)) as i32;
+        v.push(self.addi(PTR_STORE, Reg::ZERO, store_base));
+        // Seed a couple of pool registers with data.
+        for _ in 0..3 {
+            let rd = self.reg();
+            let imm = self.u(4096) as i32 - 2048;
+            let i = self.addi(rd, Reg::ZERO, imm);
+            v.push(i);
+        }
+        for _ in 0..4 + self.u(6) {
+            self.emit_chunk(&mut v);
+        }
+        v.push(Instr::Ecall);
+        Program::from_instrs(0, v)
+    }
+}
+
+/// Builds a machine with deterministically patterned memory.
+fn staged_machine(prog: &Program, seed: u64) -> Machine {
+    let mut mem = Memory::new(MEM_BYTES);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
+    for a in (0..MEM_BYTES as u32).step_by(4) {
+        mem.write_u32(a, rng.gen::<u32>()).unwrap();
+    }
+    // The patterned image is the baseline; the dirty bitmap tracks the
+    // program's own writes from here.
+    let image = mem.image();
+    mem.load_image(&image);
+    let mut m = Machine::with_memory(mem);
+    m.load_program(prog);
+    m
+}
+
+fn assert_identical(seed: u64, max_cycles: u64, prog: &Program) {
+    let mut legacy = staged_machine(prog, seed);
+    let mut uop = staged_machine(prog, seed);
+    let r_legacy = legacy.run_legacy(max_cycles);
+    let r_uop = uop.run(max_cycles);
+    let ctx = format!("seed {seed}, budget {max_cycles}");
+
+    assert_eq!(r_legacy, r_uop, "exit ({ctx})");
+    let (cl, cu) = (legacy.core(), uop.core());
+    assert_eq!(cl.pc, cu.pc, "pc ({ctx})");
+    assert_eq!(cl.cycle, cu.cycle, "cycle ({ctx})");
+    assert_eq!(cl.instret, cu.instret, "instret ({ctx})");
+    for r in Reg::all() {
+        assert_eq!(cl.reg(r), cu.reg(r), "reg {r} ({ctx})");
+    }
+    for l in 0..2 {
+        assert_eq!(cl.hwloop[l].start, cu.hwloop[l].start, "lpstart{l} ({ctx})");
+        assert_eq!(cl.hwloop[l].end, cu.hwloop[l].end, "lpend{l} ({ctx})");
+        assert_eq!(cl.hwloop[l].count, cu.hwloop[l].count, "lpcount{l} ({ctx})");
+    }
+    assert_eq!(cl.spr, cu.spr, "spr ({ctx})");
+
+    let (sl, su) = (legacy.stats(), uop.stats());
+    assert_eq!(sl.cycles(), su.cycles(), "total cycles ({ctx})");
+    assert_eq!(sl.instrs(), su.instrs(), "total instrs ({ctx})");
+    assert_eq!(sl.stall_cycles(), su.stall_cycles(), "stalls ({ctx})");
+    assert_eq!(sl.mac_ops(), su.mac_ops(), "macs ({ctx})");
+    for ((name_l, row_l), (name_u, row_u)) in sl.iter().zip(su.iter()) {
+        assert_eq!(name_l, name_u, "row order ({ctx})");
+        assert_eq!(row_l, row_u, "row {name_l} ({ctx})");
+    }
+
+    assert_eq!(
+        legacy.mem().image().as_bytes(),
+        uop.mem().image().as_bytes(),
+        "memory ({ctx})"
+    );
+}
+
+#[test]
+fn randomized_programs_match_reference_bit_exactly() {
+    let mut halts = 0u32;
+    let mut errors = 0u32;
+    for seed in 0..400u64 {
+        let mut g = Gen {
+            rng: StdRng::seed_from_u64(seed),
+        };
+        let prog = g.program();
+        // Several budgets per program: tiny (watchdog mid-loop, often
+        // mid-bulk), small, and ample (normal termination).
+        for max_cycles in [60, 700, 20_000] {
+            assert_identical(seed, max_cycles, &prog);
+        }
+        let mut probe = staged_machine(&prog, seed);
+        match probe.run(20_000) {
+            Ok(_) => halts += 1,
+            Err(_) => errors += 1,
+        }
+    }
+    // The generator must keep both populations healthy, or the test
+    // quietly stops covering one side.
+    assert!(halts >= 100, "only {halts} seeds halted cleanly");
+    assert!(errors >= 40, "only {errors} seeds faulted");
+}
+
+#[test]
+fn specialized_loops_are_actually_exercised() {
+    // Guard against the generator drifting to programs whose loops never
+    // specialize — the whole point is differential coverage of the bulk
+    // runner.
+    let mut specialized = 0usize;
+    for seed in 0..100u64 {
+        let mut g = Gen {
+            rng: StdRng::seed_from_u64(seed),
+        };
+        let prog = g.program();
+        let mut m = Machine::new(MEM_BYTES);
+        m.load_program(&prog);
+        specialized += m.uop_program().loop_bodies();
+    }
+    assert!(
+        specialized >= 50,
+        "only {specialized} specialized loop bodies across 100 seeds"
+    );
+}
