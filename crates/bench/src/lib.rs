@@ -10,10 +10,12 @@
 //! | Fig. 2 (tanh PLA error surface) | `cargo run -p rnnasip-bench --bin fig2` |
 //! | Fig. 3 (per-network speedups) | `cargo run -p rnnasip-bench --bin fig3` |
 //! | Section IV (throughput/power/area) | `cargo run -p rnnasip-bench --bin core_results` |
+//! | Resilience table (fault-injection campaign) | `cargo run -p rnnasip-bench --bin fault_campaign` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod harness;
 pub mod json;
 pub mod par;

@@ -17,7 +17,7 @@ use crate::error::CoreError;
 use crate::report::RunReport;
 use crate::runner::NetworkRun;
 use rnnasip_fixed::Q3p12;
-use rnnasip_sim::{Machine, Memory};
+use rnnasip_sim::{FaultPlan, FaultRecord, Machine, Memory};
 
 /// A reusable executor for one [`CompiledNetwork`].
 ///
@@ -41,6 +41,7 @@ pub struct Engine {
     compiled: CompiledNetwork,
     machine: Machine,
     last_restored: usize,
+    last_fault_log: Vec<FaultRecord>,
 }
 
 impl Engine {
@@ -54,6 +55,7 @@ impl Engine {
             compiled,
             machine,
             last_restored: 0,
+            last_fault_log: Vec::new(),
         }
     }
 
@@ -79,15 +81,21 @@ impl Engine {
     /// Runs one inference: rewind, patch inputs, simulate, read outputs.
     ///
     /// `sequence` must have the network's `seq_len` steps of `n_in`
-    /// elements each (non-recurrent networks take a single step).
+    /// elements each (non-recurrent networks take a single step). The
+    /// simulation is bounded by the compiled watchdog budget
+    /// ([`CompiledNetwork::max_cycles`], by default
+    /// [`DEFAULT_WATCHDOG_CYCLES`](crate::DEFAULT_WATCHDOG_CYCLES)).
     ///
     /// # Errors
     ///
     /// [`CoreError::Shape`] on sequence length/width mismatch, or any
-    /// simulation error (the engine stays reusable afterwards — the next
-    /// run's rewind restores whatever a faulted run wrote).
+    /// simulation error. A failed run **heals eagerly**: the engine
+    /// disarms any remaining injected faults and rewinds its memory
+    /// before returning, so the next run behaves bit-identically to a
+    /// fresh engine (unless the failure corrupted state the dirty-block
+    /// bitmap cannot see — then [`heal_rebuild`](Self::heal_rebuild)).
     pub fn run(&mut self, sequence: &[Vec<Q3p12>]) -> Result<NetworkRun, CoreError> {
-        self.run_inner(sequence, false)
+        self.run_inner(sequence, false, None)
     }
 
     /// Like [`run`](Self::run), but simulating through the reference
@@ -101,13 +109,101 @@ impl Engine {
     ///
     /// Same as [`run`](Self::run).
     pub fn run_reference(&mut self, sequence: &[Vec<Q3p12>]) -> Result<NetworkRun, CoreError> {
-        self.run_inner(sequence, true)
+        self.run_inner(sequence, true, None)
+    }
+
+    /// Like [`run`](Self::run) with the watchdog budget overridden for
+    /// this run only — tighter for latency-bounded callers, looser for
+    /// deliberately slow experiments. An injected plan's forced watchdog
+    /// ([`FaultPlan::with_watchdog`]) still caps the effective budget
+    /// when smaller.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run); exceeding `max_cycles` is
+    /// `CoreError::Sim(SimError::Watchdog { .. })`.
+    pub fn run_budgeted(
+        &mut self,
+        sequence: &[Vec<Q3p12>],
+        max_cycles: u64,
+    ) -> Result<NetworkRun, CoreError> {
+        self.run_inner(sequence, false, Some(max_cycles))
+    }
+
+    /// [`run_budgeted`](Self::run_budgeted) through the reference
+    /// per-step interpreter — the legacy column of the fault campaign's
+    /// cross-path determinism check.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_budgeted`](Self::run_budgeted).
+    pub fn run_reference_budgeted(
+        &mut self,
+        sequence: &[Vec<Q3p12>],
+        max_cycles: u64,
+    ) -> Result<NetworkRun, CoreError> {
+        self.run_inner(sequence, true, Some(max_cycles))
+    }
+
+    /// Arms a [`FaultPlan`] for the **next run only**. The plan's faults
+    /// fire at their `instret` triggers during that run (on either
+    /// execution path); whatever the outcome, the engine disarms the
+    /// plan afterwards and keeps the applied-fault records readable via
+    /// [`last_fault_log`](Self::last_fault_log).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rnnasip_core::{FaultPlan, KernelBackend, OptLevel};
+    ///
+    /// let net = rnnasip_rrm::suite().remove(3).network; // eisen2019 MLP
+    /// let compiled = KernelBackend::new(OptLevel::IfmTile).compile_network(&net)?;
+    /// let mut engine = compiled.engine();
+    /// let input = vec![rnnasip_rrm::seeded_input(net.n_in(), 1)];
+    /// let golden = engine.run(&input)?;
+    ///
+    /// engine.inject_faults(&FaultPlan::new().with_watchdog(10));
+    /// assert!(engine.run(&input).is_err()); // hangs the next run
+    ///
+    /// let healed = engine.run(&input)?; // auto-rewound: fresh again
+    /// assert_eq!(healed.outputs, golden.outputs);
+    /// assert_eq!(healed.report.cycles(), golden.report.cycles());
+    /// # Ok::<(), rnnasip_core::CoreError>(())
+    /// ```
+    pub fn inject_faults(&mut self, plan: &FaultPlan) {
+        self.machine.arm_faults(plan);
+    }
+
+    /// The fault records of the most recent run (empty when nothing was
+    /// injected or no fault fired) — preserved across the post-run
+    /// disarm/heal so campaigns can attribute an outcome to what was
+    /// actually hit.
+    pub fn last_fault_log(&self) -> &[FaultRecord] {
+        &self.last_fault_log
+    }
+
+    /// Rebuilds the machine from the compiled artifact: fresh memory
+    /// loaded from the full staged image, program reloaded (clearing any
+    /// instruction-word corruption), all fault state gone.
+    ///
+    /// This is the heavy rung of the recovery ladder: the eager rewind
+    /// after a failed run undoes *tracked* writes, but a fault that
+    /// evaded the dirty-block bitmap (a silent memory upset) or that
+    /// corrupted the program image itself survives rewinds — only a full
+    /// rebuild restores the engine's invariants. Cost is proportional to
+    /// the whole image rather than the last run's write footprint.
+    pub fn heal_rebuild(&mut self) {
+        let mut machine = Machine::with_memory(Memory::from_image(self.compiled.image()));
+        machine.load_program_shared(self.compiled.program(), self.compiled.uop_program().clone());
+        self.machine = machine;
+        self.last_restored = self.compiled.image().len();
     }
 
     fn run_inner(
         &mut self,
         sequence: &[Vec<Q3p12>],
         reference: bool,
+        budget: Option<u64>,
     ) -> Result<NetworkRun, CoreError> {
         let input = self.compiled.input();
         if sequence.len() != input.steps() {
@@ -126,17 +222,38 @@ impl Engine {
                 )));
             }
         }
+        let result = self.attempt(sequence, reference, budget);
+        // One-shot injection semantics: stash what the plan actually did,
+        // then disarm so the next run is unaffected; on failure also
+        // rewind eagerly so a poisoned engine heals before the caller
+        // ever observes it again (DESIGN.md, "Fault model & recovery").
+        self.last_fault_log = self.machine.fault_log().to_vec();
+        self.machine.clear_faults();
+        if result.is_err() {
+            self.last_restored = self.machine.rewind(self.compiled.image());
+        }
+        result
+    }
+
+    fn attempt(
+        &mut self,
+        sequence: &[Vec<Q3p12>],
+        reference: bool,
+        budget: Option<u64>,
+    ) -> Result<NetworkRun, CoreError> {
+        let input = self.compiled.input();
         self.last_restored = self.machine.rewind(self.compiled.image());
         for (t, x) in sequence.iter().enumerate() {
             self.machine
                 .mem_mut()
                 .write_q3p12_slice(input.base() + (t * input.width() * 2) as u32, x)?;
         }
+        let max_cycles = budget.unwrap_or_else(|| self.compiled.max_cycles());
         let started = std::time::Instant::now();
         if reference {
-            self.machine.run_legacy(self.compiled.max_cycles())?;
+            self.machine.run_legacy(max_cycles)?;
         } else {
-            self.machine.run(self.compiled.max_cycles())?;
+            self.machine.run(max_cycles)?;
         }
         let host_nanos = started.elapsed().as_nanos() as u64;
         let out = self.compiled.output();

@@ -50,6 +50,7 @@ pub mod kernels;
 mod layout;
 mod optlevel;
 mod report;
+mod resilience;
 mod runner;
 
 pub use compile::{CompiledNetwork, InputDesc, OutputDesc};
@@ -59,4 +60,10 @@ pub use kernels::fc8::Int8Kernel;
 pub use layout::DataLayout;
 pub use optlevel::OptLevel;
 pub use report::RunReport;
-pub use runner::{KernelBackend, Layer8Run, LayerRun, NetworkRun, StageRun};
+pub use resilience::{Attempt, RecoveryAction, ResilientEngine, RetryPolicy, RunOutcome};
+pub use runner::{
+    KernelBackend, Layer8Run, LayerRun, NetworkRun, StageRun, DEFAULT_WATCHDOG_CYCLES,
+};
+// Fault-injection vocabulary, re-exported so campaign code can target an
+// `Engine` without depending on `rnnasip-sim` directly.
+pub use rnnasip_sim::{Fault, FaultEffect, FaultPlan, FaultRecord, FaultSite, SimError};

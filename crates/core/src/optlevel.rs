@@ -88,6 +88,24 @@ impl OptLevel {
     pub const fn has_ifm_tiling(self) -> bool {
         matches!(self, OptLevel::IfmTile)
     }
+
+    /// The next level down the Table I ladder, or `None` at `Baseline`.
+    ///
+    /// This is the degradation path of the self-healing engine
+    /// ([`ResilientEngine`](crate::ResilientEngine)): when retries at one
+    /// level keep faulting, the engine recompiles one rung lower —
+    /// shedding the most recently added ISA extension first — until it
+    /// reaches plain RV32IMC. All levels are bit-exact against the golden
+    /// models, so a degraded run still produces the reference outputs.
+    pub const fn lower(self) -> Option<OptLevel> {
+        match self {
+            OptLevel::Baseline => None,
+            OptLevel::Xpulp => Some(OptLevel::Baseline),
+            OptLevel::OfmTile => Some(OptLevel::Xpulp),
+            OptLevel::SdotSp => Some(OptLevel::OfmTile),
+            OptLevel::IfmTile => Some(OptLevel::SdotSp),
+        }
+    }
 }
 
 impl fmt::Display for OptLevel {
@@ -112,6 +130,20 @@ mod tests {
             assert!(pair[1].has_act_ext() >= pair[0].has_act_ext());
             assert!(pair[1].has_sdotsp_ext() >= pair[0].has_sdotsp_ext());
         }
+    }
+
+    #[test]
+    fn lowering_walks_the_ladder_to_baseline() {
+        let mut level = OptLevel::IfmTile;
+        let mut seen = vec![level];
+        while let Some(next) = level.lower() {
+            assert!(next < level, "lower() must strictly descend");
+            level = next;
+            seen.push(level);
+        }
+        assert_eq!(level, OptLevel::Baseline);
+        seen.reverse();
+        assert_eq!(seen, OptLevel::ALL);
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! Self-healing execution: watchdog-bounded runs with a recovery ladder.
+//!
+//! A [`ResilientEngine`] wraps an [`Engine`] and treats every
+//! [`SimError`] as a recoverable event rather than a dead process. The
+//! ladder, climbed one rung per failed attempt under a [`RetryPolicy`]:
+//!
+//! 1. **Rewind** — the engine's eager post-failure heal already restored
+//!    every tracked write from the staged image and disarmed leftover
+//!    fault state, so a retry costs only the dirty-block restore. This
+//!    clears transient corruption: flipped registers, tracked memory
+//!    upsets, a stuck forced watchdog.
+//! 2. **Rebuild** — [`Engine::heal_rebuild`]: fresh memory from the full
+//!    staged image and a program reload. This is the answer when the
+//!    dirty-block bitmap itself cannot be trusted — a *silent* memory
+//!    flip the write tracking never saw, or a corrupted instruction
+//!    word, survives any number of rewinds but not a rebuild.
+//! 3. **Degrade** — recompile one [`OptLevel`] rung lower
+//!    ([`OptLevel::lower`]) and rebuild the engine from the new
+//!    artifact. Every level is bit-exact against the golden models, so a
+//!    degraded run still produces reference outputs — just in more
+//!    cycles, on a smaller ISA surface. This models falling back to
+//!    plain RV32IMC when the custom extensions are suspect.
+//!
+//! Non-simulation errors (shape mismatches, layout overflows) are not
+//! recoverable by re-execution and abort the ladder immediately.
+//!
+//! Every attempt — including the successful one — is recorded in the
+//! returned [`RunOutcome`], so fault campaigns can report not just
+//! *whether* a trial recovered but *which rung* recovered it.
+//!
+//! # Example
+//!
+//! ```
+//! use rnnasip_core::{
+//!     FaultPlan, KernelBackend, OptLevel, RecoveryAction, ResilientEngine,
+//! };
+//!
+//! let net = rnnasip_rrm::suite().remove(3).network; // eisen2019 MLP
+//! let mut engine = ResilientEngine::new(&net, KernelBackend::new(OptLevel::IfmTile))?;
+//! let input = vec![rnnasip_rrm::seeded_input(net.n_in(), 1)];
+//!
+//! let golden = engine.run(&input);
+//! assert!(golden.result.is_ok());
+//!
+//! // A forced watchdog hangs the first attempt; the retry recovers.
+//! engine.inject_faults(&FaultPlan::new().with_watchdog(10));
+//! let outcome = engine.run(&input);
+//! assert!(outcome.recovered());
+//! assert_eq!(outcome.attempts.len(), 2);
+//! assert_eq!(outcome.attempts[1].action, RecoveryAction::Rewind);
+//! assert_eq!(
+//!     outcome.result.unwrap().outputs,
+//!     golden.result.unwrap().outputs,
+//! );
+//! # Ok::<(), rnnasip_core::CoreError>(())
+//! ```
+
+use crate::engine::Engine;
+use crate::error::CoreError;
+use crate::optlevel::OptLevel;
+use crate::runner::{KernelBackend, NetworkRun};
+use rnnasip_fixed::Q3p12;
+use rnnasip_nn::Network;
+use rnnasip_sim::{FaultPlan, SimError};
+
+/// How many recovery rungs a [`ResilientEngine`] may climb per run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the engine's eager rewind (rung 1). Each one costs
+    /// a dirty-block restore plus the re-run itself.
+    pub max_rewinds: u32,
+    /// Whether a full image rebuild (rung 2) is allowed once the rewind
+    /// budget is exhausted.
+    pub rebuild: bool,
+    /// Whether recompiling at lower [`OptLevel`]s (rung 3) is allowed,
+    /// walking [`OptLevel::lower`] down to `Baseline` if needed.
+    pub degrade: bool,
+    /// Run attempts through the reference per-step interpreter instead
+    /// of the micro-op path (for differential campaigns; architectural
+    /// results are bit-identical).
+    pub reference: bool,
+}
+
+impl Default for RetryPolicy {
+    /// One rewind retry, then rebuild, then degrade — the full ladder.
+    fn default() -> Self {
+        Self {
+            max_rewinds: 1,
+            rebuild: true,
+            degrade: true,
+            reference: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The full ladder with default budgets ([`Default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the rewind-retry budget.
+    #[must_use]
+    pub fn with_max_rewinds(mut self, n: u32) -> Self {
+        self.max_rewinds = n;
+        self
+    }
+
+    /// Enables or disables the rebuild rung.
+    #[must_use]
+    pub fn with_rebuild(mut self, on: bool) -> Self {
+        self.rebuild = on;
+        self
+    }
+
+    /// Enables or disables the degradation rung.
+    #[must_use]
+    pub fn with_degrade(mut self, on: bool) -> Self {
+        self.degrade = on;
+        self
+    }
+
+    /// Selects the reference interpreter for every attempt.
+    #[must_use]
+    pub fn with_reference(mut self, on: bool) -> Self {
+        self.reference = on;
+        self
+    }
+}
+
+/// Which recovery rung produced an attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// The initial attempt — no recovery preceded it.
+    FirstTry,
+    /// Retry after the engine's eager dirty-block rewind.
+    Rewind,
+    /// Retry after a full rebuild from the staged image.
+    Rebuild,
+    /// Retry after recompiling one [`OptLevel`] lower.
+    Degrade,
+}
+
+/// One attempt of a resilient run: what recovery preceded it, at which
+/// level it ran, and how it ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attempt {
+    /// The rung that set this attempt up.
+    pub action: RecoveryAction,
+    /// Optimization level the attempt ran at.
+    pub level: OptLevel,
+    /// The simulation error that ended the attempt, or `None` if it
+    /// succeeded.
+    pub error: Option<SimError>,
+}
+
+/// The structured result of a resilient run: the final outcome plus the
+/// full attempt history.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The final result — the successful run, or the error that
+    /// exhausted the ladder.
+    pub result: Result<NetworkRun, CoreError>,
+    /// Every attempt in order; the last entry describes `result`.
+    pub attempts: Vec<Attempt>,
+    /// Optimization level of the final attempt (lower than the engine
+    /// started at if degradation kicked in).
+    pub level: OptLevel,
+}
+
+impl RunOutcome {
+    /// Whether the run succeeded only thanks to recovery (at least one
+    /// failed attempt before the successful one).
+    pub fn recovered(&self) -> bool {
+        self.result.is_ok() && self.attempts.len() > 1
+    }
+}
+
+/// A self-healing wrapper around an [`Engine`].
+///
+/// See the [module docs](self) for the recovery ladder and an example.
+#[derive(Debug)]
+pub struct ResilientEngine {
+    net: Network,
+    backend: KernelBackend,
+    policy: RetryPolicy,
+    engine: Engine,
+}
+
+impl ResilientEngine {
+    /// Compiles `net` with `backend` and wraps the engine with the
+    /// default [`RetryPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors ([`CoreError`]).
+    pub fn new(net: &Network, backend: KernelBackend) -> Result<Self, CoreError> {
+        Self::with_policy(net, backend, RetryPolicy::default())
+    }
+
+    /// [`new`](Self::new) with an explicit policy.
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors ([`CoreError`]).
+    pub fn with_policy(
+        net: &Network,
+        backend: KernelBackend,
+        policy: RetryPolicy,
+    ) -> Result<Self, CoreError> {
+        let engine = backend.compile_network(net)?.engine();
+        Ok(Self {
+            net: net.clone(),
+            backend,
+            policy,
+            engine,
+        })
+    }
+
+    /// The wrapped engine (post-mortem state, `last_fault_log`, …).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// The level the engine currently runs at — the compiled level, or
+    /// lower after degradation. Degradation is sticky: later runs stay
+    /// at the degraded level until [`restore_level`](Self::restore_level).
+    pub fn level(&self) -> OptLevel {
+        self.engine.compiled().level()
+    }
+
+    /// Arms a [`FaultPlan`] for the next attempt only (the engine
+    /// disarms it after that attempt, so retries run clean — which is
+    /// precisely what lets them recover from the injected fault).
+    pub fn inject_faults(&mut self, plan: &FaultPlan) {
+        self.engine.inject_faults(plan);
+    }
+
+    /// Recompiles at the originally configured level, undoing any
+    /// degradation.
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors ([`CoreError`]).
+    pub fn restore_level(&mut self) -> Result<(), CoreError> {
+        if self.level() != self.backend.level() {
+            self.engine = self.backend.compile_network(&self.net)?.engine();
+        }
+        Ok(())
+    }
+
+    /// Runs one inference, climbing the recovery ladder as needed.
+    /// Never panics on simulation failures; the returned [`RunOutcome`]
+    /// holds the final result and the attempt history.
+    pub fn run(&mut self, sequence: &[Vec<Q3p12>]) -> RunOutcome {
+        let mut attempts = Vec::new();
+        let mut action = RecoveryAction::FirstTry;
+        let mut rewinds_left = self.policy.max_rewinds;
+        let mut rebuild_left = self.policy.rebuild;
+        loop {
+            let level = self.level();
+            let result = if self.policy.reference {
+                self.engine.run_reference(sequence)
+            } else {
+                self.engine.run(sequence)
+            };
+            match result {
+                Ok(run) => {
+                    attempts.push(Attempt {
+                        action,
+                        level,
+                        error: None,
+                    });
+                    return RunOutcome {
+                        result: Ok(run),
+                        attempts,
+                        level,
+                    };
+                }
+                Err(CoreError::Sim(e)) => {
+                    attempts.push(Attempt {
+                        action,
+                        level,
+                        error: Some(e.clone()),
+                    });
+                    if rewinds_left > 0 {
+                        // The engine already rewound eagerly on failure;
+                        // the retry itself is the recovery.
+                        rewinds_left -= 1;
+                        action = RecoveryAction::Rewind;
+                    } else if rebuild_left {
+                        rebuild_left = false;
+                        self.engine.heal_rebuild();
+                        action = RecoveryAction::Rebuild;
+                    } else if self.policy.degrade && level.lower().is_some() {
+                        let lower = level.lower().expect("checked above");
+                        match self
+                            .backend
+                            .clone()
+                            .with_level(lower)
+                            .compile_network(&self.net)
+                        {
+                            Ok(compiled) => {
+                                self.engine = compiled.engine();
+                                action = RecoveryAction::Degrade;
+                            }
+                            Err(compile_err) => {
+                                return RunOutcome {
+                                    result: Err(compile_err),
+                                    attempts,
+                                    level,
+                                };
+                            }
+                        }
+                    } else {
+                        return RunOutcome {
+                            result: Err(CoreError::Sim(e)),
+                            attempts,
+                            level,
+                        };
+                    }
+                }
+                Err(other) => {
+                    // Shape/layout/assembly errors are deterministic
+                    // properties of the request, not transient faults.
+                    attempts.push(Attempt {
+                        action,
+                        level,
+                        error: None,
+                    });
+                    return RunOutcome {
+                        result: Err(other),
+                        attempts,
+                        level,
+                    };
+                }
+            }
+        }
+    }
+}

@@ -48,6 +48,19 @@ pub struct NetworkRun {
     pub report: RunReport,
 }
 
+/// Default watchdog budget, in cycles, for every public run path.
+///
+/// 64 million cycles is ~6× the whole ten-network suite at the baseline
+/// level (the slowest configuration), so no legitimate inference comes
+/// near it, while a wedged kernel — a corrupted loop bound, a branch
+/// flipped into an infinite spin — is detected in well under a second of
+/// host time instead of simulating two billion cycles before giving up.
+/// Every run through [`KernelBackend`], [`Engine`](crate::Engine) or the
+/// `rnnasip-rrm` `EngineCache` is bounded by this budget unless the
+/// caller overrides it ([`KernelBackend::with_max_cycles`],
+/// [`Engine::run_budgeted`](crate::Engine::run_budgeted)).
+pub const DEFAULT_WATCHDOG_CYCLES: u64 = 64_000_000;
+
 /// The kernel execution backend for one optimization level.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
@@ -60,15 +73,23 @@ pub struct KernelBackend {
 }
 
 impl KernelBackend {
-    /// Creates a backend with 4 MiB of TCDM and a 2-billion-cycle
-    /// watchdog.
+    /// Creates a backend with 4 MiB of TCDM and the default watchdog
+    /// ([`DEFAULT_WATCHDOG_CYCLES`]).
     pub fn new(level: OptLevel) -> Self {
         Self {
             level,
             mem_bytes: 4 << 20,
-            max_cycles: 2_000_000_000,
+            max_cycles: DEFAULT_WATCHDOG_CYCLES,
             max_tile: crate::kernels::MAX_TILE,
         }
+    }
+
+    /// Switches the optimization level, keeping every other knob — the
+    /// recompile step of the self-healing engine's degradation ladder.
+    #[must_use]
+    pub fn with_level(mut self, level: OptLevel) -> Self {
+        self.level = level;
+        self
     }
 
     /// Caps the output-tile size (1–10) — the paper's register-budget

@@ -1,0 +1,37 @@
+// Property-based tests need the external `proptest` crate, which is
+// not available in the offline build environment this repository
+// targets. Restore the `proptest` dev-dependency and enable the
+// `proptest-tests` feature to compile and run this file.
+#![cfg(feature = "proptest-tests")]
+
+//! Property twin of `decode_no_panic.rs`: the decoders are total over
+//! arbitrary words, and decoding never yields an instruction whose
+//! re-encoding panics.
+
+use proptest::prelude::*;
+use rnnasip_isa::{compress, decode, decode_compressed, encode};
+
+proptest! {
+    #[test]
+    fn decode_is_total_over_u32(word: u32) {
+        if let Ok(instr) = decode(word) {
+            let _ = encode(&instr);
+            let _ = compress(&instr);
+        }
+    }
+
+    #[test]
+    fn decode_compressed_is_total_over_u16(word: u16) {
+        if let Ok(instr) = decode_compressed(word) {
+            let _ = encode(&instr);
+            let _ = compress(&instr);
+        }
+    }
+
+    #[test]
+    fn single_bit_corruption_never_panics(word: u32, bit in 0u32..32) {
+        if let Ok(instr) = decode(word) {
+            let _ = decode(encode(&instr) ^ (1 << bit));
+        }
+    }
+}

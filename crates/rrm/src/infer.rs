@@ -82,6 +82,25 @@ impl EngineCache {
     ) -> Result<NetworkRun, CoreError> {
         self.engine(net, level)?.run(sequence)
     }
+
+    /// Like [`run`](Self::run) with the watchdog budget overridden for
+    /// this call — for decision loops with a hard latency ceiling. The
+    /// cached default is `rnnasip_core::DEFAULT_WATCHDOG_CYCLES`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run); exceeding `max_cycles` is a
+    /// simulation watchdog error, after which the cached engine has
+    /// already healed and stays warm.
+    pub fn run_budgeted(
+        &mut self,
+        net: &Network,
+        level: OptLevel,
+        sequence: &[Vec<Q3p12>],
+        max_cycles: u64,
+    ) -> Result<NetworkRun, CoreError> {
+        self.engine(net, level)?.run_budgeted(sequence, max_cycles)
+    }
 }
 
 #[cfg(test)]
@@ -107,5 +126,28 @@ mod tests {
             .unwrap();
         assert_eq!(warm.outputs, fresh.outputs);
         assert_eq!(warm.report.cycles(), fresh.report.cycles());
+    }
+
+    #[test]
+    fn budgeted_runs_share_the_warm_engine() {
+        let suite = crate::suite();
+        let net = &suite[3];
+        let mut cache = EngineCache::new();
+        let input = net.input();
+        let free = cache.run(&net.network, OptLevel::IfmTile, &input).unwrap();
+        // An ample explicit budget changes nothing; a one-cycle budget
+        // trips the watchdog but leaves the engine healed and cached.
+        let ample = cache
+            .run_budgeted(&net.network, OptLevel::IfmTile, &input, 1_000_000)
+            .unwrap();
+        assert_eq!(free.outputs, ample.outputs);
+        assert_eq!(free.report.cycles(), ample.report.cycles());
+        assert!(cache
+            .run_budgeted(&net.network, OptLevel::IfmTile, &input, 1)
+            .is_err());
+        let healed = cache.run(&net.network, OptLevel::IfmTile, &input).unwrap();
+        assert_eq!(free.outputs, healed.outputs);
+        assert_eq!(free.report.cycles(), healed.report.cycles());
+        assert_eq!(cache.len(), 1);
     }
 }

@@ -1,0 +1,161 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes *when* (an `instret` trigger) and *where*
+//! (a [`FaultSite`]) to corrupt architectural state, plus an optional
+//! forced watchdog budget. Plans are armed on a
+//! [`Machine`](crate::Machine) with
+//! [`arm_faults`](crate::Machine::arm_faults) and fire identically on
+//! the pre-decoded micro-op path and the legacy per-step interpreter:
+//! a due fault is applied at the top of the step, after the halted
+//! check and before SPR drain/fetch, so both paths observe the
+//! corruption at exactly the same instruction boundary.
+//!
+//! Every applied fault leaves a [`FaultRecord`] in the machine's
+//! [`fault_log`](crate::Machine::fault_log) stating what was actually
+//! hit ([`FaultEffect`]), at which PC/cycle/instret — the campaign
+//! runner uses this to attribute downstream crashes to their injection
+//! site, and the differential tests assert the logs match across
+//! execution paths bit for bit.
+
+use rnnasip_isa::Reg;
+
+/// Where a single fault strikes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Flip one bit of the TCDM byte at `addr`.
+    ///
+    /// A `silent` flip bypasses the dirty-block bitmap — modelling an
+    /// upset the write-tracking hardware never saw — so an incremental
+    /// rewind cannot undo it; only a full image rebuild can.
+    MemBit {
+        /// Byte address of the target.
+        addr: u32,
+        /// Bit index within the byte (taken modulo 8).
+        bit: u32,
+        /// Skip dirty tracking, evading rewind.
+        silent: bool,
+    },
+    /// Flip one bit of an integer register (writes to `x0` are ignored
+    /// by the register file, recorded as [`FaultEffect::NoTarget`]).
+    RegBit {
+        /// Target register.
+        reg: Reg,
+        /// Bit index within the 32-bit value (taken modulo 32).
+        bit: u32,
+    },
+    /// Flip one bit of the encoded instruction word at `pc`.
+    ///
+    /// The corrupted word is re-decoded with the same-width decoder:
+    /// a still-valid encoding replaces the instruction in place, while
+    /// an invalid one (or a width-class change) turns the slot into a
+    /// permanent fetch fault.
+    InstrBit {
+        /// Address of the instruction to corrupt.
+        pc: u32,
+        /// Bit index within the encoded word (modulo the encoding width).
+        bit: u32,
+    },
+}
+
+/// One scheduled fault: a [`FaultSite`] fired when the machine's
+/// retired-instruction count reaches `at_instret`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// Fire when `instret >= at_instret` (checked at step boundaries).
+    pub at_instret: u64,
+    /// What to corrupt.
+    pub site: FaultSite,
+}
+
+/// A seeded, deterministic fault scenario.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_sim::{Fault, FaultPlan, FaultSite};
+///
+/// let plan = FaultPlan::new()
+///     .with_fault(Fault {
+///         at_instret: 10,
+///         site: FaultSite::MemBit { addr: 0x40, bit: 3, silent: false },
+///     })
+///     .with_watchdog(1_000);
+/// assert_eq!(plan.faults.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Faults to arm; applied in `at_instret` order.
+    pub faults: Vec<Fault>,
+    /// Optional forced watchdog budget (cycles), overriding the run's
+    /// requested budget when smaller — models a runaway-firmware guard
+    /// firing early.
+    pub watchdog: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults, no forced watchdog).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one fault.
+    #[must_use]
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Sets the forced watchdog budget.
+    #[must_use]
+    pub fn with_watchdog(mut self, cycles: u64) -> Self {
+        self.watchdog = Some(cycles);
+        self
+    }
+}
+
+/// What an applied fault actually did to the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEffect {
+    /// A memory bit was flipped (`silent` mirrors the site).
+    FlippedMem {
+        /// Byte address that was hit.
+        addr: u32,
+        /// Whether the flip evaded dirty tracking.
+        silent: bool,
+    },
+    /// A register bit was flipped.
+    FlippedReg {
+        /// Register that was hit.
+        reg: Reg,
+    },
+    /// An instruction word was corrupted into another valid encoding
+    /// and patched in place.
+    PatchedInstr {
+        /// Address of the corrupted instruction.
+        pc: u32,
+    },
+    /// An instruction word was corrupted into an invalid encoding; the
+    /// slot now raises a fetch fault whenever executed.
+    RemovedInstr {
+        /// Address of the corrupted instruction.
+        pc: u32,
+    },
+    /// The site did not exist (out-of-bounds address, `x0`, or no
+    /// instruction at `pc`); nothing changed.
+    NoTarget,
+}
+
+/// Log entry for one applied fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The fault as scheduled.
+    pub fault: Fault,
+    /// PC at the moment of application.
+    pub pc: u32,
+    /// Cycle count at the moment of application.
+    pub cycle: u64,
+    /// Retired-instruction count at the moment of application.
+    pub instret: u64,
+    /// What actually happened.
+    pub effect: FaultEffect,
+}

@@ -49,6 +49,7 @@
 
 mod core_state;
 mod error;
+mod fault;
 mod machine;
 mod mem;
 mod program;
@@ -58,6 +59,7 @@ mod uop;
 
 pub use core_state::{Core, HwLoop};
 pub use error::{ExitReason, SimError};
+pub use fault::{Fault, FaultEffect, FaultPlan, FaultRecord, FaultSite};
 pub use machine::{Machine, StepOutcome};
 pub use mem::{MemImage, Memory};
 pub use program::{ProgItem, Program};

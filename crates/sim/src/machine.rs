@@ -2,6 +2,7 @@
 
 use crate::core_state::Core;
 use crate::error::{ExitReason, SimError};
+use crate::fault::{Fault, FaultEffect, FaultPlan, FaultRecord, FaultSite};
 use crate::mem::{MemImage, Memory};
 use crate::program::Program;
 use crate::stats::Stats;
@@ -81,6 +82,18 @@ pub struct Machine {
     /// and straight-line runs), for coverage diagnostics. One addition
     /// per bulk entry, not per op.
     bulk_instrs: u64,
+    /// Scheduled faults not yet applied, in `at_instret` order.
+    armed_faults: VecDeque<Fault>,
+    /// Forced watchdog budget from the armed [`FaultPlan`], capping the
+    /// budget of every run until cleared.
+    forced_watchdog: Option<u64>,
+    /// Faults applied since the plan was armed.
+    fault_log: Vec<FaultRecord>,
+    /// Instruction addresses corrupted into invalid encodings; fetching
+    /// one raises [`SimError::FetchFault`]. Persists across
+    /// [`rewind`](Self::rewind) — program corruption is only healed by
+    /// reloading the program.
+    corrupted_pcs: Vec<u32>,
 }
 
 impl Machine {
@@ -103,6 +116,10 @@ impl Machine {
             spr_pending: VecDeque::new(),
             halted: None,
             bulk_instrs: 0,
+            armed_faults: VecDeque::new(),
+            forced_watchdog: None,
+            fault_log: Vec::new(),
+            corrupted_pcs: Vec::new(),
         }
     }
 
@@ -143,6 +160,8 @@ impl Machine {
     pub fn load_program(&mut self, program: &Program) {
         self.program = program.clone();
         self.uops = Arc::new(UopProgram::translate(program));
+        self.clear_faults();
+        self.corrupted_pcs.clear();
         self.reset_core();
     }
 
@@ -162,6 +181,8 @@ impl Machine {
         );
         self.program = program.clone();
         self.uops = uops;
+        self.clear_faults();
+        self.corrupted_pcs.clear();
         self.reset_core();
     }
 
@@ -217,6 +238,141 @@ impl Machine {
         self.stats.clear();
     }
 
+    /// Arms a fault plan: replaces any pending faults with the plan's
+    /// (sorted by trigger `instret`), installs its forced watchdog and
+    /// clears the fault log.
+    ///
+    /// Armed faults survive [`reset_core`](Self::reset_core) and
+    /// [`rewind`](Self::rewind) — a plan armed before a run fires during
+    /// that run even though the engine rewinds first. They are cleared
+    /// by [`clear_faults`](Self::clear_faults) or by loading a program.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        let mut faults = plan.faults.clone();
+        faults.sort_by_key(|f| f.at_instret);
+        self.armed_faults = faults.into();
+        self.forced_watchdog = plan.watchdog;
+        self.fault_log.clear();
+    }
+
+    /// Disarms pending faults and the forced watchdog, and clears the
+    /// fault log. Does *not* undo damage already applied: flipped
+    /// memory/register bits and corrupted instruction slots persist
+    /// until state is restored or the program reloaded.
+    pub fn clear_faults(&mut self) {
+        self.armed_faults.clear();
+        self.forced_watchdog = None;
+        self.fault_log.clear();
+    }
+
+    /// Faults applied since the current plan was armed, in application
+    /// order.
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        &self.fault_log
+    }
+
+    /// Whether fault state (pending faults or corrupted instruction
+    /// slots) currently disables the bulk block runners. Exposed for
+    /// diagnostics; the generic per-op path is bit-identical, so this
+    /// only affects host-side throughput.
+    pub fn bulk_ok(&self) -> bool {
+        self.armed_faults.is_empty() && self.corrupted_pcs.is_empty()
+    }
+
+    /// The run budget after applying the armed plan's forced watchdog.
+    #[inline]
+    fn effective_budget(&self, max_cycles: u64) -> u64 {
+        match self.forced_watchdog {
+            Some(w) => w.min(max_cycles),
+            None => max_cycles,
+        }
+    }
+
+    /// Applies every armed fault whose trigger `instret` has been
+    /// reached, recording each application.
+    fn apply_due_faults(&mut self) {
+        while let Some(&f) = self.armed_faults.front() {
+            if f.at_instret > self.core.instret {
+                break;
+            }
+            self.armed_faults.pop_front();
+            let effect = self.apply_fault(f.site);
+            self.fault_log.push(FaultRecord {
+                fault: f,
+                pc: self.core.pc,
+                cycle: self.core.cycle,
+                instret: self.core.instret,
+                effect,
+            });
+        }
+    }
+
+    fn apply_fault(&mut self, site: FaultSite) -> FaultEffect {
+        match site {
+            FaultSite::MemBit { addr, bit, silent } => {
+                if self.mem.flip_bit(addr, bit, silent) {
+                    FaultEffect::FlippedMem { addr, silent }
+                } else {
+                    FaultEffect::NoTarget
+                }
+            }
+            FaultSite::RegBit { reg, bit } => {
+                if reg.is_zero() {
+                    return FaultEffect::NoTarget;
+                }
+                let v = self.core.reg(reg) ^ (1 << (bit & 31));
+                self.core.set_reg(reg, v);
+                FaultEffect::FlippedReg { reg }
+            }
+            FaultSite::InstrBit { pc, bit } => self.corrupt_instr(pc, bit),
+        }
+    }
+
+    /// Flips one bit of the encoded instruction at `pc` and re-decodes
+    /// the corrupted word with the same-width decoder. A still-valid
+    /// encoding is patched into the program (and the micro-op image
+    /// retranslated); an invalid one — or a width-class change, which
+    /// would shift every following instruction — turns the slot into a
+    /// permanent fetch fault instead.
+    fn corrupt_instr(&mut self, pc: u32, bit: u32) -> FaultEffect {
+        if self.corrupted_pcs.contains(&pc) {
+            return FaultEffect::NoTarget;
+        }
+        let Some(item) = self.program.fetch(pc).copied() else {
+            return FaultEffect::NoTarget;
+        };
+        let patched = if item.size == 2 {
+            match rnnasip_isa::compress(&item.instr) {
+                Some(half) => {
+                    let flipped = half ^ (1 << (bit & 15));
+                    if rnnasip_isa::is_compressed(flipped) {
+                        rnnasip_isa::decode_compressed(flipped).ok()
+                    } else {
+                        None
+                    }
+                }
+                None => return FaultEffect::NoTarget,
+            }
+        } else {
+            let flipped = rnnasip_isa::encode(&item.instr) ^ (1 << (bit & 31));
+            if rnnasip_isa::is_compressed(flipped as u16) {
+                None
+            } else {
+                rnnasip_isa::decode(flipped).ok()
+            }
+        };
+        match patched {
+            Some(instr) => {
+                self.program.patch(pc, instr);
+                self.uops = Arc::new(UopProgram::translate(&self.program));
+                FaultEffect::PatchedInstr { pc }
+            }
+            None => {
+                self.corrupted_pcs.push(pc);
+                FaultEffect::RemovedInstr { pc }
+            }
+        }
+    }
+
     /// Runs until the program halts via `ecall`/`ebreak`.
     ///
     /// Execution is driven off the pre-decoded micro-op array built by
@@ -245,8 +401,31 @@ impl Machine {
     /// [`SimError::Watchdog`] if `max_cycles` elapse first, or any
     /// fetch/memory error raised by the program.
     pub fn run(&mut self, max_cycles: u64) -> Result<ExitReason, SimError> {
+        let max_cycles = self.effective_budget(max_cycles);
         if let Some(reason) = self.halted {
             return Ok(reason);
+        }
+        // Fault mode: an armed instruction-corruption fault can replace
+        // the micro-op image mid-run, so while faults are pending, step
+        // with a freshly derived `Arc`/index each iteration (the bulk
+        // runners are disabled via `bulk_ok`, keeping every step on the
+        // bit-identical generic path). Falls through to the fast loop
+        // once the queue drains.
+        while !self.armed_faults.is_empty() {
+            self.apply_due_faults();
+            let uops = Arc::clone(&self.uops);
+            let mut idx = self
+                .program
+                .index_of(self.core.pc)
+                .map_or(NO_IDX, |i| i as u32);
+            match self.uop_step(&uops, &mut idx, max_cycles)? {
+                UStep::Halt(reason) => return Ok(reason),
+                UStep::Cont | UStep::Bulk => {
+                    if self.core.cycle > max_cycles {
+                        return Err(SimError::Watchdog { max_cycles });
+                    }
+                }
+            }
         }
         let uops = Arc::clone(&self.uops);
         let mut idx = self
@@ -288,8 +467,22 @@ impl Machine {
     ///
     /// Same as [`run`](Self::run).
     pub fn run_legacy(&mut self, max_cycles: u64) -> Result<ExitReason, SimError> {
+        let max_cycles = self.effective_budget(max_cycles);
         if let Some(reason) = self.halted {
             return Ok(reason);
+        }
+        // Armed faults are applied inside `step`, but the watchdog must
+        // be re-checked after every step while they can fire (mirroring
+        // `run`'s fault-mode loop) rather than once per block.
+        while !self.armed_faults.is_empty() {
+            match self.step()? {
+                StepOutcome::Halted(reason) => return Ok(reason),
+                StepOutcome::Continue => {
+                    if self.core.cycle > max_cycles {
+                        return Err(SimError::Watchdog { max_cycles });
+                    }
+                }
+            }
         }
         loop {
             let remaining = max_cycles.saturating_sub(self.core.cycle);
@@ -329,6 +522,13 @@ impl Machine {
     ) -> Result<UStep, SimError> {
         if !self.spr_pending.is_empty() {
             self.drain_spr();
+        }
+
+        // An instruction slot corrupted into an invalid encoding fetch-
+        // faults exactly where `step` would (after SPR drain, before the
+        // load-use stall charge).
+        if !self.corrupted_pcs.is_empty() && self.corrupted_pcs.contains(&self.core.pc) {
+            return Err(SimError::FetchFault { pc: self.core.pc });
         }
 
         let Some(&u) = uops.uops.get(*idx as usize) else {
@@ -443,6 +643,11 @@ impl Machine {
         max_cycles: u64,
         top_entry: bool,
     ) -> Result<bool, SimError> {
+        // Bulk execution retires many ops without fault or corrupted-slot
+        // checks; fall back to the generic path while any are live.
+        if !self.bulk_ok() {
+            return Ok(false);
+        }
         let lp = self.core.hwloop[level];
         let mut bi = head;
         let body = loop {
@@ -555,6 +760,10 @@ impl Machine {
         idx: &mut u32,
         max_cycles: u64,
     ) -> Result<bool, SimError> {
+        // See `run_loop_body`: no bulk retirement while fault state is live.
+        if !self.bulk_ok() {
+            return Ok(false);
+        }
         let run = &uops.runs[ri as usize];
         for lp in &self.core.hwloop {
             if lp.count > 0 && lp.end > run.start_addr && lp.end <= run.end_addr {
@@ -735,6 +944,13 @@ impl Machine {
             return Ok(StepOutcome::Halted(reason));
         }
 
+        // Due faults strike at the instruction boundary, before anything
+        // of this step executes — the same point `run`'s fault-mode loop
+        // applies them for the micro-op path.
+        if !self.armed_faults.is_empty() {
+            self.apply_due_faults();
+        }
+
         // SPR writes issued two or more instructions ago become visible.
         // The deque is empty except inside `pl.sdotsp` streams, so guard
         // the drain with the cheap length check.
@@ -743,6 +959,9 @@ impl Machine {
         }
 
         let pc = self.core.pc;
+        if !self.corrupted_pcs.is_empty() && self.corrupted_pcs.contains(&pc) {
+            return Err(SimError::FetchFault { pc });
+        }
         let item = *self.program.fetch(pc).ok_or(SimError::FetchFault { pc })?;
         let instr = item.instr;
         let size = item.size as u32;

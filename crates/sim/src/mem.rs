@@ -279,6 +279,28 @@ impl Memory {
         self.bytes.fill(0);
         self.dirty.fill(u64::MAX);
     }
+
+    /// Flips one bit of the byte at `addr`, as a fault-injection
+    /// primitive. Returns `false` (and changes nothing) when `addr` is
+    /// out of bounds.
+    ///
+    /// A *tracked* flip (`silent == false`) marks the containing block
+    /// dirty, so [`restore_image`](Self::restore_image) undoes it like
+    /// any kernel write. A *silent* flip leaves the dirty bitmap alone —
+    /// modelling a particle strike the write-tracking hardware never
+    /// saw — and therefore survives an incremental restore; only a full
+    /// [`load_image`](Self::load_image) is guaranteed to clear it.
+    pub fn flip_bit(&mut self, addr: u32, bit: u32, silent: bool) -> bool {
+        let a = addr as usize;
+        if a >= self.bytes.len() {
+            return false;
+        }
+        self.bytes[a] ^= 1 << (bit & 7);
+        if !silent {
+            self.mark_dirty(a);
+        }
+        true
+    }
 }
 
 #[cfg(test)]

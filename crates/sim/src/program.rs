@@ -159,6 +159,25 @@ impl Program {
         self.items.iter()
     }
 
+    /// Replaces the instruction starting at `addr` in place, keeping its
+    /// encoded size. Returns `false` (and changes nothing) when no
+    /// instruction starts at `addr`.
+    ///
+    /// This is the instruction-corruption primitive of the fault-injection
+    /// API: the caller decodes the bit-flipped word with the *same-width*
+    /// decoder, so a 2-byte item only ever receives an instruction that
+    /// still has a compressed form and [`to_bytes`](Self::to_bytes)
+    /// stays well-defined.
+    pub fn patch(&mut self, addr: u32, instr: Instr) -> bool {
+        match self.index_of(addr) {
+            Some(i) => {
+                self.items[i].instr = instr;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Encodes the program to its binary image (little-endian), starting
     /// at the base address.
     pub fn to_bytes(&self) -> Vec<u8> {

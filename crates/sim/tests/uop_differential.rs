@@ -21,7 +21,7 @@ use rnnasip_isa::{
     SimdMode, SimdSize, StoreOp,
 };
 use rnnasip_rng::StdRng;
-use rnnasip_sim::{Machine, Memory, Program};
+use rnnasip_sim::{Fault, FaultPlan, FaultSite, Machine, Memory, Program};
 
 /// Small memory so runaway pointer streams fault within a few hundred
 /// iterations instead of never.
@@ -380,11 +380,26 @@ fn staged_machine(prog: &Program, seed: u64) -> Machine {
 }
 
 fn assert_identical(seed: u64, max_cycles: u64, prog: &Program) {
+    assert_identical_with_plan(seed, max_cycles, prog, None);
+}
+
+fn assert_identical_with_plan(
+    seed: u64,
+    max_cycles: u64,
+    prog: &Program,
+    plan: Option<&FaultPlan>,
+) {
     let mut legacy = staged_machine(prog, seed);
     let mut uop = staged_machine(prog, seed);
+    if let Some(plan) = plan {
+        legacy.arm_faults(plan);
+        uop.arm_faults(plan);
+    }
     let r_legacy = legacy.run_legacy(max_cycles);
     let r_uop = uop.run(max_cycles);
     let ctx = format!("seed {seed}, budget {max_cycles}");
+
+    assert_eq!(legacy.fault_log(), uop.fault_log(), "fault log ({ctx})");
 
     assert_eq!(r_legacy, r_uop, "exit ({ctx})");
     let (cl, cu) = (legacy.core(), uop.core());
@@ -442,6 +457,90 @@ fn randomized_programs_match_reference_bit_exactly() {
     // quietly stops covering one side.
     assert!(halts >= 100, "only {halts} seeds halted cleanly");
     assert!(errors >= 40, "only {errors} seeds faulted");
+}
+
+/// A seeded fault plan aimed at a program of `prog_len` 4-byte
+/// instructions based at 0: a few bit-flips across all three site kinds,
+/// sometimes with a forced watchdog.
+fn fault_plan(seed: u64, prog_len: usize) -> FaultPlan {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17);
+    let mut u = move |n: u32| rng.gen::<u32>() % n;
+    let mut plan = FaultPlan::new();
+    for _ in 0..1 + u(3) {
+        // Mostly early triggers (many generated programs retire only a
+        // few dozen instructions); occasionally deep into a loop.
+        let at_instret = u64::from(if u(4) == 0 { u(1500) } else { u(40) });
+        let site = match u(4) {
+            0 => FaultSite::MemBit {
+                // Slightly past the end sometimes, exercising NoTarget.
+                addr: u(MEM_BYTES as u32 + 64),
+                bit: u(8),
+                silent: u(4) == 0,
+            },
+            1 => FaultSite::RegBit {
+                reg: REG_POOL[u(REG_POOL.len() as u32) as usize],
+                bit: u(32),
+            },
+            2 => FaultSite::InstrBit {
+                pc: 4 * u(prog_len as u32 + 2),
+                bit: u(32),
+            },
+            _ => FaultSite::MemBit {
+                addr: 4 * u(MEM_BYTES as u32 / 4),
+                bit: u(8),
+                silent: false,
+            },
+        };
+        plan = plan.with_fault(Fault { at_instret, site });
+    }
+    if u(4) == 0 {
+        plan = plan.with_watchdog(u64::from(200 + u(4_000)));
+    }
+    plan
+}
+
+/// Satellite of the fault-injection subsystem: under identical injected
+/// fault plans — memory/register bit-flips, instruction corruption,
+/// forced watchdogs — both execution paths must report the same error
+/// variant, faulting PC, cycle count, fault log, and full machine state.
+#[test]
+fn fault_plans_match_reference_bit_exactly() {
+    let mut applied = 0usize;
+    let mut corrupted = 0usize;
+    let mut errors = 0u32;
+    for seed in 0..150u64 {
+        let mut g = Gen {
+            rng: StdRng::seed_from_u64(seed),
+        };
+        let prog = g.program();
+        let plan = fault_plan(seed, prog.len());
+        for max_cycles in [700, 20_000] {
+            assert_identical_with_plan(seed, max_cycles, &prog, Some(&plan));
+        }
+        let mut probe = staged_machine(&prog, seed);
+        probe.arm_faults(&plan);
+        if probe.run(20_000).is_err() {
+            errors += 1;
+        }
+        applied += probe.fault_log().len();
+        corrupted += probe
+            .fault_log()
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.effect,
+                    rnnasip_sim::FaultEffect::PatchedInstr { .. }
+                        | rnnasip_sim::FaultEffect::RemovedInstr { .. }
+                )
+            })
+            .count();
+    }
+    // Population health: the plans must actually strike, corrupt code,
+    // and produce detected crashes, or the differential stops covering
+    // the interesting paths.
+    assert!(applied >= 100, "only {applied} faults applied");
+    assert!(corrupted >= 10, "only {corrupted} instruction corruptions");
+    assert!(errors >= 20, "only {errors} seeds faulted under injection");
 }
 
 #[test]
