@@ -42,6 +42,11 @@ pub struct Engine {
     machine: Machine,
     last_restored: usize,
     last_fault_log: Vec<FaultRecord>,
+    /// Reusable input-patch staging: the request sequence flattened to
+    /// little-endian halfword bytes, written into the TCDM in one bulk
+    /// copy. Hoisted out of `run` so back-to-back inferences (the
+    /// serving hot path) allocate nothing per request.
+    patch: Vec<u8>,
 }
 
 impl Engine {
@@ -51,11 +56,13 @@ impl Engine {
     pub fn new(compiled: CompiledNetwork) -> Self {
         let mut machine = Machine::with_memory(Memory::from_image(compiled.image()));
         machine.load_program_shared(compiled.program(), compiled.uop_program().clone());
+        let patch_capacity = 2 * compiled.input().width() * compiled.input().steps();
         Self {
             compiled,
             machine,
             last_restored: 0,
             last_fault_log: Vec::new(),
+            patch: Vec::with_capacity(patch_capacity),
         }
     }
 
@@ -95,7 +102,26 @@ impl Engine {
     /// fresh engine (unless the failure corrupted state the dirty-block
     /// bitmap cannot see — then [`heal_rebuild`](Self::heal_rebuild)).
     pub fn run(&mut self, sequence: &[Vec<Q3p12>]) -> Result<NetworkRun, CoreError> {
-        self.run_inner(sequence, false, None)
+        let mut outputs = Vec::with_capacity(self.compiled.output().len());
+        let report = self.run_inner(sequence, false, None, &mut outputs)?;
+        Ok(NetworkRun { outputs, report })
+    }
+
+    /// Allocation-lean twin of [`run`](Self::run): outputs land in a
+    /// caller-owned buffer (cleared first) instead of a fresh `Vec`, so
+    /// a tight serving loop that recycles its buffers pays no per-request
+    /// output allocation. Same semantics and bit-identical results
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run); `outputs` is cleared on error.
+    pub fn run_into(
+        &mut self,
+        sequence: &[Vec<Q3p12>],
+        outputs: &mut Vec<Q3p12>,
+    ) -> Result<RunReport, CoreError> {
+        self.run_inner(sequence, false, None, outputs)
     }
 
     /// Like [`run`](Self::run), but simulating through the reference
@@ -109,7 +135,9 @@ impl Engine {
     ///
     /// Same as [`run`](Self::run).
     pub fn run_reference(&mut self, sequence: &[Vec<Q3p12>]) -> Result<NetworkRun, CoreError> {
-        self.run_inner(sequence, true, None)
+        let mut outputs = Vec::with_capacity(self.compiled.output().len());
+        let report = self.run_inner(sequence, true, None, &mut outputs)?;
+        Ok(NetworkRun { outputs, report })
     }
 
     /// Like [`run`](Self::run) with the watchdog budget overridden for
@@ -127,7 +155,9 @@ impl Engine {
         sequence: &[Vec<Q3p12>],
         max_cycles: u64,
     ) -> Result<NetworkRun, CoreError> {
-        self.run_inner(sequence, false, Some(max_cycles))
+        let mut outputs = Vec::with_capacity(self.compiled.output().len());
+        let report = self.run_inner(sequence, false, Some(max_cycles), &mut outputs)?;
+        Ok(NetworkRun { outputs, report })
     }
 
     /// [`run_budgeted`](Self::run_budgeted) through the reference
@@ -142,7 +172,9 @@ impl Engine {
         sequence: &[Vec<Q3p12>],
         max_cycles: u64,
     ) -> Result<NetworkRun, CoreError> {
-        self.run_inner(sequence, true, Some(max_cycles))
+        let mut outputs = Vec::with_capacity(self.compiled.output().len());
+        let report = self.run_inner(sequence, true, Some(max_cycles), &mut outputs)?;
+        Ok(NetworkRun { outputs, report })
     }
 
     /// Arms a [`FaultPlan`] for the **next run only**. The plan's faults
@@ -204,7 +236,8 @@ impl Engine {
         sequence: &[Vec<Q3p12>],
         reference: bool,
         budget: Option<u64>,
-    ) -> Result<NetworkRun, CoreError> {
+        outputs: &mut Vec<Q3p12>,
+    ) -> Result<RunReport, CoreError> {
         let input = self.compiled.input();
         if sequence.len() != input.steps() {
             return Err(CoreError::Shape(format!(
@@ -222,7 +255,7 @@ impl Engine {
                 )));
             }
         }
-        let result = self.attempt(sequence, reference, budget);
+        let result = self.attempt(sequence, reference, budget, outputs);
         // One-shot injection semantics: stash what the plan actually did,
         // then disarm so the next run is unaffected; on failure also
         // rewind eagerly so a poisoned engine heals before the caller
@@ -230,6 +263,7 @@ impl Engine {
         self.last_fault_log = self.machine.fault_log().to_vec();
         self.machine.clear_faults();
         if result.is_err() {
+            outputs.clear();
             self.last_restored = self.machine.rewind(self.compiled.image());
         }
         result
@@ -240,14 +274,23 @@ impl Engine {
         sequence: &[Vec<Q3p12>],
         reference: bool,
         budget: Option<u64>,
-    ) -> Result<NetworkRun, CoreError> {
+        outputs: &mut Vec<Q3p12>,
+    ) -> Result<RunReport, CoreError> {
         let input = self.compiled.input();
         self.last_restored = self.machine.rewind(self.compiled.image());
-        for (t, x) in sequence.iter().enumerate() {
-            self.machine
-                .mem_mut()
-                .write_q3p12_slice(input.base() + (t * input.width() * 2) as u32, x)?;
+        // The sequence is contiguous in the staged layout (step t at
+        // base + 2*t*width), so it flattens into the reusable patch
+        // scratch and lands in one bulk write.
+        self.patch.clear();
+        for x in sequence {
+            for v in x {
+                self.patch
+                    .extend_from_slice(&(v.raw() as u16).to_le_bytes());
+            }
         }
+        self.machine
+            .mem_mut()
+            .write_bytes(input.base(), &self.patch)?;
         let max_cycles = budget.unwrap_or_else(|| self.compiled.max_cycles());
         let started = std::time::Instant::now();
         if reference {
@@ -257,10 +300,9 @@ impl Engine {
         }
         let host_nanos = started.elapsed().as_nanos() as u64;
         let out = self.compiled.output();
-        let outputs = self.machine.mem().read_q3p12_slice(out.base(), out.len())?;
-        Ok(NetworkRun {
-            outputs,
-            report: RunReport::new(self.machine.stats().clone()).with_host_nanos(host_nanos),
-        })
+        self.machine
+            .mem()
+            .read_q3p12_into(out.base(), out.len(), outputs)?;
+        Ok(RunReport::new(self.machine.stats().clone()).with_host_nanos(host_nanos))
     }
 }

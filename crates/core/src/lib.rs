@@ -52,6 +52,7 @@ mod optlevel;
 mod report;
 mod resilience;
 mod runner;
+pub mod serve;
 
 pub use compile::{CompiledNetwork, InputDesc, OutputDesc};
 pub use engine::Engine;
@@ -64,6 +65,7 @@ pub use resilience::{Attempt, RecoveryAction, ResilientEngine, RetryPolicy, RunO
 pub use runner::{
     KernelBackend, Layer8Run, LayerRun, NetworkRun, StageRun, DEFAULT_WATCHDOG_CYCLES,
 };
+pub use serve::{BatchRequest, BatchResponse, EnginePool};
 // Fault-injection vocabulary, re-exported so campaign code can target an
 // `Engine` without depending on `rnnasip-sim` directly.
 pub use rnnasip_sim::{Fault, FaultEffect, FaultPlan, FaultRecord, FaultSite, SimError};

@@ -1,0 +1,172 @@
+//! Batch vocabulary for the serving layer: a slab of inference requests
+//! in, per-request results plus an order-independent aggregate out.
+
+use crate::error::CoreError;
+use crate::optlevel::OptLevel;
+use crate::report::RunReport;
+use crate::resilience::RecoveryAction;
+use crate::runner::NetworkRun;
+use rnnasip_fixed::Q3p12;
+use rnnasip_nn::Network;
+use rnnasip_sim::FaultPlan;
+use std::sync::Arc;
+
+/// One inference request inside a [`BatchRequest`]: which network at
+/// which optimization level, and the input window to score.
+///
+/// The network rides behind an `Arc` so a slab of thousands of requests
+/// against one policy net shares a single copy of the weights.
+#[derive(Clone, Debug)]
+pub struct BatchItem {
+    pub(crate) net: Arc<Network>,
+    pub(crate) level: OptLevel,
+    pub(crate) sequence: Vec<Vec<Q3p12>>,
+    pub(crate) fault: Option<FaultPlan>,
+}
+
+impl BatchItem {
+    /// The network this request targets.
+    pub fn network(&self) -> &Arc<Network> {
+        &self.net
+    }
+
+    /// The optimization level this request runs at.
+    pub fn level(&self) -> OptLevel {
+        self.level
+    }
+
+    /// The input window (`seq_len` steps of `n_in` elements).
+    pub fn sequence(&self) -> &[Vec<Q3p12>] {
+        &self.sequence
+    }
+}
+
+/// A slab of inference requests submitted to an
+/// [`EnginePool`](crate::serve::EnginePool) as one unit.
+///
+/// Responses come back in **submission order** regardless of how the
+/// pool schedules the work, so index `i` of the response always answers
+/// item `i` of the request.
+#[derive(Clone, Debug, Default)]
+pub struct BatchRequest {
+    pub(crate) items: Vec<BatchItem>,
+}
+
+impl BatchRequest {
+    /// An empty batch (valid to submit; completes immediately).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one request for `net` at `level` with input `sequence`.
+    pub fn push(&mut self, net: Arc<Network>, level: OptLevel, sequence: Vec<Vec<Q3p12>>) {
+        self.items.push(BatchItem {
+            net,
+            level,
+            sequence,
+            fault: None,
+        });
+    }
+
+    /// Like [`push`](Self::push), but arming `plan` for the request's
+    /// first attempt — the fault-injection hook the resilience tests use
+    /// to prove a worker heals in place without stalling the batch.
+    pub fn push_with_faults(
+        &mut self,
+        net: Arc<Network>,
+        level: OptLevel,
+        sequence: Vec<Vec<Q3p12>>,
+        plan: FaultPlan,
+    ) {
+        self.items.push(BatchItem {
+            net,
+            level,
+            sequence,
+            fault: Some(plan),
+        });
+    }
+
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the batch holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The result of one batch item: the run (or the error that exhausted
+/// the worker's in-place recovery ladder) plus which recovery rung, if
+/// any, the worker had to climb to produce it.
+#[derive(Debug)]
+pub struct ItemOutcome {
+    /// The inference result, bit-identical to a serial
+    /// [`Engine::run`](crate::Engine::run) of the same request.
+    pub result: Result<NetworkRun, CoreError>,
+    /// `FirstTry` when the request ran clean; `Rewind`/`Rebuild` when
+    /// the worker healed its engine in place before succeeding (or
+    /// before giving up, for an `Err` result).
+    pub recovery: RecoveryAction,
+}
+
+impl ItemOutcome {
+    /// Whether the request succeeded only thanks to in-place recovery.
+    pub fn recovered(&self) -> bool {
+        self.result.is_ok() && self.recovery != RecoveryAction::FirstTry
+    }
+}
+
+/// The completed batch: one [`ItemOutcome`] per request, in submission
+/// order.
+#[derive(Debug)]
+pub struct BatchResponse {
+    pub(crate) outcomes: Vec<ItemOutcome>,
+}
+
+impl BatchResponse {
+    /// Per-request outcomes, index-aligned with the submitted batch.
+    pub fn outcomes(&self) -> &[ItemOutcome] {
+        &self.outcomes
+    }
+
+    /// Consumes the response into its outcomes.
+    pub fn into_outcomes(self) -> Vec<ItemOutcome> {
+        self.outcomes
+    }
+
+    /// Number of requests answered.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the batch held no requests.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Whether every request succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes.iter().all(|o| o.result.is_ok())
+    }
+
+    /// How many requests needed in-place recovery to succeed.
+    pub fn recovered(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.recovered()).count()
+    }
+
+    /// Aggregate statistics over the successful runs, merged in
+    /// submission order via [`RunReport::merged`]. Per-mnemonic rows are
+    /// sums of `u64` counters, so the aggregate is identical for every
+    /// worker count and arrival order — the determinism the pool tests
+    /// pin against the serial suite golden.
+    pub fn merged_report(&self) -> RunReport {
+        RunReport::merged(
+            self.outcomes
+                .iter()
+                .filter_map(|o| o.result.as_ref().ok())
+                .map(|run| &run.report),
+        )
+    }
+}

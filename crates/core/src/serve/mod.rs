@@ -1,0 +1,61 @@
+//! Concurrent batch serving: a sharded pool of warm engines behind a
+//! work-stealing scheduler.
+//!
+//! The paper's deployment story is a base-station controller scoring
+//! many users per scheduling tick; PRs 2–4 built the single-request
+//! machinery (compile-once artifacts, warm [`Engine`]s, self-healing),
+//! and this module turns that warm-engine reuse into aggregate
+//! throughput:
+//!
+//! - [`EnginePool`] owns N `std::thread` workers. Each worker keeps its
+//!   own warm [`Engine`] per **shard** — a `(network name, OptLevel)`
+//!   pair — seeded from a pool-wide compile-once cache of
+//!   [`CompiledNetwork`](crate::CompiledNetwork) artifacts, so a network
+//!   is compiled exactly once per level no matter how many workers serve
+//!   it.
+//! - [`BatchRequest`] carries a slab of input windows (each against any
+//!   network/level); [`BatchResponse`] returns per-request results in
+//!   **submission order** plus an order-independent aggregate
+//!   ([`BatchResponse::merged_report`]).
+//! - The scheduler routes each request to the worker owning its shard
+//!   (deterministic FNV hash) and lets idle workers **steal** from busy
+//!   ones, so consecutive requests against one compiled program mostly
+//!   stay on one worker — paying only the amortized dirty-block rewind
+//!   and a bulk input patch per request, no re-compile, no image clone,
+//!   no per-request buffer churn — without a hot shard ever serializing
+//!   the pool.
+//! - A worker whose run fails a simulation heals **in place** (the
+//!   rewind → rebuild ladder of the resilience module) and keeps
+//!   serving; the batch still completes, and the outcome records which
+//!   rung recovered it.
+//!
+//! # Determinism
+//!
+//! Pooled results are bit-identical to serial execution at every worker
+//! count and submission order, because every ingredient is:
+//! every run starts from a full rewind of the same staged image
+//! (engine runs are bit-exact regardless of history — the PR 2
+//! differential property), workers never share mutable state, responses
+//! are indexed by submission slot rather than completion order, and the
+//! aggregate merges `u64` counters, which commute. The
+//! `serve_pool_determinism` test pins all of this against the serial
+//! suite golden from PR 1 at 1, 2, and 8 workers with shuffled
+//! submission.
+//!
+//! [`Engine`]: crate::Engine
+
+mod batch;
+mod pool;
+mod scheduler;
+
+pub use batch::{BatchItem, BatchRequest, BatchResponse, ItemOutcome};
+pub use pool::{BatchTicket, EnginePool};
+
+// The pool moves networks, fault plans and engines across threads; keep
+// that property pinned at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<BatchRequest>();
+    assert_send::<BatchResponse>();
+    assert_send::<crate::Engine>();
+};

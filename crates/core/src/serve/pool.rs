@@ -1,0 +1,358 @@
+//! The sharded engine pool: worker threads with warm per-shard engines.
+
+use crate::compile::CompiledNetwork;
+use crate::engine::Engine;
+use crate::error::CoreError;
+use crate::optlevel::OptLevel;
+use crate::resilience::RecoveryAction;
+use crate::runner::KernelBackend;
+use crate::serve::batch::{BatchItem, BatchRequest, BatchResponse, ItemOutcome};
+use crate::serve::scheduler::Scheduler;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// One engine shard: a `(network name, OptLevel)` pair. The name stands
+/// in for the weights — the same contract as `rnnasip-rrm`'s
+/// `EngineCache`: one name, one fixed set of weights.
+type ShardKey = (String, OptLevel);
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// FNV-1a over the shard key — a *deterministic* router (the std
+/// `HashMap` hasher is seeded per process, which would make placement,
+/// and therefore warm-engine behaviour, vary run to run).
+fn route(key_name: &str, level: OptLevel) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key_name.bytes().chain([level as u8]) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h as usize
+}
+
+/// One queued unit of work: which batch slot to fill, with what request.
+struct Task {
+    state: Arc<BatchState>,
+    index: usize,
+    item: BatchItem,
+}
+
+/// Shared completion state of one in-flight batch.
+struct BatchState {
+    slots: Mutex<Vec<Option<ItemOutcome>>>,
+    progress: Mutex<usize>,
+    cv: Condvar,
+    total: usize,
+}
+
+impl BatchState {
+    fn new(total: usize) -> Self {
+        let mut slots = Vec::with_capacity(total);
+        slots.resize_with(total, || None);
+        Self {
+            slots: Mutex::new(slots),
+            progress: Mutex::new(0),
+            cv: Condvar::new(),
+            total,
+        }
+    }
+
+    fn complete(&self, index: usize, outcome: ItemOutcome) {
+        lock(&self.slots)[index] = Some(outcome);
+        let mut done = lock(&self.progress);
+        *done += 1;
+        if *done == self.total {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Vec<ItemOutcome> {
+        let mut done = lock(&self.progress);
+        while *done < self.total {
+            done = self
+                .cv
+                .wait(done)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        drop(done);
+        lock(&self.slots)
+            .drain(..)
+            .map(|slot| slot.expect("completed batch has every slot filled"))
+            .collect()
+    }
+}
+
+/// State shared between the pool handle and its workers.
+struct PoolShared {
+    sched: Scheduler<Task>,
+    /// Compile-once cache: one [`CompiledNetwork`] per shard, cloned out
+    /// (cheaply — the image is `Arc`-shared) to seed per-worker engines.
+    /// Compilation happens under the lock, so concurrent first requests
+    /// for one shard compile exactly once.
+    compiled: Mutex<HashMap<ShardKey, CompiledNetwork>>,
+}
+
+/// A ticket for a submitted batch; [`wait`](Self::wait) blocks until
+/// every item has been answered.
+#[must_use = "a submitted batch completes in the background; wait() collects it"]
+pub struct BatchTicket {
+    state: Arc<BatchState>,
+}
+
+impl BatchTicket {
+    /// Blocks until the batch completes and returns the response, items
+    /// in submission order.
+    pub fn wait(self) -> BatchResponse {
+        BatchResponse {
+            outcomes: self.state.wait(),
+        }
+    }
+}
+
+/// A pool of worker threads serving batched RNN inference from warm,
+/// sharded [`Engine`]s.
+///
+/// See the [module docs](crate::serve) for topology and the determinism
+/// argument.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_core::serve::{BatchRequest, EnginePool};
+/// use rnnasip_core::{KernelBackend, OptLevel};
+/// use std::sync::Arc;
+///
+/// let net = Arc::new(rnnasip_rrm::suite().remove(3).network); // eisen2019
+/// let input = vec![rnnasip_rrm::seeded_input(net.n_in(), 1)];
+///
+/// let mut batch = BatchRequest::new();
+/// for _ in 0..4 {
+///     batch.push(net.clone(), OptLevel::IfmTile, input.clone());
+/// }
+/// let pool = EnginePool::with_workers(2);
+/// let response = pool.run_batch(batch);
+/// assert!(response.all_ok());
+///
+/// // Bit-identical to the serial engine path, for every request.
+/// let serial = KernelBackend::new(OptLevel::IfmTile)
+///     .compile_network(&net)?
+///     .engine()
+///     .run(&input)?;
+/// for outcome in response.outcomes() {
+///     let run = outcome.result.as_ref().unwrap();
+///     assert_eq!(run.outputs, serial.outputs);
+///     assert_eq!(run.report.cycles(), serial.report.cycles());
+/// }
+/// # Ok::<(), rnnasip_core::CoreError>(())
+/// ```
+pub struct EnginePool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EnginePool {
+    /// A pool with one worker per available hardware thread.
+    pub fn new() -> Self {
+        Self::with_workers(
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// A pool with exactly `workers` worker threads (at least one).
+    pub fn with_workers(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            sched: Scheduler::new(workers),
+            compiled: Mutex::new(HashMap::new()),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("rnnasip-serve-{id}"))
+                    .spawn(move || worker_loop(&shared, id))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.sched.workers()
+    }
+
+    /// Enqueues a batch and returns immediately; each item is routed to
+    /// the worker owning its engine shard (idle workers steal, so a hot
+    /// shard never serializes the whole pool).
+    pub fn submit(&self, batch: BatchRequest) -> BatchTicket {
+        let state = Arc::new(BatchState::new(batch.items.len()));
+        for (index, item) in batch.items.into_iter().enumerate() {
+            let hint = route(item.net.name(), item.level);
+            self.shared.sched.push(
+                hint,
+                Task {
+                    state: state.clone(),
+                    index,
+                    item,
+                },
+            );
+        }
+        BatchTicket { state }
+    }
+
+    /// [`submit`](Self::submit) + [`BatchTicket::wait`]: runs the batch
+    /// to completion and returns per-request results in submission
+    /// order.
+    pub fn run_batch(&self, batch: BatchRequest) -> BatchResponse {
+        self.submit(batch).wait()
+    }
+}
+
+impl Default for EnginePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for EnginePool {
+    /// Drains queued work, then stops and joins every worker.
+    fn drop(&mut self) {
+        self.shared.sched.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The worker body: pull tasks, serve them from this worker's warm
+/// engines, fill the batch slots.
+fn worker_loop(shared: &PoolShared, id: usize) {
+    let mut engines: HashMap<ShardKey, Engine> = HashMap::new();
+    while let Some(task) = shared.sched.next(id) {
+        let outcome = serve_item(shared, &mut engines, &task.item);
+        task.state.complete(task.index, outcome);
+    }
+}
+
+/// Looks up (or compiles + instantiates) the worker-local engine for the
+/// item's shard.
+fn warm_engine<'a>(
+    shared: &PoolShared,
+    engines: &'a mut HashMap<ShardKey, Engine>,
+    item: &BatchItem,
+) -> Result<&'a mut Engine, CoreError> {
+    let key = (item.net.name().to_string(), item.level);
+    match engines.entry(key) {
+        std::collections::hash_map::Entry::Occupied(entry) => Ok(entry.into_mut()),
+        std::collections::hash_map::Entry::Vacant(entry) => {
+            let mut cache = lock(&shared.compiled);
+            let compiled = match cache.entry(entry.key().clone()) {
+                std::collections::hash_map::Entry::Occupied(hit) => hit.get().clone(),
+                std::collections::hash_map::Entry::Vacant(miss) => {
+                    let compiled = KernelBackend::new(item.level).compile_network(&item.net)?;
+                    miss.insert(compiled).clone()
+                }
+            };
+            drop(cache);
+            Ok(entry.insert(Engine::new(compiled)))
+        }
+    }
+}
+
+/// Runs one request on this worker, climbing the in-place recovery
+/// ladder on simulation failures: the engine's eager post-failure rewind
+/// makes the first retry free of special handling, and a second failure
+/// escalates to a full [`Engine::heal_rebuild`]. Recovery never touches
+/// the queue — other requests keep flowing on the remaining workers
+/// while this one heals.
+fn serve_item(
+    shared: &PoolShared,
+    engines: &mut HashMap<ShardKey, Engine>,
+    item: &BatchItem,
+) -> ItemOutcome {
+    let engine = match warm_engine(shared, engines, item) {
+        Ok(engine) => engine,
+        Err(e) => {
+            return ItemOutcome {
+                result: Err(e),
+                recovery: RecoveryAction::FirstTry,
+            }
+        }
+    };
+    if let Some(plan) = &item.fault {
+        engine.inject_faults(plan);
+    }
+    let mut recovery = RecoveryAction::FirstTry;
+    let mut result = engine.run(&item.sequence);
+    if matches!(result, Err(CoreError::Sim(_))) {
+        // Rung 1: the failed run already healed eagerly (dirty-block
+        // rewind + fault disarm), so the retry itself is the recovery.
+        recovery = RecoveryAction::Rewind;
+        result = engine.run(&item.sequence);
+    }
+    if matches!(result, Err(CoreError::Sim(_))) {
+        // Rung 2: rebuild from the staged image — clears corruption the
+        // dirty-block bitmap cannot see.
+        engine.heal_rebuild();
+        recovery = RecoveryAction::Rebuild;
+        result = engine.run(&item.sequence);
+    }
+    ItemOutcome { result, recovery }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_level_sensitive() {
+        assert_eq!(
+            route("eisen2019", OptLevel::IfmTile),
+            route("eisen2019", OptLevel::IfmTile)
+        );
+        assert_ne!(
+            route("eisen2019", OptLevel::IfmTile),
+            route("eisen2019", OptLevel::Baseline),
+            "levels are separate shards"
+        );
+    }
+
+    #[test]
+    fn empty_batch_completes_immediately() {
+        let pool = EnginePool::with_workers(2);
+        let response = pool.run_batch(BatchRequest::new());
+        assert!(response.is_empty());
+        assert!(response.all_ok());
+        assert_eq!(response.merged_report().cycles(), 0);
+    }
+
+    #[test]
+    fn shape_error_fails_its_slot_but_not_the_batch() {
+        let suite = rnnasip_rrm::suite();
+        let net = Arc::new(suite[3].network.clone());
+        let good = suite[3].input();
+        let mut batch = BatchRequest::new();
+        batch.push(net.clone(), OptLevel::IfmTile, good.clone());
+        batch.push(net.clone(), OptLevel::IfmTile, Vec::new()); // wrong seq_len
+        batch.push(net.clone(), OptLevel::IfmTile, good);
+        let pool = EnginePool::with_workers(2);
+        let response = pool.run_batch(batch);
+        assert_eq!(response.len(), 3);
+        assert!(response.outcomes()[0].result.is_ok());
+        assert!(matches!(
+            response.outcomes()[1].result,
+            Err(CoreError::Shape(_))
+        ));
+        assert!(response.outcomes()[2].result.is_ok());
+        assert!(!response.all_ok());
+    }
+}

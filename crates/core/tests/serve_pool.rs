@@ -1,0 +1,173 @@
+//! Tentpole acceptance tests for the serving layer: pooled execution is
+//! bit-identical to the serial engine path at every worker count and
+//! submission order, and a fault-injected request heals in place without
+//! failing its batch.
+
+use rnnasip_core::serve::{BatchRequest, EnginePool};
+use rnnasip_core::{FaultPlan, KernelBackend, NetworkRun, OptLevel, RecoveryAction, RunReport};
+use rnnasip_nn::Network;
+use rnnasip_rng::StdRng;
+use std::sync::Arc;
+
+/// Level-e suite totals pinned in PR 1 (`suite_differential.rs` GOLDEN):
+/// `(cycles, instrs, stall_cycles, mac_ops)`.
+const SUITE_E_GOLDEN: (u64, u64, u64, u64) = (825_766, 822_188, 3_460, 1_316_748);
+
+/// The full RRM suite as `(shared network, input window)` pairs plus the
+/// serial golden run of each, computed on fresh single engines.
+fn suite_with_goldens(
+    level: OptLevel,
+) -> Vec<(Arc<Network>, Vec<Vec<rnnasip_fixed::Q3p12>>, NetworkRun)> {
+    rnnasip_rrm::suite()
+        .into_iter()
+        .map(|bench| {
+            let input = bench.input();
+            let golden = KernelBackend::new(level)
+                .compile_network(&bench.network)
+                .unwrap()
+                .engine()
+                .run(&input)
+                .unwrap();
+            (Arc::new(bench.network), input, golden)
+        })
+        .collect()
+}
+
+/// In-place Fisher–Yates with the repo's deterministic SplitMix64 RNG.
+fn shuffle(order: &mut [usize], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..order.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+}
+
+/// The determinism pin: the 10-net suite through the pool at 1, 2 and 8
+/// workers, each with a different shuffled submission order, must return
+/// per-request outputs and cycle counts bit-identical to the serial
+/// golden, and the merged statistics must byte-match the serial
+/// aggregate — which itself must still equal the PR 1 suite golden.
+#[test]
+fn pooled_suite_matches_serial_golden_at_every_worker_count() {
+    let level = OptLevel::IfmTile;
+    let suite = suite_with_goldens(level);
+
+    // Serial aggregate (submission = suite order) and its PR 1 pin.
+    let serial = RunReport::merged(suite.iter().map(|(_, _, g)| &g.report));
+    assert_eq!(
+        (
+            serial.cycles(),
+            serial.instrs(),
+            serial.stats().stall_cycles(),
+            serial.mac_ops(),
+        ),
+        SUITE_E_GOLDEN,
+        "serial suite drifted from the PR 1 golden"
+    );
+    let serial_csv = serial.stats().to_csv();
+
+    for (workers, seed) in [(1, 11), (2, 22), (8, 88)] {
+        let mut order: Vec<usize> = (0..suite.len()).collect();
+        shuffle(&mut order, seed);
+
+        let mut batch = BatchRequest::new();
+        for &net_idx in &order {
+            let (net, input, _) = &suite[net_idx];
+            batch.push(net.clone(), level, input.clone());
+        }
+
+        let pool = EnginePool::with_workers(workers);
+        let response = pool.run_batch(batch);
+        assert!(response.all_ok(), "{workers} workers: a request failed");
+        assert_eq!(response.recovered(), 0);
+
+        // Slot i answers the i-th *submitted* request, so outcome i must
+        // match the golden of the net shuffled into position i.
+        for (slot, outcome) in response.outcomes().iter().enumerate() {
+            let golden = &suite[order[slot]].2;
+            let run = outcome.result.as_ref().unwrap();
+            assert_eq!(
+                run.outputs, golden.outputs,
+                "{workers} workers, slot {slot}: outputs diverged"
+            );
+            assert_eq!(
+                run.report.cycles(),
+                golden.report.cycles(),
+                "{workers} workers, slot {slot}: cycles diverged"
+            );
+            assert_eq!(
+                run.report.stats().to_csv(),
+                golden.report.stats().to_csv(),
+                "{workers} workers, slot {slot}: per-mnemonic rows diverged"
+            );
+        }
+
+        // The aggregate is order-independent: merged over the shuffled
+        // batch, it still byte-matches the serial-order aggregate.
+        let merged = response.merged_report();
+        assert_eq!(
+            (
+                merged.cycles(),
+                merged.instrs(),
+                merged.stats().stall_cycles(),
+                merged.mac_ops(),
+            ),
+            SUITE_E_GOLDEN,
+            "{workers} workers: merged totals diverged"
+        );
+        assert_eq!(
+            merged.stats().to_csv(),
+            serial_csv,
+            "{workers} workers: merged stats rows diverged"
+        );
+    }
+}
+
+/// A watchdog fault armed on one request must not fail the batch: the
+/// owning worker heals in place (first rung of the ladder — the eager
+/// post-failure rewind makes the retry clean) and every result, the
+/// recovered one included, stays bit-identical to the golden.
+#[test]
+fn fault_injected_request_heals_in_place_without_failing_the_batch() {
+    let level = OptLevel::IfmTile;
+    let bench = rnnasip_rrm::suite().remove(3); // eisen2019
+    let input = bench.input();
+    let net = Arc::new(bench.network);
+    let golden = KernelBackend::new(level)
+        .compile_network(&net)
+        .unwrap()
+        .engine()
+        .run(&input)
+        .unwrap();
+
+    let mut batch = BatchRequest::new();
+    for i in 0..6 {
+        if i == 2 {
+            // A 10-cycle watchdog budget hangs the first attempt.
+            batch.push_with_faults(
+                net.clone(),
+                level,
+                input.clone(),
+                FaultPlan::new().with_watchdog(10),
+            );
+        } else {
+            batch.push(net.clone(), level, input.clone());
+        }
+    }
+
+    let pool = EnginePool::with_workers(2);
+    let response = pool.run_batch(batch);
+    assert!(response.all_ok(), "fault must be healed, not surfaced");
+    assert_eq!(response.recovered(), 1);
+    for (slot, outcome) in response.outcomes().iter().enumerate() {
+        let run = outcome.result.as_ref().unwrap();
+        assert_eq!(run.outputs, golden.outputs, "slot {slot}");
+        assert_eq!(run.report.cycles(), golden.report.cycles(), "slot {slot}");
+        if slot == 2 {
+            assert!(outcome.recovered());
+            assert_eq!(outcome.recovery, RecoveryAction::Rewind);
+        } else {
+            assert_eq!(outcome.recovery, RecoveryAction::FirstTry);
+        }
+    }
+}

@@ -3,16 +3,41 @@
 //! RRM environments call their policy network every scheduling interval;
 //! recompiling the kernel program and re-staging every weight matrix per
 //! step would dwarf the simulated inference itself. [`EngineCache`]
-//! keeps one warm [`Engine`] per `(network name, OptLevel)` so each step
+//! keeps warm [`Engine`]s per `(network name, OptLevel)` so each step
 //! pays only input patching, simulation, and a dirty-block memory
 //! restore.
+//!
+//! The cache is **thread-safe** (`&self` everywhere): compiled artifacts
+//! live in a shared compile-once map, and engines are handed out through
+//! a checkout/check-in discipline — [`checkout`](EngineCache::checkout)
+//! moves an idle engine (or instantiates a fresh one from the cached
+//! artifact) out of the cache, and dropping the [`CacheEngine`] guard
+//! returns it. Two threads hammering the same `(network, level)` key can
+//! therefore never alias one simulator `Machine`: each holds its own
+//! engine, both warmed from the same compiled artifact, and both land
+//! back in the idle pool for later reuse. This is what lets one
+//! `EngineCache` back a multi-threaded server (`rnnasip_core::serve`)
+//! or several environment loops at once.
 
-use rnnasip_core::{CoreError, Engine, KernelBackend, NetworkRun, OptLevel};
+use rnnasip_core::{CompiledNetwork, CoreError, Engine, KernelBackend, NetworkRun, OptLevel};
 use rnnasip_fixed::Q3p12;
 use rnnasip_nn::Network;
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Mutex, MutexGuard};
 
-/// A pool of warm [`Engine`]s keyed by `(network name, OptLevel)`.
+type Key = (String, OptLevel);
+
+/// Recovers the guard from a poisoned lock — a panicked borrower must
+/// not wedge every other thread's inference; the maps stay structurally
+/// consistent across a panic boundary (at worst one checked-out engine
+/// is never returned).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A thread-safe pool of warm [`Engine`]s keyed by
+/// `(network name, OptLevel)`.
 ///
 /// Networks are compiled on first use and reused afterwards; the cache
 /// assumes a name identifies one fixed set of weights (true for the
@@ -25,7 +50,7 @@ use std::collections::HashMap;
 /// use rnnasip_rrm::EngineCache;
 ///
 /// let net = &rnnasip_rrm::suite()[3]; // eisen2019, a tiny MLP
-/// let mut cache = EngineCache::new();
+/// let cache = EngineCache::new();
 /// let input = net.input();
 /// let a = cache.run(&net.network, OptLevel::IfmTile, &input)?;
 /// let b = cache.run(&net.network, OptLevel::IfmTile, &input)?; // warm
@@ -35,7 +60,12 @@ use std::collections::HashMap;
 /// ```
 #[derive(Default)]
 pub struct EngineCache {
-    engines: HashMap<(String, OptLevel), Engine>,
+    /// Compile-once artifacts, one per key; cloned out cheaply (the
+    /// image is `Arc`-shared) whenever a fresh engine is needed.
+    compiled: Mutex<HashMap<Key, CompiledNetwork>>,
+    /// Checked-in engines awaiting reuse. More than one engine per key
+    /// exists only if runs genuinely overlapped in time.
+    idle: Mutex<HashMap<Key, Vec<Engine>>>,
 }
 
 impl EngineCache {
@@ -44,43 +74,73 @@ impl EngineCache {
         Self::default()
     }
 
-    /// Number of compiled engines currently cached.
+    /// Number of networks compiled so far (artifacts, not engines).
     pub fn len(&self) -> usize {
-        self.engines.len()
+        lock(&self.compiled).len()
     }
 
     /// Whether nothing has been compiled yet.
     pub fn is_empty(&self) -> bool {
-        self.engines.is_empty()
+        lock(&self.compiled).is_empty()
     }
 
-    /// The warm engine for `(net, level)`, compiling on first use.
+    /// Number of idle (checked-in) warm engines across all keys.
+    pub fn warm_engines(&self) -> usize {
+        lock(&self.idle).values().map(Vec::len).sum()
+    }
+
+    /// The compiled artifact for `(net, level)`, compiling on first use.
     ///
     /// # Errors
     ///
     /// Compilation errors ([`CoreError`]) on a cache miss.
-    pub fn engine(&mut self, net: &Network, level: OptLevel) -> Result<&mut Engine, CoreError> {
+    fn compiled_for(&self, net: &Network, level: OptLevel) -> Result<CompiledNetwork, CoreError> {
         let key = (net.name().to_string(), level);
-        if !self.engines.contains_key(&key) {
-            let compiled = KernelBackend::new(level).compile_network(net)?;
-            self.engines.insert(key.clone(), Engine::new(compiled));
+        let mut cache = lock(&self.compiled);
+        if let Some(hit) = cache.get(&key) {
+            return Ok(hit.clone());
         }
-        Ok(self.engines.get_mut(&key).expect("just inserted"))
+        // Compiling under the lock serializes concurrent first requests
+        // so the artifact is built exactly once per key.
+        let compiled = KernelBackend::new(level).compile_network(net)?;
+        cache.insert(key, compiled.clone());
+        Ok(compiled)
     }
 
-    /// Runs one inference through the cached engine for `(net, level)`.
+    /// Checks out a warm engine for `(net, level)`, compiling on first
+    /// use and instantiating a fresh engine when every cached one is
+    /// already lent out. The guard checks the engine back in on drop.
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors ([`CoreError`]) on a cache miss.
+    pub fn checkout(&self, net: &Network, level: OptLevel) -> Result<CacheEngine<'_>, CoreError> {
+        let key = (net.name().to_string(), level);
+        let idle = lock(&self.idle).get_mut(&key).and_then(Vec::pop);
+        let engine = match idle {
+            Some(engine) => engine,
+            None => Engine::new(self.compiled_for(net, level)?),
+        };
+        Ok(CacheEngine {
+            cache: self,
+            key,
+            engine: Some(engine),
+        })
+    }
+
+    /// Runs one inference through a cached engine for `(net, level)`.
     ///
     /// # Errors
     ///
     /// Compilation errors on first use, shape/simulation errors on every
     /// run ([`CoreError`]).
     pub fn run(
-        &mut self,
+        &self,
         net: &Network,
         level: OptLevel,
         sequence: &[Vec<Q3p12>],
     ) -> Result<NetworkRun, CoreError> {
-        self.engine(net, level)?.run(sequence)
+        self.checkout(net, level)?.run(sequence)
     }
 
     /// Like [`run`](Self::run) with the watchdog budget overridden for
@@ -93,13 +153,47 @@ impl EngineCache {
     /// simulation watchdog error, after which the cached engine has
     /// already healed and stays warm.
     pub fn run_budgeted(
-        &mut self,
+        &self,
         net: &Network,
         level: OptLevel,
         sequence: &[Vec<Q3p12>],
         max_cycles: u64,
     ) -> Result<NetworkRun, CoreError> {
-        self.engine(net, level)?.run_budgeted(sequence, max_cycles)
+        self.checkout(net, level)?
+            .run_budgeted(sequence, max_cycles)
+    }
+}
+
+/// A checked-out engine; derefs to [`Engine`] and returns to its
+/// [`EngineCache`]'s idle pool on drop.
+pub struct CacheEngine<'a> {
+    cache: &'a EngineCache,
+    key: Key,
+    engine: Option<Engine>,
+}
+
+impl Deref for CacheEngine<'_> {
+    type Target = Engine;
+
+    fn deref(&self) -> &Engine {
+        self.engine.as_ref().expect("present until drop")
+    }
+}
+
+impl DerefMut for CacheEngine<'_> {
+    fn deref_mut(&mut self) -> &mut Engine {
+        self.engine.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for CacheEngine<'_> {
+    fn drop(&mut self) {
+        if let Some(engine) = self.engine.take() {
+            lock(&self.cache.idle)
+                .entry(self.key.clone())
+                .or_default()
+                .push(engine);
+        }
     }
 }
 
@@ -111,7 +205,7 @@ mod tests {
     fn cache_compiles_once_per_network_and_level() {
         let suite = crate::suite();
         let net = &suite[3]; // eisen2019: smallest, fastest to compile
-        let mut cache = EngineCache::new();
+        let cache = EngineCache::new();
         let input = net.input();
         let warm = cache.run(&net.network, OptLevel::IfmTile, &input).unwrap();
         assert_eq!(cache.len(), 1);
@@ -119,6 +213,8 @@ mod tests {
         assert_eq!(cache.len(), 1);
         cache.run(&net.network, OptLevel::Xpulp, &input).unwrap();
         assert_eq!(cache.len(), 2);
+        // Serial use keeps exactly one engine per key checked in.
+        assert_eq!(cache.warm_engines(), 2);
 
         // Cached runs match the fresh single-shot path bit-for-bit.
         let fresh = KernelBackend::new(OptLevel::IfmTile)
@@ -132,7 +228,7 @@ mod tests {
     fn budgeted_runs_share_the_warm_engine() {
         let suite = crate::suite();
         let net = &suite[3];
-        let mut cache = EngineCache::new();
+        let cache = EngineCache::new();
         let input = net.input();
         let free = cache.run(&net.network, OptLevel::IfmTile, &input).unwrap();
         // An ample explicit budget changes nothing; a one-cycle budget
@@ -149,5 +245,31 @@ mod tests {
         assert_eq!(free.outputs, healed.outputs);
         assert_eq!(free.report.cycles(), healed.report.cycles());
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.warm_engines(), 1);
+    }
+
+    #[test]
+    fn checkout_holds_a_private_engine() {
+        let suite = crate::suite();
+        let net = &suite[3];
+        let cache = EngineCache::new();
+        let input = net.input();
+        let mut a = cache.checkout(&net.network, OptLevel::IfmTile).unwrap();
+        let mut b = cache.checkout(&net.network, OptLevel::IfmTile).unwrap();
+        // Two concurrent checkouts of one key are distinct machines from
+        // one compiled artifact.
+        assert!(!std::ptr::eq(a.machine(), b.machine()));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.warm_engines(), 0);
+        let ra = a.run(&input).unwrap();
+        let rb = b.run(&input).unwrap();
+        assert_eq!(ra.outputs, rb.outputs);
+        assert_eq!(ra.report.cycles(), rb.report.cycles());
+        drop(a);
+        drop(b);
+        assert_eq!(cache.warm_engines(), 2);
+        // The next checkout reuses a checked-in engine, not a third one.
+        drop(cache.checkout(&net.network, OptLevel::IfmTile).unwrap());
+        assert_eq!(cache.warm_engines(), 2);
     }
 }

@@ -28,6 +28,6 @@ mod infer;
 mod nets;
 mod weights;
 
-pub use infer::EngineCache;
+pub use infer::{CacheEngine, EngineCache};
 pub use nets::{suite, BenchmarkNet, NetKind};
 pub use weights::{seeded_fc_layer, seeded_input, seeded_sequence};

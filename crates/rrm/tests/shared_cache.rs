@@ -1,0 +1,89 @@
+//! Satellite regression: an [`EngineCache`] shared across threads never
+//! aliases a simulator `Machine`, and concurrent hammering of one
+//! `(network, level)` key stays bit-exact with the serial path.
+
+use rnnasip_core::{KernelBackend, OptLevel};
+use rnnasip_rrm::EngineCache;
+use std::sync::Arc;
+use std::thread;
+
+/// Two threads checking out the same key at the same time must each get
+/// their own engine (distinct `Machine`s from one compiled artifact) —
+/// the structural property that makes the cache safe to share.
+#[test]
+fn concurrent_checkouts_never_alias_a_machine() {
+    let suite = rnnasip_rrm::suite();
+    let net = &suite[3]; // eisen2019: smallest, fastest to compile
+    let cache = Arc::new(EngineCache::new());
+    let input = net.input();
+
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                let network = &net.network;
+                let input = &input;
+                s.spawn(move || {
+                    let mut engine = cache.checkout(network, OptLevel::IfmTile).unwrap();
+                    let addr = engine.machine() as *const _ as usize;
+                    // Hold the checkout across the rendezvous so both
+                    // engines demonstrably exist at the same instant.
+                    barrier.wait();
+                    let run = engine.run(input).unwrap();
+                    barrier.wait();
+                    (addr, run)
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_ne!(
+            results[0].0, results[1].0,
+            "two checkouts aliased a Machine"
+        );
+        assert_eq!(results[0].1.outputs, results[1].1.outputs);
+        assert_eq!(results[0].1.report.cycles(), results[1].1.report.cycles());
+    });
+
+    // One compiled artifact, both engines checked back in.
+    assert_eq!(cache.len(), 1);
+    assert_eq!(cache.warm_engines(), 2);
+}
+
+/// Two threads hammering the same key through the high-level `run` API:
+/// every result must match the fresh single-shot golden bit-for-bit, and
+/// the cache must end with at most one engine per thread.
+#[test]
+fn hammering_one_key_from_two_threads_stays_bit_exact() {
+    let suite = rnnasip_rrm::suite();
+    let net = &suite[3];
+    let input = net.input();
+    let golden = KernelBackend::new(OptLevel::IfmTile)
+        .run_network(&net.network, &input)
+        .unwrap();
+
+    let cache = Arc::new(EngineCache::new());
+    thread::scope(|s| {
+        for _ in 0..2 {
+            let cache = Arc::clone(&cache);
+            let network = &net.network;
+            let input = &input;
+            let golden = &golden;
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let run = cache.run(network, OptLevel::IfmTile, input).unwrap();
+                    assert_eq!(run.outputs, golden.outputs);
+                    assert_eq!(run.report.cycles(), golden.report.cycles());
+                }
+            });
+        }
+    });
+
+    assert_eq!(cache.len(), 1, "one key compiles exactly one artifact");
+    assert!(
+        cache.warm_engines() <= 2,
+        "never more engines than peak concurrency, got {}",
+        cache.warm_engines()
+    );
+}

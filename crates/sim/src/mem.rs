@@ -266,12 +266,76 @@ impl Memory {
     ///
     /// [`SimError::Misaligned`] / [`SimError::MemOutOfBounds`].
     pub fn read_q3p12_slice(&self, addr: u32, len: usize) -> Result<Vec<Q3p12>, SimError> {
-        (0..len)
-            .map(|k| {
-                self.read_u16(addr + 2 * k as u32)
-                    .map(|h| Q3p12::from_raw(h as i16))
-            })
-            .collect()
+        let mut out = Vec::with_capacity(len);
+        self.read_q3p12_into(addr, len, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reads `len` consecutive Q3.12 halfwords into a caller-owned
+    /// buffer (cleared first), with a single bounds/alignment check for
+    /// the whole range — the allocation-free twin of
+    /// [`read_q3p12_slice`](Self::read_q3p12_slice) for hot run loops
+    /// that read outputs back every inference.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Misaligned`] / [`SimError::MemOutOfBounds`]; `out` is
+    /// cleared but not written on error.
+    pub fn read_q3p12_into(
+        &self,
+        addr: u32,
+        len: usize,
+        out: &mut Vec<Q3p12>,
+    ) -> Result<(), SimError> {
+        out.clear();
+        if len == 0 {
+            return Ok(());
+        }
+        let a = self.check_range(addr, 2, 2 * len)?;
+        out.extend(
+            self.bytes[a..a + 2 * len]
+                .chunks_exact(2)
+                .map(|h| Q3p12::from_raw(i16::from_le_bytes([h[0], h[1]]))),
+        );
+        Ok(())
+    }
+
+    /// Writes a raw byte slice in one bulk copy, marking every touched
+    /// 64-byte block dirty. This is the input-patch fast path: one
+    /// bounds check and one `memcpy` instead of a checked halfword write
+    /// per element. No alignment is required.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemOutOfBounds`] when the range does not fit; memory
+    /// is unchanged on error.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), SimError> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let a = self.check_range(addr, 1, bytes.len())?;
+        self.bytes[a..a + bytes.len()].copy_from_slice(bytes);
+        for block in (a >> BLOCK_SHIFT)..=((a + bytes.len() - 1) >> BLOCK_SHIFT) {
+            self.dirty[block >> 6] |= 1 << (block & 63);
+        }
+        Ok(())
+    }
+
+    /// Range twin of [`check`](Self::check): the whole `[addr, addr+len)`
+    /// span must fit, and `addr` must be aligned to `align`.
+    #[inline]
+    fn check_range(&self, addr: u32, align: u32, len: usize) -> Result<usize, SimError> {
+        let a = addr as usize;
+        if !a.is_multiple_of(align as usize) {
+            return Err(SimError::Misaligned { addr, size: align });
+        }
+        if a.checked_add(len).is_none_or(|end| end > self.bytes.len()) {
+            return Err(SimError::MemOutOfBounds {
+                addr,
+                size: len.min(u32::MAX as usize) as u32,
+            });
+        }
+        Ok(a)
     }
 
     /// Fills the whole memory with zeros and marks everything dirty.
@@ -471,5 +535,52 @@ mod tests {
         let word = mem.read_u32(8).unwrap();
         assert_eq!(word as u16 as i16, vals[0].raw());
         assert_eq!((word >> 16) as u16 as i16, vals[1].raw());
+    }
+
+    #[test]
+    fn write_bytes_matches_elementwise_writes_and_dirty_marking() {
+        // A bulk write spanning three blocks must leave memory and the
+        // dirty bitmap exactly as the per-halfword path would.
+        let mut a = Memory::new(512);
+        let mut b = Memory::new(512);
+        let vals: Vec<Q3p12> = (0..80).map(|k| Q3p12::from_raw(k * 257)).collect();
+        let bytes: Vec<u8> = vals
+            .iter()
+            .flat_map(|v| (v.raw() as u16).to_le_bytes())
+            .collect();
+        a.write_bytes(60, &bytes).unwrap(); // unaligned block offset
+        b.write_q3p12_slice(60, &vals).unwrap();
+        assert_eq!(a.read_q3p12_slice(60, vals.len()).unwrap(), vals);
+        assert_eq!(a.dirty_bytes(), b.dirty_bytes());
+        let image = Memory::new(512).image();
+        assert_eq!(a.restore_image(&image), b.restore_image(&image));
+    }
+
+    #[test]
+    fn write_bytes_rejects_out_of_bounds_without_writing() {
+        let mut mem = Memory::new(64);
+        assert!(mem.write_bytes(60, &[1, 2, 3, 4, 5]).is_err());
+        assert_eq!(mem.dirty_bytes(), 0, "failed write must not touch state");
+        assert!(mem.write_bytes(u32::MAX, &[1]).is_err());
+        mem.write_bytes(62, &[0xAA, 0xBB]).unwrap(); // exactly to the edge
+        assert_eq!(mem.read_u16(62).unwrap(), 0xBBAA);
+    }
+
+    #[test]
+    fn read_q3p12_into_reuses_the_buffer() {
+        let mut mem = Memory::new(64);
+        let vals: Vec<Q3p12> = (0..8).map(|k| Q3p12::from_raw(k - 4)).collect();
+        mem.write_q3p12_slice(16, &vals).unwrap();
+        let mut out = Vec::new();
+        mem.read_q3p12_into(16, 8, &mut out).unwrap();
+        assert_eq!(out, vals);
+        let cap = out.capacity();
+        mem.read_q3p12_into(16, 8, &mut out).unwrap();
+        assert_eq!(out, vals);
+        assert_eq!(out.capacity(), cap, "re-read must not reallocate");
+        // Errors clear the buffer and match the per-element path's kind.
+        assert!(mem.read_q3p12_into(15, 2, &mut out).is_err());
+        assert!(out.is_empty());
+        assert!(mem.read_q3p12_into(60, 4, &mut out).is_err());
     }
 }

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An EngineCache compiles the network on the first decision and
     // serves every later frame from the warm engine — the shape a
     // scheduler serving several policies at once would use.
-    let mut cache = EngineCache::new();
+    let cache = EngineCache::new();
     let level = OptLevel::IfmTile;
 
     // Warm the sensing window.
