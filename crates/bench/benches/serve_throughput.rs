@@ -6,8 +6,10 @@
 //! - **suite** — a batch over the full 10-network RRM suite
 //!   ([`SUITE_REPS`] requests per network), the base-station-controller
 //!   shape: many users, several policies, one scheduling tick. Reported
-//!   at 1, 2 and `available_parallelism()` workers; with ≥ 4 hardware
-//!   threads the pooled path must beat serial by [`MIN_POOL_SPEEDUP`]x
+//!   as a scaling curve at 1, 2, 4, … and `available_parallelism()`
+//!   workers (worker counts above the hardware thread count are
+//!   skipped); with ≥ 4 hardware threads the pooled path must beat
+//!   serial by [`MIN_POOL_SPEEDUP`]x at the widest configuration
 //!   (asserted).
 //! - **policy** — [`POLICY_REQS`] back-to-back requests against the
 //!   small `eisen2019` policy net, the single-hot-shard worst case the
@@ -207,7 +209,12 @@ fn main() {
         "serial", n_suite, serial, 1.0
     );
 
-    let mut counts = vec![1, 2, hw];
+    // Scaling curve: powers of two up to the hardware thread count,
+    // plus the full width itself (1, 2, 4, …, N).
+    let mut counts: Vec<usize> = std::iter::successors(Some(1usize), |w| w.checked_mul(2))
+        .take_while(|&w| w <= hw)
+        .collect();
+    counts.push(hw);
     counts.sort_unstable();
     counts.dedup();
     let suite_rows: Vec<(usize, f64)> = counts

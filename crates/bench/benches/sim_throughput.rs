@@ -1,14 +1,17 @@
 //! Simulator-throughput bench: how fast does the ISS itself run?
 //!
 //! Reports simulated MIPS (millions of simulated instructions per host
-//! second) for the full Table I suite, on *both* execution paths: the
-//! pre-decoded micro-op path with hardware-loop specialization
-//! (`Machine::run`, the production path) and the per-step reference
-//! interpreter (`Machine::run_legacy`, the pre-micro-op baseline kept as
-//! the bit-identity oracle). The architectural outputs (cycle counts,
+//! second) for the full Table I suite, on *all three* execution tiers:
+//! the per-step reference interpreter (`Machine::run_legacy`, the
+//! bit-identity oracle), the pre-decoded micro-op path with
+//! hardware-loop specialization (a `CompiledNetwork::without_shortcuts`
+//! engine), and the kernel-shortcut tier that executes recognized
+//! FC/LSTM/conv inner loops as native Rust (the default
+//! `CompiledNetwork::engine`). The architectural outputs (cycle counts,
 //! histograms) are identical by construction and pinned by the
 //! differential tests, so this bench tracks host speed only; the
-//! `speedup` column is the micro-op translation's payoff.
+//! `speedup` column is the micro-op translation's payoff over legacy and
+//! the `sc/uop` column is the shortcut tier's payoff on top of it.
 //!
 //! Flags:
 //!
@@ -39,6 +42,12 @@ const SAMPLES: usize = 5;
 /// the specialized block runner executes in bulk.
 const MIN_O3_SPEEDUP: f64 = 2.0;
 
+/// The shortcut tier must beat the micro-op path by at least this factor
+/// on the O3 kernels (levels d and e), where the suite's inner loops are
+/// near-fully covered by installed kernel regions. Measured serially on
+/// warm, reused engines (same protocol as the uop/legacy ratio).
+const MIN_SHORTCUT_SPEEDUP: f64 = 10.0;
+
 /// `--check` fails when the policy-network speedup falls below this
 /// fraction of the committed baseline's (>10% regression).
 const MAX_REGRESSION: f64 = 0.9;
@@ -57,6 +66,7 @@ struct LevelRow {
     instrs: u64,
     legacy_mips: f64,
     uop_mips: f64,
+    shortcut_mips: f64,
     wall_mips: f64,
     wall_ms: f64,
     compile_ms: f64,
@@ -65,6 +75,10 @@ struct LevelRow {
 impl LevelRow {
     fn speedup(&self) -> f64 {
         self.uop_mips / self.legacy_mips
+    }
+
+    fn shortcut_speedup(&self) -> f64 {
+        self.shortcut_mips / self.uop_mips
     }
 }
 
@@ -84,39 +98,49 @@ fn measure_level(level: OptLevel) -> LevelRow {
         compile_ms = compile_ms.min(compile_nanos as f64 / 1e6);
     }
 
-    // The legacy/uop columns feed the asserted speedup ratio, so they
-    // are measured serially (no par_map CPU contention) on one reused
-    // engine per network, with the two paths' samples interleaved so
-    // scheduler and thermal drift hit both equally. Best-of-SAMPLES per
-    // network and path, summed across the suite.
+    // The legacy/uop/shortcut columns feed the asserted speedup ratios,
+    // so they are measured serially (no par_map CPU contention) on one
+    // reused engine per network and tier, with the tiers' samples
+    // interleaved so scheduler and thermal drift hit all equally.
+    // Best-of-SAMPLES per network and tier, summed across the suite.
+    // The micro-op tier runs on a `without_shortcuts` engine: the
+    // default engine executes recognized kernel regions natively, so it
+    // measures the shortcut tier.
     let mut instrs = 0u64;
     let mut legacy_nanos = 0u64;
     let mut uop_nanos = 0u64;
+    let mut shortcut_nanos = 0u64;
     for net in rnnasip_rrm::suite() {
         let compiled = KernelBackend::new(level)
             .compile_network(&net.network)
             .unwrap_or_else(|e| panic!("{} at {level:?}: {e}", net.id));
-        let mut engine = compiled.engine();
+        let mut sc_engine = compiled.engine();
+        let mut uop_engine = compiled.without_shortcuts().engine();
         let input = net.input();
         let mut best_legacy = u64::MAX;
         let mut best_uop = u64::MAX;
+        let mut best_shortcut = u64::MAX;
         let mut net_instrs = 0u64;
         for _ in 0..SAMPLES {
-            let run = engine.run_reference(&input).unwrap();
+            let run = sc_engine.run_reference(&input).unwrap();
             best_legacy = best_legacy.min(run.report.host_nanos());
-            let run = engine.run(&input).unwrap();
+            let run = uop_engine.run(&input).unwrap();
             best_uop = best_uop.min(run.report.host_nanos());
+            let run = sc_engine.run(&input).unwrap();
+            best_shortcut = best_shortcut.min(run.report.host_nanos());
             net_instrs = run.report.instrs();
         }
         instrs += net_instrs;
         legacy_nanos += best_legacy;
         uop_nanos += best_uop;
+        shortcut_nanos += best_shortcut;
     }
     LevelRow {
         tag: level.tag(),
         instrs,
         legacy_mips: instrs as f64 * 1e3 / legacy_nanos as f64,
         uop_mips: instrs as f64 * 1e3 / uop_nanos as f64,
+        shortcut_mips: instrs as f64 * 1e3 / shortcut_nanos as f64,
         wall_mips,
         wall_ms,
         compile_ms,
@@ -127,11 +151,16 @@ struct PolicyRow {
     instrs: u64,
     legacy_mips: f64,
     uop_mips: f64,
+    shortcut_mips: f64,
 }
 
 impl PolicyRow {
     fn speedup(&self) -> f64 {
         self.uop_mips / self.legacy_mips
+    }
+
+    fn shortcut_speedup(&self) -> f64 {
+        self.shortcut_mips / self.uop_mips
     }
 }
 
@@ -147,29 +176,36 @@ fn measure_policy(level: OptLevel) -> PolicyRow {
     let compiled = KernelBackend::new(level)
         .compile_network(&net.network)
         .unwrap_or_else(|e| panic!("{} at {level:?}: {e}", net.id));
-    let mut engine = compiled.engine();
+    let mut sc_engine = compiled.engine();
+    let mut uop_engine = compiled.without_shortcuts().engine();
     let input = net.input();
     let mut legacy_mips = 0.0f64;
     let mut uop_mips = 0.0f64;
+    let mut shortcut_mips = 0.0f64;
     let mut instrs = 0u64;
     for _ in 0..SAMPLES {
         let mut legacy_nanos = 0u64;
         let mut uop_nanos = 0u64;
+        let mut shortcut_nanos = 0u64;
         for _ in 0..POLICY_REPS {
-            let r = engine.run_reference(&input).unwrap();
+            let r = sc_engine.run_reference(&input).unwrap();
             legacy_nanos += r.report.host_nanos();
-            let r = engine.run(&input).unwrap();
+            let r = uop_engine.run(&input).unwrap();
             uop_nanos += r.report.host_nanos();
+            let r = sc_engine.run(&input).unwrap();
+            shortcut_nanos += r.report.host_nanos();
             instrs = r.report.instrs();
         }
         let total = (instrs * POLICY_REPS as u64) as f64;
         legacy_mips = legacy_mips.max(total * 1e3 / legacy_nanos as f64);
         uop_mips = uop_mips.max(total * 1e3 / uop_nanos as f64);
+        shortcut_mips = shortcut_mips.max(total * 1e3 / shortcut_nanos as f64);
     }
     PolicyRow {
         instrs,
         legacy_mips,
         uop_mips,
+        shortcut_mips,
     }
 }
 
@@ -190,14 +226,18 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let check = std::env::args().any(|a| a == "--check");
 
-    println!("sim-throughput: full RRM suite per optimization level, micro-op vs per-step path");
     println!(
-        "{:<10} {:>12} {:>13} {:>13} {:>9} {:>12} {:>10} {:>11}",
+        "sim-throughput: full RRM suite per optimization level, legacy vs micro-op vs shortcut"
+    );
+    println!(
+        "{:<10} {:>12} {:>13} {:>13} {:>9} {:>13} {:>8} {:>12} {:>10} {:>11}",
         "level",
         "instrs",
         "legacy MIPS",
         "uop MIPS",
         "speedup",
+        "sc MIPS",
+        "sc/uop",
         "wall MIPS",
         "wall ms",
         "compile ms"
@@ -207,12 +247,14 @@ fn main() {
         .map(|&level| {
             let row = measure_level(level);
             println!(
-                "{:<10} {:>12} {:>13.1} {:>13.1} {:>8.1}x {:>12.1} {:>10.2} {:>11.2}",
+                "{:<10} {:>12} {:>13.1} {:>13.1} {:>8.1}x {:>13.1} {:>7.1}x {:>12.1} {:>10.2} {:>11.2}",
                 row.tag,
                 row.instrs,
                 row.legacy_mips,
                 row.uop_mips,
                 row.speedup(),
+                row.shortcut_mips,
+                row.shortcut_speedup(),
                 row.wall_mips,
                 row.wall_ms,
                 row.compile_ms
@@ -229,17 +271,26 @@ fn main() {
                 row.tag,
                 row.speedup()
             );
+            assert!(
+                row.shortcut_speedup() >= MIN_SHORTCUT_SPEEDUP,
+                "shortcut speedup regressed on level {}: {:.2}x < {MIN_SHORTCUT_SPEEDUP}x",
+                row.tag,
+                row.shortcut_speedup()
+            );
         }
     }
 
     let policy_level = OptLevel::IfmTile;
     let policy = measure_policy(policy_level);
     println!(
-        "\npolicy net ({POLICY_NET}, level {}): legacy {:.1} MIPS, uop {:.1} MIPS, {:.1}x",
+        "\npolicy net ({POLICY_NET}, level {}): legacy {:.1} MIPS, uop {:.1} MIPS ({:.1}x), \
+         shortcut {:.1} MIPS ({:.1}x over uop)",
         policy_level.tag(),
         policy.legacy_mips,
         policy.uop_mips,
-        policy.speedup()
+        policy.speedup(),
+        policy.shortcut_mips,
+        policy.shortcut_speedup()
     );
 
     hot_path_comparison();
@@ -252,6 +303,8 @@ fn main() {
                 .float("legacy_mips", Some(r.legacy_mips))
                 .float("uop_mips", Some(r.uop_mips))
                 .float("speedup", Some(r.speedup()))
+                .float("shortcut_mips", Some(r.shortcut_mips))
+                .float("shortcut_speedup", Some(r.shortcut_speedup()))
                 .float("wall_mips", Some(r.wall_mips))
                 .float("wall_ms", Some(r.wall_ms))
                 .float("compile_ms", Some(r.compile_ms))
@@ -264,6 +317,8 @@ fn main() {
             .float("legacy_mips", Some(policy.legacy_mips))
             .float("uop_mips", Some(policy.uop_mips))
             .float("speedup", Some(policy.speedup()))
+            .float("shortcut_mips", Some(policy.shortcut_mips))
+            .float("shortcut_speedup", Some(policy.shortcut_speedup()))
             .build();
         let doc = Obj::new()
             .str("bench", "sim_throughput")

@@ -169,6 +169,16 @@ impl CompiledNetwork {
     pub fn engine(&self) -> crate::engine::Engine {
         crate::engine::Engine::new(self.clone())
     }
+
+    /// A clone of this artifact whose micro-op translation carries **no**
+    /// shortcut regions, so engines built from it always execute the
+    /// plain micro-op tier. This is the control arm for the
+    /// shortcut-vs-uop differential tests and benchmarks.
+    pub fn without_shortcuts(&self) -> Self {
+        let mut clone = self.clone();
+        clone.uops = Arc::new(UopProgram::translate(&clone.program));
+        clone
+    }
 }
 
 impl KernelBackend {
@@ -272,9 +282,10 @@ pub(crate) fn compile_stages(
             }
         }
     }
+    let regions = std::mem::take(&mut s.regions);
     let (program, machine) = s.into_program()?;
     let image = machine.mem().image();
-    let uops = Arc::new(UopProgram::translate(&program));
+    let uops = Arc::new(UopProgram::translate_with_shortcuts(&program, &regions));
     Ok(CompiledNetwork {
         program,
         uops,
@@ -310,6 +321,7 @@ pub(crate) struct Session {
     scratch: u32,
     level: OptLevel,
     max_tile: usize,
+    regions: Vec<rnnasip_sim::KernelRegion>,
 }
 
 impl Session {
@@ -326,6 +338,7 @@ impl Session {
             scratch,
             level: backend.level(),
             max_tile: backend.max_tile,
+            regions: Vec::new(),
         })
     }
 
@@ -335,6 +348,7 @@ impl Session {
             level: self.level,
             luts: self.luts,
             max_tile: self.max_tile,
+            regions: &mut self.regions,
         }
     }
 

@@ -2,10 +2,11 @@
 //! levels, including the Table II inner-loop schedules.
 
 use super::act_sw::{emit_requant_act, emit_requant_hoists};
-use super::{regs, KernelCtx, MatvecSpec, ACC_POOL, MAX_TILE, WP_POOL};
+use super::{regs, KernelCtx, MatvecSpec, PtrSrc, ACC_POOL, MAX_TILE, WP_POOL};
 use crate::error::CoreError;
 use crate::optlevel::OptLevel;
 use rnnasip_isa::{LoopIdx, Reg};
+use rnnasip_sim::{KernelRegion, ShortcutAct, ShortcutPtr};
 
 /// Emits a complete matrix-vector kernel for the context's level.
 ///
@@ -23,12 +24,46 @@ pub fn emit_matvec(ctx: &mut KernelCtx<'_>, spec: &MatvecSpec) -> Result<(), Cor
             spec.n_in
         )));
     }
+    let start_addr = ctx.asm.here();
     match ctx.level {
         OptLevel::Baseline => emit_baseline(ctx, spec),
         OptLevel::Xpulp => emit_xpulp(ctx, spec),
         OptLevel::OfmTile | OptLevel::SdotSp | OptLevel::IfmTile => emit_tiled(ctx, spec),
     }
+    record_region(ctx, spec, start_addr);
     Ok(())
+}
+
+/// Records a [`KernelRegion`] descriptor for the code just emitted so the
+/// simulator's shortcut tier can recognize it. Recording is unconditional
+/// for well-formed specs; the simulator-side walker rejects regions it
+/// cannot prove safe (e.g. the baseline level's spilled accumulator).
+fn record_region(ctx: &mut KernelCtx<'_>, spec: &MatvecSpec, start_addr: u32) {
+    if spec.out_stride <= 0 {
+        return;
+    }
+    let ptr = |src: PtrSrc| match src {
+        PtrSrc::Const(addr) => ShortcutPtr::Const(addr),
+        PtrSrc::Global(cell) => ShortcutPtr::Cell(cell),
+    };
+    let act = match spec.act {
+        rnnasip_nn::Act::None => ShortcutAct::None,
+        rnnasip_nn::Act::Relu => ShortcutAct::Relu,
+        rnnasip_nn::Act::Tanh => ShortcutAct::Tanh,
+        rnnasip_nn::Act::Sigmoid => ShortcutAct::Sigmoid,
+    };
+    ctx.regions.push(KernelRegion {
+        start_addr,
+        end_addr: ctx.asm.here(),
+        w_base: spec.w_base,
+        bias32: spec.bias32,
+        x: ptr(spec.x),
+        out: ptr(spec.out),
+        out_stride: spec.out_stride as u32,
+        n_in: spec.n_in as u32,
+        n_out: spec.n_out as u32,
+        act,
+    });
 }
 
 /// Level (a): scalar RV32IMC with the accumulator spilled to memory,
@@ -311,11 +346,13 @@ pub fn table2_listing() -> (String, String) {
     let _ = DataLayout::new(0, 0x8000);
     let render = |level: OptLevel| -> String {
         let mut asm = rnnasip_asm::Asm::new(0);
+        let mut regions = Vec::new();
         let mut ctx = KernelCtx {
             asm: &mut asm,
             level,
             luts: (0, 0, 0, 0),
             max_tile: 4,
+            regions: &mut regions,
         };
         emit_matvec(&mut ctx, &spec).expect("table II spec is valid");
         let prog = asm.assemble().expect("table II listing assembles");

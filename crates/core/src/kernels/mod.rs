@@ -162,6 +162,9 @@ pub struct KernelCtx<'a> {
     /// increased until the available registers are exhausted" knob,
     /// exposed for the tiling ablation.
     pub max_tile: usize,
+    /// Kernel-region descriptors recorded during emission, consumed by
+    /// the simulator's shortcut tier (see [`rnnasip_sim::KernelRegion`]).
+    pub regions: &'a mut Vec<rnnasip_sim::KernelRegion>,
 }
 
 impl KernelCtx<'_> {

@@ -53,6 +53,7 @@ mod fault;
 mod machine;
 mod mem;
 mod program;
+mod shortcut;
 mod stats;
 mod trace;
 mod uop;
@@ -63,6 +64,7 @@ pub use fault::{Fault, FaultEffect, FaultPlan, FaultRecord, FaultSite};
 pub use machine::{Machine, StepOutcome};
 pub use mem::{MemImage, Memory};
 pub use program::{ProgItem, Program};
+pub use shortcut::{KernelRegion, ShortcutAct, ShortcutPtr};
 pub use stats::{Row, Stats};
 pub use trace::TraceEntry;
 pub use uop::UopProgram;

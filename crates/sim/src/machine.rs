@@ -1,14 +1,15 @@
 //! The simulation engine: fetch, execute, time, account.
 
-use crate::core_state::Core;
+use crate::core_state::{Core, HwLoop};
 use crate::error::{ExitReason, SimError};
 use crate::fault::{Fault, FaultEffect, FaultPlan, FaultRecord, FaultSite};
 use crate::mem::{MemImage, Memory};
 use crate::program::Program;
+use crate::shortcut::{read_load, ExitVal, ShortcutRegion};
 use crate::stats::Stats;
 use crate::uop::{
     Target, UnaryOp, Uop, UopKind, UopProgram, DIV_EXTRA_CYCLES, MULH_EXTRA_CYCLES, NO_BODY,
-    NO_IDX, NO_RUN,
+    NO_IDX, NO_RUN, NO_SC,
 };
 use rnnasip_isa::{
     AluImmOp, AluOp, BranchOp, Csr, CsrOp, DotOp, Instr, LoadOp, MnemonicId, MulDivOp, PvAluOp,
@@ -82,6 +83,13 @@ pub struct Machine {
     /// and straight-line runs), for coverage diagnostics. One addition
     /// per bulk entry, not per op.
     bulk_instrs: u64,
+    /// Instructions retired through installed kernel-shortcut regions
+    /// (the native execution tier), for coverage diagnostics. One
+    /// addition per region entry, not per op.
+    shortcut_instrs: u64,
+    /// Scratch buffer for shortcut-region outputs, kept across entries
+    /// to avoid per-entry allocation.
+    shortcut_outs: Vec<i32>,
     /// Scheduled faults not yet applied, in `at_instret` order.
     armed_faults: VecDeque<Fault>,
     /// Forced watchdog budget from the armed [`FaultPlan`], capping the
@@ -116,6 +124,8 @@ impl Machine {
             spr_pending: VecDeque::new(),
             halted: None,
             bulk_instrs: 0,
+            shortcut_instrs: 0,
+            shortcut_outs: Vec::new(),
             armed_faults: VecDeque::new(),
             forced_watchdog: None,
             fault_log: Vec::new(),
@@ -129,6 +139,16 @@ impl Machine {
     /// diagnostic for micro-op-path throughput.
     pub fn bulk_instrs(&self) -> u64 {
         self.bulk_instrs
+    }
+
+    /// Instructions retired through installed kernel-shortcut regions
+    /// (the native execution tier). Cleared with the statistics
+    /// ([`rewind`](Self::rewind) / [`clear_stats`](Self::clear_stats)),
+    /// so after a warm engine run it reflects that run alone. Zero
+    /// whenever the tier is disarmed — armed faults, tracing, or a
+    /// program with no verifiable kernel regions.
+    pub fn shortcut_instrs(&self) -> u64 {
+        self.shortcut_instrs
     }
 
     /// Rewinds the machine for another run of the loaded program:
@@ -147,6 +167,7 @@ impl Machine {
     pub fn rewind(&mut self, image: &MemImage) -> usize {
         let restored = self.mem.restore_image(image);
         self.stats.clear();
+        self.shortcut_instrs = 0;
         self.reset_core();
         restored
     }
@@ -233,9 +254,11 @@ impl Machine {
         self.program.fetch(addr).map(|item| item.instr)
     }
 
-    /// Clears the accumulated statistics.
+    /// Clears the accumulated statistics (including the shortcut-tier
+    /// retire counter).
     pub fn clear_stats(&mut self) {
         self.stats.clear();
+        self.shortcut_instrs = 0;
     }
 
     /// Arms a fault plan: replaces any pending faults with the plan's
@@ -544,6 +567,13 @@ impl Machine {
             }
         }
 
+        // An installed kernel-shortcut region starts here: execute the
+        // whole region natively if the runtime preconditions hold. The
+        // entry stall above is already charged either way.
+        if u.shortcut != NO_SC && self.try_shortcut(uops, u.shortcut, idx, max_cycles)? {
+            return Ok(UStep::Bulk);
+        }
+
         // A specialized straight-line run starts here: execute the whole
         // run in bulk if the runtime preconditions hold (no armed loop
         // end inside, enough watchdog budget). The entry stall above is
@@ -618,6 +648,139 @@ impl Machine {
             }
         }
         Ok(UStep::Cont)
+    }
+
+    /// Attempts to execute the installed kernel-shortcut region `si`,
+    /// whose first op the PC sits on, as one native computation.
+    ///
+    /// Returns `Ok(false)` to decline — the interpreted path then
+    /// executes the region bit-identically. Declines when bulk execution
+    /// is disabled (armed faults / corrupted slots), when
+    /// micro-architectural state is live at the region boundary (SPR
+    /// writes in flight, armed hardware loops), when the watchdog budget
+    /// cannot cover the whole region, or when the per-entry admission
+    /// check fails (pointer cells unresolvable, operand/output ranges
+    /// out of bounds, misaligned, or overlapping).
+    ///
+    /// On `Ok(true)` the region was executed natively: outputs written
+    /// through the dirty-block bitmap, exit-live registers / SPR state /
+    /// hardware-loop state reconstructed, and the pre-aggregated cycle,
+    /// instret and per-mnemonic statistics retired in bulk — exactly the
+    /// state the interpreted path would have produced.
+    fn try_shortcut(
+        &mut self,
+        uops: &UopProgram,
+        si: u32,
+        idx: &mut u32,
+        max_cycles: u64,
+    ) -> Result<bool, SimError> {
+        if !self.bulk_ok() || !self.spr_pending.is_empty() {
+            return Ok(false);
+        }
+        if self.core.hwloop[0].count != 0 || self.core.hwloop[1].count != 0 {
+            return Ok(false);
+        }
+        let sc = &uops.shortcuts[si as usize];
+        if sc.total_cycles > max_cycles.saturating_sub(self.core.cycle) {
+            return Ok(false);
+        }
+        let Some((x_base, out_base)) = sc.check_entry(&self.mem) else {
+            return Ok(false);
+        };
+        let mut outs = std::mem::take(&mut self.shortcut_outs);
+        outs.clear();
+        if !sc.compute(&self.mem, x_base, &mut outs) {
+            self.shortcut_outs = outs;
+            return Ok(false);
+        }
+        // Resolve every exit value before mutating any state, so a
+        // failure here still declines cleanly to the interpreted path.
+        // Exit-value loads re-read operand memory the region read; the
+        // admission check proved those ranges store-disjoint, so the
+        // values are entry-time values regardless of commit order.
+        let entry_instret = self.core.instret;
+        let Some((reg_vals, spr_vals, pend_vals)) = self.resolve_exit(sc, &outs, entry_instret)
+        else {
+            self.shortcut_outs = outs;
+            return Ok(false);
+        };
+
+        for (k, &v) in outs.iter().enumerate() {
+            let addr = out_base.wrapping_add(k as u32 * sc.desc.out_stride);
+            self.mem
+                .write_u16(addr, v as u16)
+                .expect("shortcut output range was admission-checked");
+        }
+        for (r, v) in reg_vals {
+            self.core.set_reg(r, v);
+        }
+        for (s, v) in spr_vals.into_iter().enumerate() {
+            if let Some(v) = v {
+                self.core.spr[s] = v;
+            }
+        }
+        for e in pend_vals {
+            self.spr_pending.push_back(e);
+        }
+        for (l, h) in sc.exit_hwloop.iter().enumerate() {
+            if let Some(h) = h {
+                self.core.hwloop[l] = HwLoop {
+                    start: h.start,
+                    end: h.end,
+                    count: h.count,
+                };
+            }
+        }
+        self.pending_load = sc
+            .exit_pending_load
+            .map(|(r, id)| (Reg::from_bits(u32::from(r)), id));
+        self.core.cycle += sc.total_cycles;
+        self.core.instret += sc.total_instrs;
+        self.shortcut_instrs += sc.total_instrs;
+        for &(id, instrs, cycles, macs) in &sc.retire_rows {
+            self.stats.record_many(id, instrs, cycles, macs);
+        }
+        for &(id, n) in &sc.stall_rows {
+            self.stats.attribute_stalls(id, n);
+        }
+        self.core.pc = sc.desc.end_addr;
+        *idx = sc.end_idx;
+        self.shortcut_outs = outs;
+        Ok(true)
+    }
+
+    /// Resolves a shortcut region's exit-live values against current
+    /// memory: final register values, final SPR slot contents, and the
+    /// still-in-flight SPR writes (re-keyed to absolute `instret`).
+    #[allow(clippy::type_complexity)]
+    fn resolve_exit(
+        &self,
+        sc: &ShortcutRegion,
+        outs: &[i32],
+        entry_instret: u64,
+    ) -> Option<(Vec<(Reg, u32)>, [Option<u32>; 2], Vec<(u64, usize, u32)>)> {
+        let mut reg_vals = Vec::with_capacity(sc.exit_regs.len());
+        for &(r, ev) in &sc.exit_regs {
+            let v = match ev {
+                ExitVal::Const(v) => v,
+                ExitVal::CellAdd { cell, off } => self.mem.read_u32(cell).ok()?.wrapping_add(off),
+                ExitVal::Load { op, addr } => read_load(&self.mem, op, addr.resolve(&self.mem)?)?,
+                ExitVal::Out(k) => outs[k as usize] as u32,
+            };
+            reg_vals.push((Reg::from_bits(u32::from(r)), v));
+        }
+        let mut spr_vals = [None, None];
+        for (s, a) in sc.exit_spr.iter().enumerate() {
+            if let Some(a) = a {
+                spr_vals[s] = Some(self.mem.read_u32(a.resolve(&self.mem)?).ok()?);
+            }
+        }
+        let mut pend_vals = Vec::with_capacity(sc.exit_pending.len());
+        for &(rel, slot, a) in &sc.exit_pending {
+            let v = self.mem.read_u32(a.resolve(&self.mem)?).ok()?;
+            pend_vals.push((entry_instret + rel, slot, v));
+        }
+        Some((reg_vals, spr_vals, pend_vals))
     }
 
     /// Attempts a bulk run of the specialized loop body chain starting at
@@ -1823,7 +1986,7 @@ impl Machine {
 }
 
 /// Lane-wise SIMD ALU semantics on packed registers.
-fn exec_pv_alu(op: PvAluOp, size: SimdSize, a: u32, b: u32) -> u32 {
+pub(crate) fn exec_pv_alu(op: PvAluOp, size: SimdSize, a: u32, b: u32) -> u32 {
     match size {
         SimdSize::Half => {
             let la = [(a & 0xFFFF) as u16 as i16, (a >> 16) as u16 as i16];
@@ -1881,7 +2044,7 @@ fn pv_lane_op_b(op: PvAluOp, a: i8, b: i8) -> i8 {
 }
 
 /// Dot-product semantics: the *fresh* dot value, before any accumulation.
-fn exec_dot(op: DotOp, size: SimdSize, a: u32, b: u32) -> u32 {
+pub(crate) fn exec_dot(op: DotOp, size: SimdSize, a: u32, b: u32) -> u32 {
     let (sign_a, sign_b) = match op {
         DotOp::DotUp | DotOp::SdotUp => (false, false),
         DotOp::DotUsp | DotOp::SdotUsp => (false, true),

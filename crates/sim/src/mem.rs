@@ -324,6 +324,18 @@ impl Memory {
     /// Range twin of [`check`](Self::check): the whole `[addr, addr+len)`
     /// span must fit, and `addr` must be aligned to `align`.
     #[inline]
+    /// Borrows `len` raw bytes starting at `addr` — the zero-copy
+    /// operand view used by the kernel-shortcut handlers.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemOutOfBounds`] when the range runs past the end of
+    /// memory.
+    pub(crate) fn byte_slice(&self, addr: u32, len: usize) -> Result<&[u8], SimError> {
+        let a = self.check_range(addr, 1, len)?;
+        Ok(&self.bytes[a..a + len])
+    }
+
     fn check_range(&self, addr: u32, align: u32, len: usize) -> Result<usize, SimError> {
         let a = addr as usize;
         if !a.is_multiple_of(align as usize) {

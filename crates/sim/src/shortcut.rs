@@ -1,0 +1,1190 @@
+//! Kernel-shortcut execution tier: native fast paths for compiled
+//! matrix-vector kernel regions.
+//!
+//! The code generator in `rnnasip-core` knows exactly which pc ranges it
+//! emitted as FC / LSTM-gate / CNN-pixel inner kernels, and publishes
+//! them as [`KernelRegion`] descriptors (pc range plus the kernel's
+//! address layout and math). At translation time
+//! ([`UopProgram::translate_with_shortcuts`](crate::UopProgram::translate_with_shortcuts))
+//! each descriptor is *verified* against the micro-op stream by an
+//! abstract interpretation ([`install`]): the region is walked with
+//! constant-folded control flow and symbolic data, proving that
+//!
+//! * every branch, hardware-loop count and memory address inside the
+//!   region is a compile-time constant (given the values of the region's
+//!   pointer cells),
+//! * the region stores exactly `n_out` requantized halfwords at the
+//!   descriptor's output addresses and nothing else, and
+//! * the complete timing profile — base cycles, taken branches,
+//!   load-use stalls, per-mnemonic retire rows — is static.
+//!
+//! A region that passes is installed as a [`ShortcutRegion`]: the machine
+//! then executes one entry as a single native matrix-vector computation
+//! over TCDM (`Memory`) plus one bulk state/statistics commit, retiring
+//! thousands of micro-ops per entry. Regions that fail verification are
+//! simply not installed — execution falls back to the micro-op path,
+//! which is bit-identical by construction. The same holds per entry at
+//! run time: armed faults, in-flight SPR writes, live hardware loops, a
+//! short watchdog budget or unresolvable/overlapping pointer ranges all
+//! make the machine decline the shortcut and interpret the region
+//! instead.
+//!
+//! The bit-identity contract (outputs, cycle counts, per-mnemonic rows)
+//! is enforced by the three-way shortcut/uop/legacy differential tests
+//! in the bench crate.
+
+use crate::mem::Memory;
+use crate::program::Program;
+use crate::uop::{UnaryOp, Uop, UopKind, NO_IDX};
+use rnnasip_isa::{
+    AluImmOp, AluOp, BranchOp, LoadOp, MnemonicId, MulDivOp, Reg, SimdSize, StoreOp,
+};
+use std::collections::HashMap;
+
+/// Upper bound on the dynamic micro-ops walked while verifying one
+/// region — a guard against pathological descriptors, far above any real
+/// kernel (the largest suite kernels walk a few hundred thousand ops).
+const WALK_OP_CAP: u64 = 8_000_000;
+
+/// Upper bound on distinct contiguous load ranges tracked per region.
+const MAX_RANGES: usize = 32;
+
+/// Where a kernel pointer comes from at run time — the shortcut-layer
+/// image of the compiler's pointer sources.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShortcutPtr {
+    /// A compile-time constant byte address.
+    Const(u32),
+    /// Loaded from a 32-bit global cell at this constant address (an
+    /// outer software loop advances the pointer between kernel entries).
+    Cell(u32),
+}
+
+/// Activation applied after requantization, mirroring the generated
+/// `srai 12` → `clip 16` → activation epilogue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShortcutAct {
+    /// No activation.
+    None,
+    /// Rectified linear (`max(v, 0)`).
+    Relu,
+    /// Hardware piecewise-linear tanh (`pl.tanh`).
+    Tanh,
+    /// Hardware piecewise-linear sigmoid (`pl.sig`).
+    Sigmoid,
+}
+
+/// A compiler-declared kernel region: the pc range of one emitted
+/// matrix-vector kernel (`out[j] = act((bias32[j] + W[j]·x) >> 12)` for
+/// `j < n_out`) together with its operand layout.
+///
+/// Descriptors are *claims*, not trusted input: translation verifies
+/// each one against the micro-op stream (see the [module docs](self))
+/// and silently discards any that cannot be proven safe.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelRegion {
+    /// Address of the region's first instruction.
+    pub start_addr: u32,
+    /// Fall-through address after the region's last instruction.
+    pub end_addr: u32,
+    /// Row-major Q3.12 weight base (`n_out × n_in` halfwords).
+    pub w_base: u32,
+    /// Pre-shifted 32-bit bias seeds (`n_out` words).
+    pub bias32: u32,
+    /// Input vector source (`n_in` halfwords).
+    pub x: ShortcutPtr,
+    /// Output base source.
+    pub out: ShortcutPtr,
+    /// Bytes between consecutive outputs (even, nonzero).
+    pub out_stride: u32,
+    /// Input width in elements (even, nonzero).
+    pub n_in: u32,
+    /// Output count (nonzero).
+    pub n_out: u32,
+    /// Activation applied after requantization.
+    pub act: ShortcutAct,
+}
+
+/// An abstract address: `cell` is `None` for a constant byte address
+/// `off`, or `Some(c)` for `mem_u32[c] + off` with the cell read at
+/// region entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct AAddr {
+    pub cell: Option<u32>,
+    pub off: u32,
+}
+
+/// How one exit-live register's final value is reconstructed at commit.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ExitVal {
+    /// A constant.
+    Const(u32),
+    /// `mem_u32[cell] + off` (a pointer loaded from a global cell and
+    /// advanced by a constant amount).
+    CellAdd { cell: u32, off: u32 },
+    /// Re-load from memory (the last value a register loaded; its
+    /// address range is store-disjoint, so the commit-time read returns
+    /// the load-time value).
+    Load { op: LoadOp, addr: AAddr },
+    /// The activated value of output `k`, sign-extended.
+    Out(u32),
+}
+
+/// One contiguous abstract byte range accessed by the region, with the
+/// per-size alignment residues needed to prove every access in it is
+/// aligned once the cell base is known.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AccessRange {
+    pub cell: Option<u32>,
+    /// Inclusive start offset (absolute address when `cell` is `None`).
+    pub lo: u32,
+    /// Exclusive end offset.
+    pub hi: u32,
+    /// Residue `off % size` for size classes 1/2/4 (`u32::MAX` = size
+    /// unused in this range).
+    pub res: [u32; 3],
+}
+
+/// Exit state of one hardware-loop level touched by the region.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct HwLoopExit {
+    pub start: u32,
+    pub end: u32,
+    pub count: u32,
+}
+
+/// A verified, installed kernel region: the static execution profile of
+/// one region entry, precomputed by [`install`].
+#[derive(Clone, Debug)]
+pub(crate) struct ShortcutRegion {
+    pub desc: KernelRegion,
+    /// Micro-op index just past the region.
+    pub end_idx: u32,
+    /// Instructions retired by one entry.
+    pub total_instrs: u64,
+    /// Cycles consumed by one entry (base + taken branches + stalls).
+    pub total_cycles: u64,
+    /// Per-mnemonic retire totals `(id, instrs, cycles, macs)`.
+    pub retire_rows: Vec<(MnemonicId, u64, u64, u64)>,
+    /// Per-mnemonic load-use stall totals.
+    pub stall_rows: Vec<(MnemonicId, u64)>,
+    /// Registers written by the region, with their exit values.
+    pub exit_regs: Vec<(u8, ExitVal)>,
+    /// Per SPR slot: the address of the last weight word drained into it
+    /// (`None` = slot untouched).
+    pub exit_spr: [Option<AAddr>; 2],
+    /// SPR writes still in flight at region exit:
+    /// `(instret offset from entry, slot, weight word address)`.
+    pub exit_pending: Vec<(u64, usize, AAddr)>,
+    /// Hardware-loop levels reconfigured by the region.
+    pub exit_hwloop: [Option<HwLoopExit>; 2],
+    /// The last op's load, pending into the op after the region.
+    pub exit_pending_load: Option<(u8, MnemonicId)>,
+    /// Every byte range the region reads.
+    pub loads: Vec<AccessRange>,
+    /// The byte range the region writes (the output stream's span).
+    pub store: AccessRange,
+}
+
+/// Abstract value of a register during the verification walk.
+#[derive(Clone, Copy, Debug)]
+enum Av {
+    /// Unmodified region-entry value (reading one rejects the region —
+    /// generated kernels initialize everything they read).
+    Entry,
+    /// A known constant.
+    Const(u32),
+    /// `mem_u32[cell] + off` — a pointer loaded from a constant cell
+    /// address, plus a constant displacement.
+    CellVal { cell: u32, off: u32 },
+    /// A value loaded from a resolvable address during the walk.
+    Load { op: LoadOp, addr: AAddr },
+    /// Unknown data. `hw` marks a value proven to be a sign-extended
+    /// 16-bit quantity (requantized/activated), eligible for output
+    /// mapping.
+    Data { id: u32, hw: bool },
+}
+
+/// Abstract value of one SPR slot.
+#[derive(Clone, Copy, Debug)]
+enum SprAv {
+    /// Region-entry contents (unknown; only discarding reads allowed).
+    Entry,
+    /// The weight word at this address.
+    Known(AAddr),
+}
+
+/// Load semantics against a memory snapshot (the commit-time image of
+/// `Machine::load_value`); `None` on an out-of-bounds or misaligned
+/// address.
+pub(crate) fn read_load(mem: &Memory, op: LoadOp, addr: u32) -> Option<u32> {
+    Some(match op {
+        LoadOp::Lb => mem.read_u8(addr).ok()? as i8 as i32 as u32,
+        LoadOp::Lbu => u32::from(mem.read_u8(addr).ok()?),
+        LoadOp::Lh => mem.read_u16(addr).ok()? as i16 as i32 as u32,
+        LoadOp::Lhu => u32::from(mem.read_u16(addr).ok()?),
+        LoadOp::Lw => mem.read_u32(addr).ok()?,
+    })
+}
+
+fn load_size(op: LoadOp) -> u32 {
+    match op {
+        LoadOp::Lb | LoadOp::Lbu => 1,
+        LoadOp::Lh | LoadOp::Lhu => 2,
+        LoadOp::Lw => 4,
+    }
+}
+
+/// Tracks the contiguous byte ranges a region accesses. Streamed
+/// accesses extend an existing range; a range count explosion or an
+/// inconsistent alignment residue rejects the region.
+#[derive(Default)]
+struct RangeSet {
+    ranges: Vec<AccessRange>,
+}
+
+impl RangeSet {
+    /// Records one access; `false` rejects the region.
+    fn add(&mut self, cell: Option<u32>, off: u32, size: u32) -> bool {
+        // Constant addresses are checked statically: a misaligned one
+        // would fault on every entry, so the region is left interpreted.
+        if cell.is_none() && !off.is_multiple_of(size) {
+            return false;
+        }
+        let Some(end) = off.checked_add(size) else {
+            return false;
+        };
+        let k = size.trailing_zeros() as usize;
+        for i in 0..self.ranges.len() {
+            let r = &mut self.ranges[i];
+            if r.cell == cell && off <= r.hi && end >= r.lo {
+                if r.res[k] == u32::MAX {
+                    r.res[k] = off % size;
+                } else if r.res[k] != off % size {
+                    return false;
+                }
+                r.lo = r.lo.min(off);
+                r.hi = r.hi.max(end);
+                return self.coalesce(i);
+            }
+        }
+        if self.ranges.len() >= MAX_RANGES {
+            return false;
+        }
+        let mut res = [u32::MAX; 3];
+        res[k] = off % size;
+        self.ranges.push(AccessRange {
+            cell,
+            lo: off,
+            hi: end,
+            res,
+        });
+        true
+    }
+
+    /// Merges every range that touches range `i` into it (an extension
+    /// can bridge the gap between two previously disjoint streams, e.g.
+    /// when interleaved weight-row streams complete a tile). Without
+    /// this, tiled kernels leak one dead range per row and trip the
+    /// [`MAX_RANGES`] cap. `false` on an alignment-residue conflict.
+    fn coalesce(&mut self, mut i: usize) -> bool {
+        loop {
+            let (cell, lo, hi) = {
+                let r = &self.ranges[i];
+                (r.cell, r.lo, r.hi)
+            };
+            let Some(j) = self
+                .ranges
+                .iter()
+                .enumerate()
+                .position(|(j, r)| j != i && r.cell == cell && r.lo <= hi && r.hi >= lo)
+            else {
+                return true;
+            };
+            let other = self.ranges.swap_remove(j);
+            if j < i {
+                i = if i == self.ranges.len() { j } else { i };
+            }
+            let r = &mut self.ranges[i];
+            for k in 0..3 {
+                if r.res[k] == u32::MAX {
+                    r.res[k] = other.res[k];
+                } else if other.res[k] != u32::MAX && r.res[k] != other.res[k] {
+                    return false;
+                }
+            }
+            r.lo = r.lo.min(other.lo);
+            r.hi = r.hi.max(other.hi);
+        }
+    }
+}
+
+fn get(regs: &[Av; 32], r: Reg) -> Option<Av> {
+    let n = r.num() as usize;
+    if n == 0 {
+        return Some(Av::Const(0));
+    }
+    match regs[n] {
+        Av::Entry => None,
+        v => Some(v),
+    }
+}
+
+fn set(regs: &mut [Av; 32], r: Reg, v: Av) {
+    let n = r.num() as usize;
+    if n != 0 {
+        regs[n] = v;
+    }
+}
+
+/// Lowers an abstract base value plus constant displacement to an
+/// abstract address; non-pointer bases reject the region.
+fn aaddr(base: Av, disp: u32) -> Option<AAddr> {
+    match base {
+        Av::Const(c) => Some(AAddr {
+            cell: None,
+            off: c.wrapping_add(disp),
+        }),
+        Av::CellVal { cell, off } => Some(AAddr {
+            cell: Some(cell),
+            off: off.wrapping_add(disp),
+        }),
+        _ => None,
+    }
+}
+
+/// Advances a pointer value by a constant (post-increment image).
+fn bump(base: Av, disp: u32) -> Option<Av> {
+    match base {
+        Av::Const(c) => Some(Av::Const(c.wrapping_add(disp))),
+        Av::CellVal { cell, off } => Some(Av::CellVal {
+            cell,
+            off: off.wrapping_add(disp),
+        }),
+        _ => None,
+    }
+}
+
+/// Whether an abstract value is provably a sign-extended 16-bit
+/// quantity (for `hw` propagation through min/max).
+fn in_i16(v: Av) -> bool {
+    match v {
+        Av::Data { hw, .. } => hw,
+        Av::Const(c) => (-32768..=32767).contains(&(c as i32)),
+        _ => false,
+    }
+}
+
+/// Exact constant image of [`UopKind::OpImm`] data semantics.
+fn exec_opimm(op: AluImmOp, a: u32, imm: i32) -> u32 {
+    match op {
+        AluImmOp::Addi => a.wrapping_add(imm as u32),
+        AluImmOp::Slti => ((a as i32) < imm) as u32,
+        AluImmOp::Sltiu => (a < imm as u32) as u32,
+        AluImmOp::Xori => a ^ imm as u32,
+        AluImmOp::Ori => a | imm as u32,
+        AluImmOp::Andi => a & imm as u32,
+        AluImmOp::Slli => a << (imm & 0x1F),
+        AluImmOp::Srli => a >> (imm & 0x1F),
+        AluImmOp::Srai => ((a as i32) >> (imm & 0x1F)) as u32,
+    }
+}
+
+/// Exact constant image of [`UopKind::Op`] data semantics.
+fn exec_op(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a << (b & 0x1F),
+        AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+        AluOp::Sltu => (a < b) as u32,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a >> (b & 0x1F),
+        AluOp::Sra => ((a as i32) >> (b & 0x1F)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    }
+}
+
+/// Exact constant image of [`UopKind::MulDiv`] data semantics.
+fn exec_muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
+    match op {
+        MulDivOp::Mul => a.wrapping_mul(b),
+        MulDivOp::Mulh => ((a as i32 as i64 * b as i32 as i64) >> 32) as u32,
+        MulDivOp::Mulhsu => ((a as i32 as i64 * b as u64 as i64) >> 32) as u32,
+        MulDivOp::Mulhu => ((a as u64 * b as u64) >> 32) as u32,
+        MulDivOp::Div => match (a as i32, b as i32) {
+            (_, 0) => u32::MAX,
+            (i32::MIN, -1) => i32::MIN as u32,
+            (x, y) => x.wrapping_div(y) as u32,
+        },
+        MulDivOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+        MulDivOp::Rem => match (a as i32, b as i32) {
+            (x, 0) => x as u32,
+            (i32::MIN, -1) => 0,
+            (x, y) => x.wrapping_rem(y) as u32,
+        },
+        MulDivOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+/// Exact constant image of [`UopKind::Unary`] data semantics.
+fn exec_unary(op: UnaryOp, a: u32) -> u32 {
+    match op {
+        UnaryOp::ExtHs => a as u16 as i16 as i32 as u32,
+        UnaryOp::ExtHz => a & 0xFFFF,
+        UnaryOp::ExtBs => a as u8 as i8 as i32 as u32,
+        UnaryOp::ExtBz => a & 0xFF,
+        UnaryOp::Abs => (a as i32).wrapping_abs() as u32,
+        UnaryOp::Ff1 => {
+            if a == 0 {
+                32
+            } else {
+                a.trailing_zeros()
+            }
+        }
+        UnaryOp::Fl1 => {
+            if a == 0 {
+                32
+            } else {
+                31 - a.leading_zeros()
+            }
+        }
+        UnaryOp::Cnt => a.count_ones(),
+        UnaryOp::Clb => {
+            if a == 0 {
+                0
+            } else if (a as i32) < 0 {
+                (!a).leading_zeros() - 1
+            } else {
+                a.leading_zeros() - 1
+            }
+        }
+        UnaryOp::Tanh => {
+            let x = rnnasip_fixed::Q3p12::from_raw(a as u16 as i16);
+            rnnasip_fixed::hw_tanh(x).raw() as i32 as u32
+        }
+        UnaryOp::Sig => {
+            let x = rnnasip_fixed::Q3p12::from_raw(a as u16 as i16);
+            rnnasip_fixed::hw_sig(x).raw() as i32 as u32
+        }
+    }
+}
+
+/// Whether a unary op's result is always a sign-extended 16-bit value.
+fn unary_hw(op: UnaryOp) -> bool {
+    matches!(
+        op,
+        UnaryOp::Tanh | UnaryOp::Sig | UnaryOp::ExtHs | UnaryOp::ExtBs | UnaryOp::ExtBz
+    )
+}
+
+fn bump_row(rows: &mut Vec<(MnemonicId, u64, u64, u64)>, id: MnemonicId, cycles: u64, macs: u64) {
+    match rows.iter_mut().find(|r| r.0 == id) {
+        Some(r) => {
+            r.1 += 1;
+            r.2 += cycles;
+            r.3 += macs;
+        }
+        None => rows.push((id, 1, cycles, macs)),
+    }
+}
+
+fn bump_stall(rows: &mut Vec<(MnemonicId, u64)>, id: MnemonicId) {
+    match rows.iter_mut().find(|r| r.0 == id) {
+        Some(r) => r.1 += 1,
+        None => rows.push((id, 1)),
+    }
+}
+
+/// Verifies a [`KernelRegion`] descriptor against the micro-op stream by
+/// abstract interpretation and, on success, returns its installed
+/// static profile. `None` means the region stays on the generic path —
+/// never an error: verification failure only costs performance.
+pub(crate) fn install(
+    uops: &[Uop],
+    program: &Program,
+    desc: &KernelRegion,
+) -> Option<ShortcutRegion> {
+    if desc.n_in == 0
+        || !desc.n_in.is_multiple_of(2)
+        || desc.n_out == 0
+        || desc.out_stride == 0
+        || !desc.out_stride.is_multiple_of(2)
+    {
+        return None;
+    }
+    let start_idx = program.index_of(desc.start_addr)?;
+    let end_idx = program.index_of(desc.end_addr)?;
+    if end_idx <= start_idx || end_idx > uops.len() {
+        return None;
+    }
+    let out_base = match desc.out {
+        ShortcutPtr::Const(a) => AAddr { cell: None, off: a },
+        ShortcutPtr::Cell(c) => AAddr {
+            cell: Some(c),
+            off: 0,
+        },
+    };
+    // The full output span (outputs may be strided): checked for bounds
+    // and load-disjointness at every entry.
+    let span = desc
+        .out_stride
+        .checked_mul(desc.n_out - 1)?
+        .checked_add(2)?;
+    let store = AccessRange {
+        cell: out_base.cell,
+        lo: out_base.off,
+        hi: out_base.off.checked_add(span)?,
+        res: [u32::MAX, out_base.off % 2, u32::MAX],
+    };
+
+    let mut regs = [Av::Entry; 32];
+    let mut hwl: [Option<(u32, u32, u32)>; 2] = [None, None];
+    let mut spr = [SprAv::Entry, SprAv::Entry];
+    let mut pend: Vec<(u64, usize, AAddr)> = Vec::new();
+    let mut loads = RangeSet::default();
+    let mut retire_rows: Vec<(MnemonicId, u64, u64, u64)> = Vec::new();
+    let mut stall_rows: Vec<(MnemonicId, u64)> = Vec::new();
+    let mut prev_load: Option<(u8, MnemonicId)> = None;
+    let mut cycles = 0u64;
+    let mut instret = 0u64;
+    let mut next_out = 0u32;
+    let mut out_map: HashMap<u32, u32> = HashMap::new();
+    let mut next_id = 0u32;
+    let data = |hw: bool, next_id: &mut u32| {
+        let id = *next_id;
+        *next_id += 1;
+        Av::Data { id, hw }
+    };
+
+    let mut i = start_idx;
+    let mut ops = 0u64;
+    while i != end_idx {
+        let u = &uops[i];
+        ops += 1;
+        if ops > WALK_OP_CAP {
+            return None;
+        }
+        // SPR writes issued two or more retirements ago land now — the
+        // same drain point as the per-op path.
+        while let Some(&(iss, slot, addr)) = pend.first() {
+            if iss + 2 <= instret {
+                spr[slot] = SprAv::Known(addr);
+                pend.remove(0);
+            } else {
+                break;
+            }
+        }
+        // Load-use stall, charged to the producing load.
+        if let Some((r, id)) = prev_load.take() {
+            if u.uses_mask & (1u32 << r) != 0 {
+                cycles += 1;
+                bump_stall(&mut stall_rows, id);
+            }
+        }
+
+        let mut extra = 0u64;
+        let mut jump: Option<(u32, usize)> = None;
+        match u.kind {
+            UopKind::SetReg { rd, val } => set(&mut regs, rd, Av::Const(val)),
+            UopKind::Branch {
+                op,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let (Av::Const(a), Av::Const(b)) = (get(&regs, rs1)?, get(&regs, rs2)?) else {
+                    return None;
+                };
+                let taken = match op {
+                    BranchOp::Beq => a == b,
+                    BranchOp::Bne => a != b,
+                    BranchOp::Blt => (a as i32) < (b as i32),
+                    BranchOp::Bge => (a as i32) >= (b as i32),
+                    BranchOp::Bltu => a < b,
+                    BranchOp::Bgeu => a >= b,
+                };
+                if taken {
+                    if target.idx == NO_IDX {
+                        return None;
+                    }
+                    jump = Some((target.addr, target.idx as usize));
+                    extra = 1;
+                }
+            }
+            UopKind::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = aaddr(get(&regs, rs1)?, offset)?;
+                if !loads.add(addr.cell, addr.off, load_size(op)) {
+                    return None;
+                }
+                let v = if op == LoadOp::Lw && addr.cell.is_none() {
+                    Av::CellVal {
+                        cell: addr.off,
+                        off: 0,
+                    }
+                } else {
+                    Av::Load { op, addr }
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::LoadPostInc {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let base = get(&regs, rs1)?;
+                let addr = aaddr(base, 0)?;
+                if !loads.add(addr.cell, addr.off, load_size(op)) {
+                    return None;
+                }
+                let v = if op == LoadOp::Lw && addr.cell.is_none() {
+                    Av::CellVal {
+                        cell: addr.off,
+                        off: 0,
+                    }
+                } else {
+                    Av::Load { op, addr }
+                };
+                set(&mut regs, rs1, bump(base, offset)?);
+                set(&mut regs, rd, v);
+            }
+            UopKind::LoadReg { op, rd, rs1, rs2 } => {
+                let addr = match (get(&regs, rs1)?, get(&regs, rs2)?) {
+                    (Av::Const(a), Av::Const(b)) => AAddr {
+                        cell: None,
+                        off: a.wrapping_add(b),
+                    },
+                    (Av::CellVal { cell, off }, Av::Const(c))
+                    | (Av::Const(c), Av::CellVal { cell, off }) => AAddr {
+                        cell: Some(cell),
+                        off: off.wrapping_add(c),
+                    },
+                    _ => return None,
+                };
+                if !loads.add(addr.cell, addr.off, load_size(op)) {
+                    return None;
+                }
+                let v = if op == LoadOp::Lw && addr.cell.is_none() {
+                    Av::CellVal {
+                        cell: addr.off,
+                        off: 0,
+                    }
+                } else {
+                    Av::Load { op, addr }
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let addr = aaddr(get(&regs, rs1)?, offset)?;
+                check_store(
+                    op,
+                    addr,
+                    get(&regs, rs2)?,
+                    desc,
+                    out_base,
+                    &mut next_out,
+                    &mut out_map,
+                )?;
+            }
+            UopKind::StorePostInc {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let base = get(&regs, rs1)?;
+                let addr = aaddr(base, 0)?;
+                check_store(
+                    op,
+                    addr,
+                    get(&regs, rs2)?,
+                    desc,
+                    out_base,
+                    &mut next_out,
+                    &mut out_map,
+                )?;
+                set(&mut regs, rs1, bump(base, offset)?);
+            }
+            UopKind::OpImm { op, rd, rs1, imm } => {
+                let a = get(&regs, rs1)?;
+                let v = match (op, a) {
+                    (AluImmOp::Addi, Av::CellVal { cell, off }) => Av::CellVal {
+                        cell,
+                        off: off.wrapping_add(imm as u32),
+                    },
+                    (_, Av::Const(c)) => Av::Const(exec_opimm(op, c, imm)),
+                    _ => data(false, &mut next_id),
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::Op { op, rd, rs1, rs2 } => {
+                let a = get(&regs, rs1)?;
+                let b = get(&regs, rs2)?;
+                let v = match (op, a, b) {
+                    (_, Av::Const(x), Av::Const(y)) => Av::Const(exec_op(op, x, y)),
+                    (AluOp::Add, Av::CellVal { cell, off }, Av::Const(c))
+                    | (AluOp::Add, Av::Const(c), Av::CellVal { cell, off }) => Av::CellVal {
+                        cell,
+                        off: off.wrapping_add(c),
+                    },
+                    (AluOp::Sub, Av::CellVal { cell, off }, Av::Const(c)) => Av::CellVal {
+                        cell,
+                        off: off.wrapping_sub(c),
+                    },
+                    _ => data(false, &mut next_id),
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::MulDiv { op, rd, rs1, rs2 } => {
+                let v = match (get(&regs, rs1)?, get(&regs, rs2)?) {
+                    (Av::Const(a), Av::Const(b)) => Av::Const(exec_muldiv(op, a, b)),
+                    _ => data(false, &mut next_id),
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::Nop => {}
+            UopKind::Mac { rd, rs1, rs2 } => {
+                let v = match (get(&regs, rd)?, get(&regs, rs1)?, get(&regs, rs2)?) {
+                    (Av::Const(d), Av::Const(a), Av::Const(b)) => {
+                        Av::Const(d.wrapping_add((a as i32).wrapping_mul(b as i32) as u32))
+                    }
+                    _ => data(false, &mut next_id),
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::Msu { rd, rs1, rs2 } => {
+                let v = match (get(&regs, rd)?, get(&regs, rs1)?, get(&regs, rs2)?) {
+                    (Av::Const(d), Av::Const(a), Av::Const(b)) => {
+                        Av::Const(d.wrapping_sub((a as i32).wrapping_mul(b as i32) as u32))
+                    }
+                    _ => data(false, &mut next_id),
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::Clip { rd, rs1, lo, hi } => {
+                let v = match get(&regs, rs1)? {
+                    Av::Const(c) => Av::Const((c as i32).clamp(lo, hi) as u32),
+                    _ => data(lo >= -32768 && hi <= 32767, &mut next_id),
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::ClipU { rd, rs1, hi } => {
+                let v = match get(&regs, rs1)? {
+                    Av::Const(c) => Av::Const((c as i32).clamp(0, hi) as u32),
+                    _ => data(hi <= 32767, &mut next_id),
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::Unary { op, rd, rs1 } => {
+                let v = match get(&regs, rs1)? {
+                    Av::Const(c) => Av::Const(exec_unary(op, c)),
+                    _ => data(unary_hw(op), &mut next_id),
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::PMin { rd, rs1, rs2 } => {
+                let a = get(&regs, rs1)?;
+                let b = get(&regs, rs2)?;
+                let v = match (a, b) {
+                    (Av::Const(x), Av::Const(y)) => Av::Const((x as i32).min(y as i32) as u32),
+                    _ => data(in_i16(a) && in_i16(b), &mut next_id),
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::PMax { rd, rs1, rs2 } => {
+                let a = get(&regs, rs1)?;
+                let b = get(&regs, rs2)?;
+                let v = match (a, b) {
+                    (Av::Const(x), Av::Const(y)) => Av::Const((x as i32).max(y as i32) as u32),
+                    _ => data(in_i16(a) && in_i16(b), &mut next_id),
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::Ror { rd, rs1, rs2 } => {
+                let v = match (get(&regs, rs1)?, get(&regs, rs2)?) {
+                    (Av::Const(a), Av::Const(b)) => Av::Const(a.rotate_right(b & 31)),
+                    _ => data(false, &mut next_id),
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::PvAluVv {
+                op,
+                size,
+                rd,
+                rs1,
+                rs2,
+            } => {
+                let v = match (get(&regs, rs1)?, get(&regs, rs2)?) {
+                    (Av::Const(a), Av::Const(b)) => {
+                        Av::Const(crate::machine::exec_pv_alu(op, size, a, b))
+                    }
+                    _ => data(false, &mut next_id),
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::PvAluSc {
+                op,
+                size,
+                rd,
+                rs1,
+                rs2,
+            } => {
+                let v = match (get(&regs, rs1)?, get(&regs, rs2)?) {
+                    (Av::Const(a), Av::Const(b)) => {
+                        let b = match size {
+                            SimdSize::Half => {
+                                let h = b & 0xFFFF;
+                                h | (h << 16)
+                            }
+                            SimdSize::Byte => {
+                                let x = b & 0xFF;
+                                x | (x << 8) | (x << 16) | (x << 24)
+                            }
+                        };
+                        Av::Const(crate::machine::exec_pv_alu(op, size, a, b))
+                    }
+                    _ => data(false, &mut next_id),
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::PvAluImm {
+                op,
+                size,
+                rd,
+                rs1,
+                b,
+            } => {
+                let v = match get(&regs, rs1)? {
+                    Av::Const(a) => Av::Const(crate::machine::exec_pv_alu(op, size, a, b)),
+                    _ => data(false, &mut next_id),
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::PvDot {
+                op,
+                size,
+                rd,
+                rs1,
+                rs2,
+            } => {
+                let a = get(&regs, rs1)?;
+                let b = get(&regs, rs2)?;
+                let d0 = if op.accumulates() {
+                    Some(get(&regs, rd)?)
+                } else {
+                    None
+                };
+                let v = match (a, b, d0) {
+                    (Av::Const(x), Av::Const(y), Some(Av::Const(d))) => {
+                        Av::Const(d.wrapping_add(crate::machine::exec_dot(op, size, x, y)))
+                    }
+                    (Av::Const(x), Av::Const(y), None) => {
+                        Av::Const(crate::machine::exec_dot(op, size, x, y))
+                    }
+                    _ => data(false, &mut next_id),
+                };
+                set(&mut regs, rd, v);
+            }
+            UopKind::PlSdotsp {
+                spr: s,
+                rd,
+                rs1,
+                rs2,
+                ..
+            } => {
+                let sl = usize::from(s & 1);
+                // The x operand's value is symbolic but must exist.
+                let _ = get(&regs, rs2)?;
+                if rd != Reg::ZERO {
+                    // A live accumulation must read a weight whose
+                    // provenance is known (drained from a walked issue),
+                    // never the slot's unknown entry contents.
+                    if !matches!(spr[sl], SprAv::Known(_)) {
+                        return None;
+                    }
+                    let _ = get(&regs, rd)?;
+                }
+                let base = get(&regs, rs1)?;
+                let addr = aaddr(base, 0)?;
+                if !loads.add(addr.cell, addr.off, 4) {
+                    return None;
+                }
+                pend.push((instret, sl, addr));
+                if pend.len() > 2 {
+                    return None;
+                }
+                if rd != Reg::ZERO {
+                    let v = data(false, &mut next_id);
+                    set(&mut regs, rd, v);
+                }
+                set(&mut regs, rs1, bump(base, 4)?);
+            }
+            UopKind::LpSetup { l, rs1, start, end } => {
+                let Av::Const(count) = get(&regs, rs1)? else {
+                    return None;
+                };
+                if count > 0 && start >= end {
+                    return None;
+                }
+                hwl[usize::from(l)] = Some((start, end, count));
+            }
+            UopKind::LpSetupi {
+                l,
+                count,
+                start,
+                end,
+            } => {
+                if count > 0 && start >= end {
+                    return None;
+                }
+                hwl[usize::from(l)] = Some((start, end, count));
+            }
+            // Jumps, halts, CSR access and split hardware-loop setup
+            // never appear in generated kernel regions; reject rather
+            // than model them.
+            UopKind::Jal { .. }
+            | UopKind::Jalr { .. }
+            | UopKind::Halt(_)
+            | UopKind::CsrRead { .. }
+            | UopKind::LpSetAddr { .. }
+            | UopKind::LpCount { .. }
+            | UopKind::LpCounti { .. } => return None,
+        }
+
+        let op_cycles = u64::from(u.base_cycles) + extra;
+        bump_row(&mut retire_rows, u.id, op_cycles, u64::from(u.mac_ops));
+        cycles += op_cycles;
+        instret += 1;
+        prev_load = (u.load_rd != 0).then_some((u.load_rd, u.id));
+
+        match jump {
+            Some((_, t)) => {
+                if t < start_idx || t >= end_idx {
+                    return None;
+                }
+                i = t;
+            }
+            None => {
+                let mut na = u.next_addr;
+                let mut jumped = false;
+                // Hardware-loop jump-back on fall-through, inner level
+                // first; an expired inner count falls through so an
+                // outer loop sharing the end address can fire.
+                for (start, end, count) in hwl.iter_mut().flatten() {
+                    if *count > 0 && na == *end {
+                        if *count > 1 {
+                            *count -= 1;
+                            na = *start;
+                            jumped = true;
+                            break;
+                        }
+                        *count = 0;
+                    }
+                }
+                if jumped {
+                    let t = program.index_of(na)?;
+                    if t < start_idx || t >= end_idx {
+                        return None;
+                    }
+                    i = t;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    if next_out != desc.n_out {
+        return None;
+    }
+    let mut exit_regs = Vec::new();
+    for (r, av) in regs.iter().enumerate().skip(1) {
+        let ev = match *av {
+            Av::Entry => continue,
+            Av::Const(v) => ExitVal::Const(v),
+            Av::CellVal { cell, off } => ExitVal::CellAdd { cell, off },
+            Av::Load { op, addr } => ExitVal::Load { op, addr },
+            Av::Data { id, .. } => match out_map.get(&id) {
+                Some(&k) => ExitVal::Out(k),
+                None => return None,
+            },
+        };
+        exit_regs.push((r as u8, ev));
+    }
+    let exit_spr = spr.map(|s| match s {
+        SprAv::Entry => None,
+        SprAv::Known(a) => Some(a),
+    });
+    let exit_hwloop = hwl.map(|h| h.map(|(start, end, count)| HwLoopExit { start, end, count }));
+    Some(ShortcutRegion {
+        desc: *desc,
+        end_idx: end_idx as u32,
+        total_instrs: instret,
+        total_cycles: cycles,
+        retire_rows,
+        stall_rows,
+        exit_regs,
+        exit_spr,
+        exit_pending: pend,
+        exit_hwloop,
+        exit_pending_load: prev_load,
+        loads: loads.ranges,
+        store,
+    })
+}
+
+/// Verifies one store op against the region's declared output stream:
+/// only `sh` of a requantized (sign-extended 16-bit) value at exactly
+/// the next expected output address is accepted.
+#[allow(clippy::too_many_arguments)]
+fn check_store(
+    op: StoreOp,
+    addr: AAddr,
+    value: Av,
+    desc: &KernelRegion,
+    out_base: AAddr,
+    next_out: &mut u32,
+    out_map: &mut HashMap<u32, u32>,
+) -> Option<()> {
+    if op != StoreOp::Sh || *next_out >= desc.n_out {
+        return None;
+    }
+    let Av::Data { id, hw: true } = value else {
+        return None;
+    };
+    let expected = AAddr {
+        cell: out_base.cell,
+        off: out_base.off.wrapping_add(*next_out * desc.out_stride),
+    };
+    if addr != expected || out_map.insert(id, *next_out).is_some() {
+        return None;
+    }
+    *next_out += 1;
+    Some(())
+}
+
+impl AAddr {
+    /// Resolves to a concrete byte address (`None` if the cell read
+    /// faults — the caller then declines the shortcut).
+    pub(crate) fn resolve(&self, mem: &Memory) -> Option<u32> {
+        match self.cell {
+            None => Some(self.off),
+            Some(c) => Some(mem.read_u32(c).ok()?.wrapping_add(self.off)),
+        }
+    }
+}
+
+impl AccessRange {
+    /// Resolves to a concrete `[start, end)` interval, checking bounds
+    /// and the recorded alignment residues.
+    fn resolve(&self, mem: &Memory) -> Option<(u64, u64)> {
+        let base = match self.cell {
+            None => 0u64,
+            Some(c) => u64::from(mem.read_u32(c).ok()?),
+        };
+        if self.lo > self.hi {
+            return None;
+        }
+        let start = base + u64::from(self.lo);
+        let end = base + u64::from(self.hi);
+        if end > mem.size() as u64 {
+            return None;
+        }
+        for (k, &res) in self.res.iter().enumerate() {
+            if res != u32::MAX && (base + u64::from(res)) % (1u64 << k) != 0 {
+                return None;
+            }
+        }
+        Some((start, end))
+    }
+}
+
+impl ShortcutRegion {
+    /// Per-entry admission check: resolves every pointer cell and
+    /// verifies that all load ranges and the output span are in bounds,
+    /// aligned, and that the output span overlaps no load range (the
+    /// handler batches its writes after its reads). Returns the
+    /// resolved `(x, out)` base addresses, or `None` to decline.
+    pub(crate) fn check_entry(&self, mem: &Memory) -> Option<(u32, u32)> {
+        let (s_lo, s_hi) = self.store.resolve(mem)?;
+        for r in &self.loads {
+            let (l_lo, l_hi) = r.resolve(mem)?;
+            if s_lo < l_hi && l_lo < s_hi {
+                return None;
+            }
+        }
+        let x = match self.desc.x {
+            ShortcutPtr::Const(a) => a,
+            ShortcutPtr::Cell(c) => mem.read_u32(c).ok()?,
+        };
+        let out = match self.desc.out {
+            ShortcutPtr::Const(a) => a,
+            ShortcutPtr::Cell(c) => mem.read_u32(c).ok()?,
+        };
+        Some((x, out))
+    }
+
+    /// Computes the region's activated outputs with host arithmetic —
+    /// bit-identical to the emitted kernel: `i16×i16` products
+    /// accumulated with wrapping 32-bit adds (order-independent), then
+    /// `>> 12`, clip to 16 bits, and the shared fixed-point activation
+    /// units. Returns `false` (with no state mutated anywhere) if any
+    /// read falls outside memory.
+    pub(crate) fn compute(&self, mem: &Memory, x_base: u32, outs: &mut Vec<i32>) -> bool {
+        let n_in = self.desc.n_in as usize;
+        let n_out = self.desc.n_out as usize;
+        let row_bytes = n_in * 2;
+        let Ok(x) = mem.byte_slice(x_base, row_bytes) else {
+            return false;
+        };
+        outs.reserve(n_out);
+        for j in 0..n_out {
+            let Ok(bias) = mem.read_u32(self.desc.bias32.wrapping_add(4 * j as u32)) else {
+                return false;
+            };
+            let Ok(row) = mem.byte_slice(
+                self.desc.w_base.wrapping_add((j * row_bytes) as u32),
+                row_bytes,
+            ) else {
+                return false;
+            };
+            let mut acc = bias as i32;
+            for (wp, xp) in row.chunks_exact(2).zip(x.chunks_exact(2)) {
+                let w = i16::from_le_bytes([wp[0], wp[1]]) as i32;
+                let xv = i16::from_le_bytes([xp[0], xp[1]]) as i32;
+                acc = acc.wrapping_add(w.wrapping_mul(xv));
+            }
+            let v = (acc >> 12).clamp(-32768, 32767);
+            let v = match self.desc.act {
+                ShortcutAct::None => v,
+                ShortcutAct::Relu => v.max(0),
+                ShortcutAct::Tanh => {
+                    rnnasip_fixed::hw_tanh(rnnasip_fixed::Q3p12::from_raw(v as i16)).raw() as i32
+                }
+                ShortcutAct::Sigmoid => {
+                    rnnasip_fixed::hw_sig(rnnasip_fixed::Q3p12::from_raw(v as i16)).raw() as i32
+                }
+            };
+            outs.push(v);
+        }
+        true
+    }
+}

@@ -37,6 +37,10 @@ pub(crate) const NO_BODY: u32 = u32::MAX;
 /// Sentinel straight-line-run index: "no specialized run starts here".
 pub(crate) const NO_RUN: u32 = u32::MAX;
 
+/// Sentinel shortcut-region index: "no installed kernel-shortcut region
+/// starts here".
+pub(crate) const NO_SC: u32 = u32::MAX;
+
 /// Minimum micro-op count for materializing a [`StraightRun`]: below
 /// this, the per-entry trigger checks and bulk row updates cost about as
 /// much as the generic bookkeeping they replace.
@@ -320,6 +324,11 @@ pub(crate) struct Uop {
     /// Index of the [`StraightRun`] whose *first op* this is, or
     /// [`NO_RUN`].
     pub run: u32,
+    /// Index of the installed [`ShortcutRegion`] whose *first op* this
+    /// is, or [`NO_SC`].
+    ///
+    /// [`ShortcutRegion`]: crate::shortcut::ShortcutRegion
+    pub shortcut: u32,
 }
 
 /// A specializable hardware-loop body, recognized at translation time.
@@ -406,12 +415,30 @@ pub struct UopProgram {
     pub(crate) uops: Vec<Uop>,
     pub(crate) bodies: Vec<LoopBody>,
     pub(crate) runs: Vec<StraightRun>,
+    pub(crate) shortcuts: Vec<crate::shortcut::ShortcutRegion>,
 }
 
 impl UopProgram {
     /// Lowers `program` into micro-ops and recognizes specializable
     /// hardware-loop bodies.
     pub fn translate(program: &Program) -> Self {
+        Self::translate_with_shortcuts(program, &[])
+    }
+
+    /// Like [`translate`](Self::translate), additionally verifying the
+    /// given kernel-region descriptors against the lowered micro-op
+    /// stream and installing the ones that pass as native shortcut
+    /// regions (see the [`shortcut`](crate::shortcut) module docs).
+    ///
+    /// Descriptors that fail verification are silently skipped — the
+    /// region then executes on the generic micro-op path, which is
+    /// bit-identical. An installed region's first op also terminates
+    /// straight-run coalescing from ops before it, so execution always
+    /// reaches the shortcut trigger; translation is otherwise unchanged.
+    pub fn translate_with_shortcuts(
+        program: &Program,
+        regions: &[crate::shortcut::KernelRegion],
+    ) -> Self {
         let mut uops: Vec<Uop> = program
             .iter()
             .map(|item| lower(program, item.addr, item.size as u32, &item.instr))
@@ -445,9 +472,26 @@ impl UopProgram {
             }
         }
 
+        // Verify and install the declared kernel-shortcut regions, each
+        // marked on its first op — before run recognition, so region
+        // starts can act as run barriers below.
+        let mut shortcuts: Vec<crate::shortcut::ShortcutRegion> = Vec::new();
+        for r in regions {
+            if let Some(sc) = crate::shortcut::install(&uops, program, r) {
+                // install() proved start_addr maps to an op.
+                let start = program.index_of(r.start_addr).unwrap();
+                if uops[start].shortcut == NO_SC {
+                    uops[start].shortcut = shortcuts.len() as u32;
+                    shortcuts.push(sc);
+                }
+            }
+        }
+
         // Straight-line runs: maximal sequences of eligible ops, marked
         // on their first op. Loop bodies are a subrange of some run; the
         // run trigger defers to the armed-loop check at execution time.
+        // An installed shortcut region's first op ends the preceding run:
+        // bulking across it would skip the shortcut trigger.
         let mut runs: Vec<StraightRun> = Vec::new();
         let mut i = 0usize;
         while i < uops.len() {
@@ -456,7 +500,8 @@ impl UopProgram {
                 continue;
             }
             let start = i;
-            while i < uops.len() && body_eligible(&uops[i].kind) {
+            i += 1;
+            while i < uops.len() && body_eligible(&uops[i].kind) && uops[i].shortcut == NO_SC {
                 i += 1;
             }
             let len = i - start;
@@ -477,7 +522,12 @@ impl UopProgram {
                 stall_in,
             });
         }
-        Self { uops, bodies, runs }
+        Self {
+            uops,
+            bodies,
+            runs,
+            shortcuts,
+        }
     }
 
     /// Number of micro-ops (= number of program instructions).
@@ -498,6 +548,12 @@ impl UopProgram {
     /// Number of straight-line runs the translator specialized.
     pub fn straight_runs(&self) -> usize {
         self.runs.len()
+    }
+
+    /// Number of kernel-shortcut regions verified and installed by
+    /// [`translate_with_shortcuts`](Self::translate_with_shortcuts).
+    pub fn shortcut_regions(&self) -> usize {
+        self.shortcuts.len()
     }
 }
 
@@ -917,6 +973,7 @@ fn lower(program: &Program, pc: u32, size: u32, instr: &Instr) -> Uop {
         load_rd,
         body: NO_BODY,
         run: NO_RUN,
+        shortcut: NO_SC,
     }
 }
 
