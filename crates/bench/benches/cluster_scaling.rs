@@ -1,0 +1,113 @@
+//! Cluster-scaling bench: simulated single-inference latency of every
+//! RRM suite network across 1/2/4/8-core PULP clusters at Table I's
+//! levels d and e.
+//!
+//! Unlike `serve_throughput` (request-level throughput on host
+//! threads), the speedups here are *architectural*: one inference is
+//! tiled across simulated cores, and the latency is the cluster's
+//! critical path in cycles — per-phase slowest core plus analytic
+//! banking-conflict stalls, DMA, and barriers. Every multi-core run is
+//! verified bit-identical to the single-core outputs before its latency
+//! is accepted.
+//!
+//! The floor assert (≥ [`MIN_SPEEDUP`]x at [`ASSERT_CORES`] cores on
+//! FC/LSTM nets large enough to tile) is gated on
+//! `available_parallelism()` the same way `serve_throughput` gates its
+//! pool-speedup floor — the simulated numbers themselves are
+//! host-independent, but the gate keeps the two benches' assert
+//! conventions aligned on constrained CI runners.
+//!
+//! Flags:
+//!
+//! - `--json` — write `BENCH_cluster.json` with the full curves,
+//!   per-core Table-I histograms, and conflict-stall rates.
+//! - `--check` — compare against the committed
+//!   `BENCH_cluster_baseline.json`. The document is byte-deterministic
+//!   (simulated numbers only), so the check is exact string equality: a
+//!   cycle-model change must regenerate the baseline deliberately.
+
+use rnnasip_bench::cluster::{
+    measure, to_json, NetCurve, ASSERT_CORES, CORE_COUNTS, LEVELS, MIN_SPEEDUP,
+};
+
+/// Floor assert is skipped below this many hardware threads (the
+/// `serve_throughput` convention).
+const MIN_PARALLELISM_FOR_ASSERT: usize = 4;
+
+fn print_curve(nc: &NetCurve) {
+    let mut line = format!("{:<14}", nc.id);
+    for p in &nc.curve {
+        line.push_str(&format!(
+            " | x{}: {:>8} ({:>5.2}x)",
+            p.cores,
+            p.latency,
+            nc.speedup(p.cores).unwrap_or(1.0)
+        ));
+    }
+    let widest = nc.curve.last().unwrap();
+    let stalls: u64 = widest.per_core.iter().map(|c| c.conflict_stalls).sum();
+    let busy: u64 = widest.per_core.iter().map(|c| c.cycles).sum();
+    line.push_str(&format!(
+        " | x{} stalls {:.2}%",
+        widest.cores,
+        100.0 * stalls as f64 / (busy + stalls).max(1) as f64
+    ));
+    println!("{line}");
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let check = std::env::args().any(|a| a == "--check");
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let curves = measure(&CORE_COUNTS);
+
+    for level in LEVELS {
+        println!(
+            "cluster-scaling: level {}, simulated latency (cycles) per core count",
+            level.tag()
+        );
+        for nc in curves.iter().filter(|nc| nc.level == level) {
+            print_curve(nc);
+        }
+        println!();
+    }
+
+    if hw >= MIN_PARALLELISM_FOR_ASSERT {
+        for nc in curves.iter().filter(|nc| nc.assertable()) {
+            let speedup = nc.speedup(ASSERT_CORES).expect("4-core point measured");
+            assert!(
+                speedup >= MIN_SPEEDUP,
+                "{} at level {}: {ASSERT_CORES}-core latency speedup {speedup:.2}x \
+                 < {MIN_SPEEDUP}x floor",
+                nc.id,
+                nc.level.tag()
+            );
+        }
+        println!("floor: every assertable FC/LSTM net ≥ {MIN_SPEEDUP}x at {ASSERT_CORES} cores");
+    } else {
+        println!(
+            "(< {MIN_PARALLELISM_FOR_ASSERT} hardware threads: cluster speedup floor not asserted)"
+        );
+    }
+
+    if json || check {
+        let doc = to_json(&curves, &CORE_COUNTS) + "\n";
+        if json {
+            std::fs::write("BENCH_cluster.json", &doc).expect("write BENCH_cluster.json");
+            println!("wrote BENCH_cluster.json");
+        }
+        if check {
+            let baseline = std::fs::read_to_string("BENCH_cluster_baseline.json")
+                .expect("read BENCH_cluster_baseline.json");
+            assert_eq!(
+                doc, baseline,
+                "BENCH_cluster.json diverges from the committed baseline; \
+                 regenerate BENCH_cluster_baseline.json if the cycle model changed"
+            );
+            println!("check: byte-identical to committed baseline — ok");
+        }
+    }
+}

@@ -26,8 +26,8 @@ use crate::optlevel::OptLevel;
 use crate::runner::KernelBackend;
 use rnnasip_asm::Asm;
 use rnnasip_fixed::Q3p12;
-use rnnasip_nn::{Conv2dLayer, FcLayer, LstmLayer, Matrix, Network, Stage};
-use rnnasip_sim::{Machine, MemImage, Program, UopProgram};
+use rnnasip_nn::{Act, Conv2dLayer, FcLayer, LstmLayer, Matrix, Network, Stage};
+use rnnasip_sim::{ClusterProgram, Machine, MemImage, Program, UopProgram};
 use std::sync::Arc;
 
 /// First data address in the TCDM (code addresses live below it; the
@@ -104,6 +104,10 @@ pub struct CompiledNetwork {
     /// (`Machine::load_program_shared`).
     pub(crate) uops: Arc<UopProgram>,
     pub(crate) image: MemImage,
+    /// The cluster lowering, present when the backend was configured
+    /// with [`KernelBackend::with_cores`]: per-core phase programs plus
+    /// DMA descriptors. `None` means the classic single-machine artifact.
+    pub(crate) cluster: Option<Arc<ClusterProgram>>,
     pub(crate) input: InputDesc,
     pub(crate) output: OutputDesc,
     pub(crate) level: OptLevel,
@@ -144,6 +148,18 @@ impl CompiledNetwork {
         self.level
     }
 
+    /// The cluster lowering, when compiled with
+    /// [`KernelBackend::with_cores`].
+    pub fn cluster(&self) -> Option<&Arc<ClusterProgram>> {
+        self.cluster.as_ref()
+    }
+
+    /// How many cluster cores this artifact executes on (1 for the
+    /// classic single-machine path).
+    pub fn cores(&self) -> usize {
+        self.cluster.as_ref().map_or(1, |c| c.cores)
+    }
+
     /// The output-tile cap this network was compiled with.
     pub fn max_tile(&self) -> usize {
         self.max_tile
@@ -177,6 +193,15 @@ impl CompiledNetwork {
     pub fn without_shortcuts(&self) -> Self {
         let mut clone = self.clone();
         clone.uops = Arc::new(UopProgram::translate(&clone.program));
+        if let Some(cluster) = &self.cluster {
+            let mut plain = (**cluster).clone();
+            for phase in &mut plain.phases {
+                for kernel in phase.kernels.iter_mut().flatten() {
+                    kernel.uops = Arc::new(UopProgram::translate(&kernel.program));
+                }
+            }
+            clone.cluster = Some(Arc::new(plain));
+        }
         clone
     }
 }
@@ -197,7 +222,11 @@ impl KernelBackend {
     /// shapes, [`CoreError::Unsupported`] for LSTM stages after the
     /// first, plus layout/assembly errors.
     pub fn compile_network(&self, net: &Network) -> Result<CompiledNetwork, CoreError> {
-        compile_stages(self, net.name(), net.stages())
+        if self.cores == 0 {
+            compile_stages(self, net.name(), net.stages())
+        } else {
+            crate::partition::compile_clustered(self, net.name(), net.stages(), self.cores)
+        }
     }
 }
 
@@ -290,6 +319,7 @@ pub(crate) fn compile_stages(
         program,
         uops,
         image,
+        cluster: None,
         input,
         output: OutputDesc {
             base: cur_addr,
@@ -311,17 +341,53 @@ pub(crate) enum StageInput {
     Buffer(u32),
 }
 
+/// Where one FC stage's data landed in the staged image: everything
+/// needed to emit the matvec kernel — whole, or sliced by output rows
+/// for cluster partitioning.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FcPlacement {
+    pub(crate) w_base: u32,
+    pub(crate) bias32: u32,
+    pub(crate) x_addr: u32,
+    pub(crate) out: u32,
+    /// Padded input width (even at packed-SIMD levels).
+    pub(crate) n_in: usize,
+    pub(crate) n_out: usize,
+    pub(crate) act: Act,
+}
+
+impl FcPlacement {
+    /// The matvec spec covering output rows `[row0, row0 + rows)`.
+    ///
+    /// Rows are independent: slicing only offsets the weight, bias and
+    /// output bases, so a full-range slice emits exactly the single-core
+    /// kernel.
+    pub(crate) fn matvec_rows(&self, row0: usize, rows: usize, scratch: u32) -> MatvecSpec {
+        MatvecSpec {
+            w_base: self.w_base + (row0 * self.n_in * 2) as u32,
+            bias32: self.bias32 + (row0 * 4) as u32,
+            x: PtrSrc::Const(self.x_addr),
+            out: PtrSrc::Const(self.out + (row0 * 2) as u32),
+            out_stride: 2,
+            n_in: self.n_in,
+            n_out: rows,
+            act: self.act,
+            scratch,
+        }
+    }
+}
+
 /// A compilation session: one assembler, one bump layout, one machine
 /// whose memory doubles as the staging area.
 pub(crate) struct Session {
     pub(crate) machine: Machine,
     pub(crate) asm: Asm,
     pub(crate) layout: DataLayout,
-    luts: (u32, u32, u32, u32),
-    scratch: u32,
-    level: OptLevel,
-    max_tile: usize,
-    regions: Vec<rnnasip_sim::KernelRegion>,
+    pub(crate) luts: (u32, u32, u32, u32),
+    pub(crate) scratch: u32,
+    pub(crate) level: OptLevel,
+    pub(crate) max_tile: usize,
+    pub(crate) regions: Vec<rnnasip_sim::KernelRegion>,
 }
 
 impl Session {
@@ -378,13 +444,14 @@ impl Session {
         Matrix::new(m.rows(), m.cols() + 1, data)
     }
 
-    /// Emits one FC stage; returns `(output buffer, input buffer)`
-    /// addresses.
-    pub(crate) fn emit_fc_stage(
+    /// Stages one FC stage's data (weights, bias, input and output
+    /// buffers) without emitting any code; the placement is enough to
+    /// emit the kernel — whole or as per-core row slices.
+    pub(crate) fn stage_fc_data(
         &mut self,
         layer: &FcLayer,
         input: StageInput,
-    ) -> Result<(u32, u32), CoreError> {
+    ) -> Result<FcPlacement, CoreError> {
         let weights = Self::pad_even(layer.weights());
         let w_base = self.layout.alloc_matrix(&weights)?;
         self.layout
@@ -397,29 +464,40 @@ impl Session {
             StageInput::Buffer(addr) => addr,
         };
         let out = self.alloc_buffer(layer.n_out())?;
-        let spec = MatvecSpec {
+        Ok(FcPlacement {
             w_base,
             bias32,
-            x: PtrSrc::Const(x_addr),
-            out: PtrSrc::Const(out),
-            out_stride: 2,
+            x_addr,
+            out,
             n_in: weights.cols(),
             n_out: layer.n_out(),
             act: layer.act(),
-            scratch: self.scratch,
-        };
-        let mut ctx = self.ctx();
-        emit_matvec(&mut ctx, &spec)?;
-        Ok((out, x_addr))
+        })
     }
 
-    /// Emits one LSTM stage; returns `(final hidden state, staged input
-    /// sequence)` addresses.
-    pub(crate) fn emit_lstm_stage(
+    /// Emits one FC stage; returns `(output buffer, input buffer)`
+    /// addresses.
+    pub(crate) fn emit_fc_stage(
+        &mut self,
+        layer: &FcLayer,
+        input: StageInput,
+    ) -> Result<(u32, u32), CoreError> {
+        let p = self.stage_fc_data(layer, input)?;
+        let spec = p.matvec_rows(0, p.n_out, self.scratch);
+        let mut ctx = self.ctx();
+        emit_matvec(&mut ctx, &spec)?;
+        Ok((p.out, p.x_addr))
+    }
+
+    /// Stages one LSTM stage's data (combined gate matrices, biases,
+    /// gate/state buffers, input sequence, loop globals) without
+    /// emitting code; the returned spec places every buffer the kernel
+    /// — whole or partitioned — needs.
+    pub(crate) fn stage_lstm_data(
         &mut self,
         layer: &LstmLayer,
         sequence: &[Vec<Q3p12>],
-    ) -> Result<(u32, u32), CoreError> {
+    ) -> Result<LstmSpec, CoreError> {
         let (m, n) = (layer.n_in(), layer.n_hidden());
         if m % 2 != 0 || n % 2 != 0 {
             return Err(CoreError::Shape(format!(
@@ -479,20 +557,31 @@ impl Session {
             n_hidden: n,
             scratch: self.scratch,
         };
-        let mut ctx = self.ctx();
-        emit_lstm(&mut ctx, &spec)?;
-        Ok((spec.h_addr(), x_seq))
+        Ok(spec)
     }
 
-    /// Emits one convolution stage reading from `src` (a buffer of
-    /// `src_len` halfwords with a zeroed trailing slack element);
-    /// returns the output buffer address.
-    pub(crate) fn emit_conv_stage(
+    /// Emits one LSTM stage; returns `(final hidden state, staged input
+    /// sequence)` addresses.
+    pub(crate) fn emit_lstm_stage(
+        &mut self,
+        layer: &LstmLayer,
+        sequence: &[Vec<Q3p12>],
+    ) -> Result<(u32, u32), CoreError> {
+        let spec = self.stage_lstm_data(layer, sequence)?;
+        let mut ctx = self.ctx();
+        emit_lstm(&mut ctx, &spec)?;
+        Ok((spec.h_addr(), spec.x_seq))
+    }
+
+    /// Stages one convolution stage's data (weights, bias, gather index
+    /// table, im2col column buffer, output buffer, pixel-loop globals)
+    /// without emitting code.
+    pub(crate) fn stage_conv_data(
         &mut self,
         conv: &Conv2dLayer,
         src: u32,
         src_len: usize,
-    ) -> Result<u32, CoreError> {
+    ) -> Result<ConvSpec, CoreError> {
         if src_len != conv.n_in() {
             return Err(CoreError::Shape(format!(
                 "conv input width {} != staged buffer {}",
@@ -544,9 +633,22 @@ impl Session {
             act: conv.act(),
             scratch: self.scratch,
         };
+        Ok(spec)
+    }
+
+    /// Emits one convolution stage reading from `src` (a buffer of
+    /// `src_len` halfwords with a zeroed trailing slack element);
+    /// returns the output buffer address.
+    pub(crate) fn emit_conv_stage(
+        &mut self,
+        conv: &Conv2dLayer,
+        src: u32,
+        src_len: usize,
+    ) -> Result<u32, CoreError> {
+        let spec = self.stage_conv_data(conv, src, src_len)?;
         let mut ctx = self.ctx();
         emit_conv(&mut ctx, &spec)?;
-        Ok(out)
+        Ok(spec.out_base)
     }
 
     /// Appends the halt and assembles, handing back the program and the
@@ -619,7 +721,6 @@ fn conv_gather_offsets(conv: &Conv2dLayer, taps: usize, src_len: usize) -> Vec<u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rnnasip_nn::Act;
 
     fn fc(n_out: usize, n_in: usize) -> FcLayer {
         FcLayer::new(

@@ -14,10 +14,19 @@
 
 use crate::compile::CompiledNetwork;
 use crate::error::CoreError;
-use crate::report::RunReport;
+use crate::report::{CoreReport, RunReport};
 use crate::runner::NetworkRun;
 use rnnasip_fixed::Q3p12;
-use rnnasip_sim::{FaultPlan, FaultRecord, Machine, Memory};
+use rnnasip_sim::{Cluster, FaultPlan, FaultRecord, Machine, Memory};
+use std::sync::Arc;
+
+/// The engine's execution substrate: one machine, or a simulated
+/// multi-core cluster when the artifact carries a cluster lowering.
+#[derive(Debug)]
+enum Exec {
+    Single(Box<Machine>),
+    Cluster(Cluster),
+}
 
 /// A reusable executor for one [`CompiledNetwork`].
 ///
@@ -39,9 +48,13 @@ use rnnasip_sim::{FaultPlan, FaultRecord, Machine, Memory};
 #[derive(Debug)]
 pub struct Engine {
     compiled: CompiledNetwork,
-    machine: Machine,
+    exec: Exec,
     last_restored: usize,
     last_fault_log: Vec<FaultRecord>,
+    last_faulted_core: Option<usize>,
+    /// Which cluster core the next injected plan arms on (cluster
+    /// engines only).
+    fault_core: usize,
     /// Reusable input-patch staging: the request sequence flattened to
     /// little-endian halfword bytes, written into the TCDM in one bulk
     /// copy. Hoisted out of `run` so back-to-back inferences (the
@@ -50,19 +63,35 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Builds an engine around `compiled`: one machine, its memory
-    /// loaded from the staged image, the program loaded once — sharing
-    /// the artifact's micro-op translation instead of re-translating.
+    /// Builds an engine around `compiled`: one machine (or one cluster,
+    /// when the artifact carries a cluster lowering), its memory loaded
+    /// from the staged image, the program loaded once — sharing the
+    /// artifact's micro-op translation instead of re-translating.
     pub fn new(compiled: CompiledNetwork) -> Self {
-        let mut machine = Machine::with_memory(Memory::from_image(compiled.image()));
-        machine.load_program_shared(compiled.program(), compiled.uop_program().clone());
+        let exec = Self::build_exec(&compiled);
         let patch_capacity = 2 * compiled.input().width() * compiled.input().steps();
         Self {
             compiled,
-            machine,
+            exec,
             last_restored: 0,
             last_fault_log: Vec::new(),
+            last_faulted_core: None,
+            fault_core: 0,
             patch: Vec::with_capacity(patch_capacity),
+        }
+    }
+
+    fn build_exec(compiled: &CompiledNetwork) -> Exec {
+        match compiled.cluster() {
+            Some(cluster) => Exec::Cluster(Cluster::new(
+                Arc::clone(cluster),
+                Memory::from_image(compiled.image()),
+            )),
+            None => {
+                let mut machine = Machine::with_memory(Memory::from_image(compiled.image()));
+                machine.load_program_shared(compiled.program(), compiled.uop_program().clone());
+                Exec::Single(Box::new(machine))
+            }
         }
     }
 
@@ -73,9 +102,22 @@ impl Engine {
 
     /// Read-only view of the underlying machine — cycle counters,
     /// statistics, and block-runner coverage diagnostics
-    /// (`Machine::bulk_instrs`).
+    /// (`Machine::bulk_instrs`). For a cluster engine this is core 0;
+    /// use [`cluster`](Self::cluster) for the full picture.
     pub fn machine(&self) -> &Machine {
-        &self.machine
+        match &self.exec {
+            Exec::Single(m) => m,
+            Exec::Cluster(c) => c.machine(0),
+        }
+    }
+
+    /// The cluster substrate, when this engine executes a clustered
+    /// artifact.
+    pub fn cluster(&self) -> Option<&Cluster> {
+        match &self.exec {
+            Exec::Single(_) => None,
+            Exec::Cluster(c) => Some(c),
+        }
     }
 
     /// Memory bytes the last [`run`](Self::run) had to restore from the
@@ -203,7 +245,30 @@ impl Engine {
     /// # Ok::<(), rnnasip_core::CoreError>(())
     /// ```
     pub fn inject_faults(&mut self, plan: &FaultPlan) {
-        self.machine.arm_faults(plan);
+        match &mut self.exec {
+            Exec::Single(m) => m.arm_faults(plan),
+            Exec::Cluster(c) => {
+                let core = self.fault_core.min(c.cores().saturating_sub(1));
+                c.arm_faults(plan, core);
+            }
+        }
+    }
+
+    /// Selects which cluster core the next [`inject_faults`] plan arms
+    /// on (ignored by single-machine engines; clamped to the cluster
+    /// width).
+    ///
+    /// [`inject_faults`]: Self::inject_faults
+    pub fn set_fault_core(&mut self, core: usize) {
+        self.fault_core = core;
+    }
+
+    /// The core that faulted or raised the error on the most recent run
+    /// — `None` when the run succeeded with no fault activity. A
+    /// single-machine engine reports core 0 when an injected fault
+    /// contributed to a failed run.
+    pub fn last_faulted_core(&self) -> Option<usize> {
+        self.last_faulted_core
     }
 
     /// The fault records of the most recent run (empty when nothing was
@@ -225,9 +290,7 @@ impl Engine {
     /// rebuild restores the engine's invariants. Cost is proportional to
     /// the whole image rather than the last run's write footprint.
     pub fn heal_rebuild(&mut self) {
-        let mut machine = Machine::with_memory(Memory::from_image(self.compiled.image()));
-        machine.load_program_shared(self.compiled.program(), self.compiled.uop_program().clone());
-        self.machine = machine;
+        self.exec = Self::build_exec(&self.compiled);
         self.last_restored = self.compiled.image().len();
     }
 
@@ -260,11 +323,32 @@ impl Engine {
         // then disarm so the next run is unaffected; on failure also
         // rewind eagerly so a poisoned engine heals before the caller
         // ever observes it again (DESIGN.md, "Fault model & recovery").
-        self.last_fault_log = self.machine.fault_log().to_vec();
-        self.machine.clear_faults();
-        if result.is_err() {
-            outputs.clear();
-            self.last_restored = self.machine.rewind(self.compiled.image());
+        match &mut self.exec {
+            Exec::Single(m) => {
+                self.last_fault_log = m.fault_log().to_vec();
+                self.last_faulted_core = if result.is_err() && !self.last_fault_log.is_empty() {
+                    Some(0)
+                } else {
+                    None
+                };
+                m.clear_faults();
+                if result.is_err() {
+                    outputs.clear();
+                    self.last_restored = m.rewind(self.compiled.image());
+                }
+            }
+            Exec::Cluster(c) => {
+                self.last_fault_log.clear();
+                for core in 0..c.cores() {
+                    self.last_fault_log.extend_from_slice(c.fault_log(core));
+                }
+                self.last_faulted_core = c.last_faulted_core();
+                c.clear_faults();
+                if result.is_err() {
+                    outputs.clear();
+                    self.last_restored = c.rewind(self.compiled.image());
+                }
+            }
         }
         result
     }
@@ -277,7 +361,6 @@ impl Engine {
         outputs: &mut Vec<Q3p12>,
     ) -> Result<RunReport, CoreError> {
         let input = self.compiled.input();
-        self.last_restored = self.machine.rewind(self.compiled.image());
         // The sequence is contiguous in the staged layout (step t at
         // base + 2*t*width), so it flattens into the reusable patch
         // scratch and lands in one bulk write.
@@ -288,21 +371,50 @@ impl Engine {
                     .extend_from_slice(&(v.raw() as u16).to_le_bytes());
             }
         }
-        self.machine
-            .mem_mut()
-            .write_bytes(input.base(), &self.patch)?;
         let max_cycles = budget.unwrap_or_else(|| self.compiled.max_cycles());
-        let started = std::time::Instant::now();
-        if reference {
-            self.machine.run_legacy(max_cycles)?;
-        } else {
-            self.machine.run(max_cycles)?;
+        match &mut self.exec {
+            Exec::Single(machine) => {
+                self.last_restored = machine.rewind(self.compiled.image());
+                machine.mem_mut().write_bytes(input.base(), &self.patch)?;
+                let started = std::time::Instant::now();
+                if reference {
+                    machine.run_legacy(max_cycles)?;
+                } else {
+                    machine.run(max_cycles)?;
+                }
+                let host_nanos = started.elapsed().as_nanos() as u64;
+                let out = self.compiled.output();
+                machine
+                    .mem()
+                    .read_q3p12_into(out.base(), out.len(), outputs)?;
+                Ok(RunReport::new(machine.stats().clone()).with_host_nanos(host_nanos))
+            }
+            Exec::Cluster(cluster) => {
+                self.last_restored = cluster.rewind(self.compiled.image());
+                cluster.mem_mut().write_bytes(input.base(), &self.patch)?;
+                let started = std::time::Instant::now();
+                cluster.run_with(max_cycles, reference)?;
+                let host_nanos = started.elapsed().as_nanos() as u64;
+                let out = self.compiled.output();
+                cluster
+                    .mem()
+                    .read_q3p12_into(out.base(), out.len(), outputs)?;
+                let per_core = (0..cluster.cores())
+                    .map(|c| CoreReport {
+                        core: c,
+                        stats: cluster.machine(c).stats().clone(),
+                        conflict_stalls: cluster.conflict_stalls(c),
+                    })
+                    .collect();
+                Ok(RunReport::new(cluster.merged_stats())
+                    .with_host_nanos(host_nanos)
+                    .with_cluster(
+                        per_core,
+                        cluster.dma_cycles(),
+                        cluster.barrier_cycles(),
+                        cluster.latency_cycles(),
+                    ))
+            }
         }
-        let host_nanos = started.elapsed().as_nanos() as u64;
-        let out = self.compiled.output();
-        self.machine
-            .mem()
-            .read_q3p12_into(out.base(), out.len(), outputs)?;
-        Ok(RunReport::new(self.machine.stats().clone()).with_host_nanos(host_nanos))
     }
 }

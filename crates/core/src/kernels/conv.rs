@@ -58,23 +58,9 @@ pub struct ConvSpec {
 ///
 /// [`CoreError::Shape`] for empty or odd-tap shapes.
 pub fn emit_conv(ctx: &mut KernelCtx<'_>, spec: &ConvSpec) -> Result<(), CoreError> {
-    if spec.n_pix == 0 || spec.taps == 0 || spec.out_ch == 0 {
-        return Err(CoreError::Shape("empty convolution stage".into()));
-    }
-    if !spec.taps.is_multiple_of(2) {
-        return Err(CoreError::Shape(format!(
-            "convolution taps must be padded even, got {}",
-            spec.taps
-        )));
-    }
-    if spec.out_stride() >= 2048 {
-        return Err(CoreError::Shape(format!(
-            "output stride {} exceeds the post-increment immediate",
-            spec.out_stride()
-        )));
-    }
-    emit_gather(ctx, spec);
-    emit_pixel_loop(ctx, spec)
+    spec.validate()?;
+    emit_gather_range(ctx, spec, 0, spec.n_pix);
+    emit_pixel_loop_range(ctx, spec, 0, spec.n_pix)
 }
 
 impl ConvSpec {
@@ -82,15 +68,44 @@ impl ConvSpec {
     fn out_stride(&self) -> i32 {
         2 * self.n_pix as i32
     }
+
+    /// Shape checks shared by the whole-stage and sliced emitters.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.n_pix == 0 || self.taps == 0 || self.out_ch == 0 {
+            return Err(CoreError::Shape("empty convolution stage".into()));
+        }
+        if !self.taps.is_multiple_of(2) {
+            return Err(CoreError::Shape(format!(
+                "convolution taps must be padded even, got {}",
+                self.taps
+            )));
+        }
+        if self.out_stride() >= 2048 {
+            return Err(CoreError::Shape(format!(
+                "output stride {} exceeds the post-increment immediate",
+                self.out_stride()
+            )));
+        }
+        Ok(())
+    }
 }
 
-/// Emits the im2col gather: `cols[k] = src[idx[k]]`.
-fn emit_gather(ctx: &mut KernelCtx<'_>, spec: &ConvSpec) {
-    let total = spec.n_pix * spec.taps;
+/// Emits the im2col gather for output pixels `[pix0, pix0+pixels)`:
+/// `cols[k] = src[idx[k]]`.
+///
+/// Pixels are independent, so a slice only offsets the index cursor and
+/// destination; the full range reproduces the single-core gather
+/// exactly. (The software-pipelined variant pre-loads one offset past
+/// the slice: for an interior slice that is the next slice's first
+/// entry, for the last it is the table's slack entry — either way a
+/// staged, in-bounds halfword.)
+pub fn emit_gather_range(ctx: &mut KernelCtx<'_>, spec: &ConvSpec, pix0: usize, pixels: usize) {
+    let total = pixels * spec.taps;
+    let skip = (2 * pix0 * spec.taps) as u32;
     let a = &mut *ctx.asm;
-    a.li(Reg::A0, spec.idx_base as i32); // offset cursor
+    a.li(Reg::A0, (spec.idx_base + skip) as i32); // offset cursor
     a.li(Reg::A1, spec.src as i32); // source base
-    a.li(Reg::A2, spec.cols_base as i32); // destination cursor
+    a.li(Reg::A2, (spec.cols_base + skip) as i32); // destination cursor
     if ctx.level.has_xpulp() {
         // Software-pipelined: the offset for iteration i is loaded during
         // iteration i-1, so neither load stalls.
@@ -108,8 +123,8 @@ fn emit_gather(ctx: &mut KernelCtx<'_>, spec: &ConvSpec) {
         a.sh_post(regs::WV1, 2, Reg::A2);
         a.bind(end);
     } else {
-        // end bound = idx_base + 2*total (may exceed addi range).
-        a.li(regs::XEND, (spec.idx_base + 2 * total as u32) as i32);
+        // end bound = cursor start + 2*total (may exceed addi range).
+        a.li(regs::XEND, (spec.idx_base + skip + 2 * total as u32) as i32);
         let top = a.new_label();
         a.bind(top);
         a.lh(regs::WV0, 0, Reg::A0);
@@ -122,18 +137,32 @@ fn emit_gather(ctx: &mut KernelCtx<'_>, spec: &ConvSpec) {
     }
 }
 
-/// Emits the per-pixel matvec loop.
-fn emit_pixel_loop(ctx: &mut KernelCtx<'_>, spec: &ConvSpec) -> Result<(), CoreError> {
+/// Emits the per-pixel matvec loop over output pixels
+/// `[pix0, pix0+pixels)`.
+///
+/// The output stride stays the *whole* stage's `2·n_pix` (the
+/// channel-major layout is global), only the loop bounds and start
+/// pointers are sliced. A sliced emission must point `g_pix`/`g_out`/
+/// `g_cnt` at per-core cells, since the loop mutates them.
+pub fn emit_pixel_loop_range(
+    ctx: &mut KernelCtx<'_>,
+    spec: &ConvSpec,
+    pix0: usize,
+    pixels: usize,
+) -> Result<(), CoreError> {
     // Initialise the pixel globals.
     {
         let a = &mut *ctx.asm;
-        a.li(regs::X0, spec.cols_base as i32);
+        a.li(
+            regs::X0,
+            (spec.cols_base + (2 * pix0 * spec.taps) as u32) as i32,
+        );
         a.li(regs::WV1, spec.g_pix as i32);
         a.sw(regs::X0, 0, regs::WV1);
-        a.li(regs::X0, spec.out_base as i32);
+        a.li(regs::X0, (spec.out_base + (2 * pix0) as u32) as i32);
         a.li(regs::WV1, spec.g_out as i32);
         a.sw(regs::X0, 0, regs::WV1);
-        a.li(regs::X0, spec.n_pix as i32);
+        a.li(regs::X0, pixels as i32);
         a.li(regs::WV1, spec.g_cnt as i32);
         a.sw(regs::X0, 0, regs::WV1);
     }

@@ -58,6 +58,26 @@ impl LstmSpec {
     pub fn h_addr(&self) -> u32 {
         self.xh + 2 * self.n_in as u32
     }
+
+    /// The matvec spec for gate `g` over output rows `[row0, row0+rows)`.
+    ///
+    /// Gate rows are independent, so slicing only offsets the weight,
+    /// bias and gate-buffer bases; the full range reproduces the
+    /// single-core gate matvec exactly.
+    pub fn gate_matvec_rows(&self, g: usize, row0: usize, rows: usize) -> MatvecSpec {
+        let act = if g == 3 { Act::Tanh } else { Act::Sigmoid };
+        MatvecSpec {
+            w_base: self.gates_w[g] + (row0 * (self.n_in + self.n_hidden) * 2) as u32,
+            bias32: self.gates_b32[g] + (row0 * 4) as u32,
+            x: PtrSrc::Const(self.xh),
+            out: PtrSrc::Const(self.gate_bufs[g] + (row0 * 2) as u32),
+            out_stride: 2,
+            n_in: self.n_in + self.n_hidden,
+            n_out: rows,
+            act,
+            scratch: self.scratch,
+        }
+    }
 }
 
 /// Emits a complete LSTM stage (all `steps` time steps).
@@ -93,25 +113,11 @@ pub fn emit_lstm(ctx: &mut KernelCtx<'_>, spec: &LstmSpec) -> Result<(), CoreErr
     emit_copy_x(ctx, spec);
 
     // Gate matvecs over the combined buffer.
-    let acts = [Act::Sigmoid, Act::Sigmoid, Act::Sigmoid, Act::Tanh];
-    for (g, &act) in acts.iter().enumerate() {
-        emit_matvec(
-            ctx,
-            &MatvecSpec {
-                w_base: spec.gates_w[g],
-                bias32: spec.gates_b32[g],
-                x: PtrSrc::Const(spec.xh),
-                out: PtrSrc::Const(spec.gate_bufs[g]),
-                out_stride: 2,
-                n_in: spec.n_in + spec.n_hidden,
-                n_out: spec.n_hidden,
-                act,
-                scratch: spec.scratch,
-            },
-        )?;
+    for g in 0..4 {
+        emit_matvec(ctx, &spec.gate_matvec_rows(g, 0, spec.n_hidden))?;
     }
 
-    emit_update(ctx, spec);
+    emit_update_rows(ctx, spec, 0, spec.n_hidden);
 
     // Step counter. The unrolled tiled body easily exceeds the ±4 KiB
     // conditional-branch range, so the back edge is an inverted branch
@@ -159,9 +165,13 @@ fn emit_copy_x(ctx: &mut KernelCtx<'_>, spec: &LstmSpec) {
     a.sw(regs::X0, 0, regs::WV1);
 }
 
-/// Emits the element-wise state update:
+/// Emits the element-wise state update over hidden rows
+/// `[row0, row0+rows)`:
 /// `c ← sat((f·c)>>12 + (i·g)>>12)`, `h ← sat((o·tanh(c))>>12)`.
-fn emit_update(ctx: &mut KernelCtx<'_>, spec: &LstmSpec) {
+///
+/// Rows are element-wise independent; the full range reproduces the
+/// single-core update exactly, a sub-range is one core's slice.
+pub fn emit_update_rows(ctx: &mut KernelCtx<'_>, spec: &LstmSpec, row0: usize, rows: usize) {
     // Hoists for the in-loop tanh and (baseline) saturation.
     if !ctx.level.has_xpulp() {
         emit_sat_hoist_baseline(ctx);
@@ -169,22 +179,23 @@ fn emit_update(ctx: &mut KernelCtx<'_>, spec: &LstmSpec) {
     if !ctx.level.has_act_ext() {
         emit_pla_hoist(ctx, ActFunc::Tanh);
     }
+    let off = (row0 * 2) as i32;
     let (optr, fptr, iptr, gptr) = (Reg::A0, Reg::A1, Reg::A2, Reg::A3);
     let cptr = Reg::T5;
     let hptr = Reg::T6;
     {
         let a = &mut *ctx.asm;
-        a.li(optr, spec.gate_bufs[0] as i32);
-        a.li(fptr, spec.gate_bufs[1] as i32);
-        a.li(iptr, spec.gate_bufs[2] as i32);
-        a.li(gptr, spec.gate_bufs[3] as i32);
-        a.li(cptr, spec.c_buf as i32);
-        a.li(hptr, spec.h_addr() as i32);
+        a.li(optr, spec.gate_bufs[0] as i32 + off);
+        a.li(fptr, spec.gate_bufs[1] as i32 + off);
+        a.li(iptr, spec.gate_bufs[2] as i32 + off);
+        a.li(gptr, spec.gate_bufs[3] as i32 + off);
+        a.li(cptr, spec.c_buf as i32 + off);
+        a.li(hptr, spec.h_addr() as i32 + off);
     }
 
     if ctx.level.has_xpulp() {
         let a = &mut *ctx.asm;
-        a.li(regs::CNT, spec.n_hidden as i32);
+        a.li(regs::CNT, rows as i32);
         let end = a.new_label();
         a.lp_setup(LoopIdx::L0, regs::CNT, end);
         a.lh_post(regs::WV0, 2, fptr); // f
@@ -210,7 +221,7 @@ fn emit_update(ctx: &mut KernelCtx<'_>, spec: &LstmSpec) {
     } else {
         // Baseline: software loop, counter in s5.
         let a = &mut *ctx.asm;
-        a.li(Reg::S5, spec.n_hidden as i32);
+        a.li(Reg::S5, rows as i32);
         let top = a.new_label();
         a.bind(top);
         a.lh(regs::WV0, 0, fptr);
@@ -239,6 +250,36 @@ fn emit_update(ctx: &mut KernelCtx<'_>, spec: &LstmSpec) {
         }
         a.addi(Reg::S5, Reg::S5, -1);
         a.bnez(Reg::S5, top);
+    }
+}
+
+/// Emits a static word copy of `words` words from `src` to `dst` — the
+/// cluster's per-step `x_t → xh` copy, where the step's source address
+/// is a compile-time constant (each time step is its own phase program)
+/// rather than the single-core kernel's cursor global.
+pub fn emit_word_copy(ctx: &mut KernelCtx<'_>, src: u32, dst: u32, words: usize) {
+    if words == 0 {
+        return;
+    }
+    let a = &mut *ctx.asm;
+    a.li(regs::X0, src as i32);
+    a.li(regs::X1, dst as i32);
+    if ctx.level.has_xpulp() {
+        a.li(regs::CNT, words as i32);
+        let end = a.new_label();
+        a.lp_setup(LoopIdx::L0, regs::CNT, end);
+        a.lw_post(regs::WV0, 4, regs::X0);
+        a.sw_post(regs::WV0, 4, regs::X1);
+        a.bind(end);
+    } else {
+        a.addi(regs::ACC0, regs::X0, 4 * words as i32);
+        let top = a.new_label();
+        a.bind(top);
+        a.lw(regs::WV0, 0, regs::X0);
+        a.sw(regs::WV0, 0, regs::X1);
+        a.addi(regs::X0, regs::X0, 4);
+        a.addi(regs::X1, regs::X1, 4);
+        a.branch(BranchOp::Bltu, regs::X0, regs::ACC0, top);
     }
 }
 

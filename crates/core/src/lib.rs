@@ -49,6 +49,7 @@ mod error;
 pub mod kernels;
 mod layout;
 mod optlevel;
+mod partition;
 mod report;
 mod resilience;
 mod runner;
@@ -60,7 +61,8 @@ pub use error::CoreError;
 pub use kernels::fc8::Int8Kernel;
 pub use layout::DataLayout;
 pub use optlevel::OptLevel;
-pub use report::RunReport;
+pub use partition::{Partition, StageSplit};
+pub use report::{CoreReport, RunReport};
 pub use resilience::{Attempt, RecoveryAction, ResilientEngine, RetryPolicy, RunOutcome};
 pub use runner::{
     KernelBackend, Layer8Run, LayerRun, NetworkRun, StageRun, DEFAULT_WATCHDOG_CYCLES,

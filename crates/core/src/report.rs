@@ -2,6 +2,18 @@
 
 use rnnasip_sim::Stats;
 
+/// One cluster core's share of a run: its per-mnemonic statistics and
+/// the banking-conflict stalls the TCDM model charged it.
+#[derive(Clone, Debug, Default)]
+pub struct CoreReport {
+    /// Cluster core index.
+    pub core: usize,
+    /// This core's per-mnemonic statistics.
+    pub stats: Stats,
+    /// Analytic TCDM banking-conflict stall cycles charged to this core.
+    pub conflict_stalls: u64,
+}
+
 /// The outcome metrics of one kernel or network run.
 ///
 /// Wraps the simulator's per-mnemonic [`Stats`] and adds the derived
@@ -15,6 +27,12 @@ use rnnasip_sim::Stats;
 pub struct RunReport {
     stats: Stats,
     host_nanos: u64,
+    per_core: Vec<CoreReport>,
+    dma_cycles: u64,
+    barrier_cycles: u64,
+    /// Cluster critical-path latency; `None` for single-machine runs,
+    /// whose latency is simply [`cycles`](Self::cycles).
+    latency_cycles: Option<u64>,
 }
 
 impl RunReport {
@@ -22,8 +40,48 @@ impl RunReport {
     pub fn new(stats: Stats) -> Self {
         Self {
             stats,
-            host_nanos: 0,
+            ..Self::default()
         }
+    }
+
+    /// Attaches a cluster run's breakdown: per-core reports, the DMA and
+    /// barrier cycle totals, and the critical-path latency.
+    #[must_use]
+    pub fn with_cluster(
+        mut self,
+        per_core: Vec<CoreReport>,
+        dma_cycles: u64,
+        barrier_cycles: u64,
+        latency_cycles: u64,
+    ) -> Self {
+        self.per_core = per_core;
+        self.dma_cycles = dma_cycles;
+        self.barrier_cycles = barrier_cycles;
+        self.latency_cycles = Some(latency_cycles);
+        self
+    }
+
+    /// Per-core breakdown of a cluster run (empty for single-machine
+    /// runs).
+    pub fn per_core(&self) -> &[CoreReport] {
+        &self.per_core
+    }
+
+    /// DMA engine cycles spent staging inputs (0 for single-machine
+    /// runs).
+    pub fn dma_cycles(&self) -> u64 {
+        self.dma_cycles
+    }
+
+    /// Cycles spent in cluster barriers (0 for single-machine runs).
+    pub fn barrier_cycles(&self) -> u64 {
+        self.barrier_cycles
+    }
+
+    /// End-to-end latency of the run: the cluster critical path when the
+    /// run was clustered, otherwise the single machine's cycle total.
+    pub fn latency_cycles(&self) -> u64 {
+        self.latency_cycles.unwrap_or_else(|| self.cycles())
     }
 
     /// Attaches the host wall-clock time the simulation took.
@@ -92,8 +150,29 @@ impl RunReport {
     /// aggregate report's [`sim_mips`](Self::sim_mips) is the overall
     /// rate across its parts.
     pub fn merge(&mut self, other: &RunReport) {
+        // Latency falls back to the cycle total, which is about to
+        // change — resolve both sides first.
+        let latency = match (self.latency_cycles, other.latency_cycles) {
+            (None, None) => None,
+            _ => Some(self.latency_cycles() + other.latency_cycles()),
+        };
         self.stats.merge(&other.stats);
         self.host_nanos += other.host_nanos;
+        self.dma_cycles += other.dma_cycles;
+        self.barrier_cycles += other.barrier_cycles;
+        self.latency_cycles = latency;
+        // Per-core rows merge by core index, so the result is the same
+        // whichever order the parts arrive in.
+        for row in &other.per_core {
+            match self.per_core.iter_mut().find(|r| r.core == row.core) {
+                Some(mine) => {
+                    mine.stats.merge(&row.stats);
+                    mine.conflict_stalls += row.conflict_stalls;
+                }
+                None => self.per_core.push(row.clone()),
+            }
+        }
+        self.per_core.sort_by_key(|r| r.core);
     }
 
     /// Aggregates any number of reports into one (suite totals,
@@ -144,6 +223,59 @@ mod tests {
         assert!(r.cycles_per_mac().is_nan());
         assert_eq!(r.mmacs_at(380e6), 0.0);
         assert_eq!(r.sim_mips(), None);
+    }
+
+    #[test]
+    fn cluster_merge_is_order_independent_and_sums_stall_rows() {
+        let core_row = |core: usize, mnemonic: &str, stalls: u64| {
+            let mut s = Stats::new();
+            s.record_name(mnemonic, 1, 2);
+            CoreReport {
+                core,
+                stats: s,
+                conflict_stalls: stalls,
+            }
+        };
+        let mut sa = Stats::new();
+        sa.record_name("lw", 3, 4);
+        let a = RunReport::new(sa).with_cluster(
+            vec![core_row(0, "lw", 5), core_row(1, "sw", 7)],
+            10,
+            16,
+            100,
+        );
+        let mut sb = Stats::new();
+        sb.record_name("sw", 2, 2);
+        let b = RunReport::new(sb).with_cluster(vec![core_row(1, "sw", 3)], 4, 8, 50);
+        // A plain (non-cluster) part: its latency contribution is its
+        // cycle total.
+        let mut sc = Stats::new();
+        sc.record_name("addi", 6, 6);
+        let c = RunReport::new(sc);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        ab.merge(&c);
+        let mut ba = c.clone();
+        ba.merge(&b);
+        ba.merge(&a);
+
+        for r in [&ab, &ba] {
+            assert_eq!(r.dma_cycles(), 14);
+            assert_eq!(r.barrier_cycles(), 24);
+            // 100 + 50 + 6 (the plain part's cycles).
+            assert_eq!(r.latency_cycles(), 156);
+            assert_eq!(r.per_core().len(), 2);
+            assert_eq!(r.per_core()[0].core, 0);
+            assert_eq!(r.per_core()[0].conflict_stalls, 5);
+            assert_eq!(r.per_core()[1].core, 1);
+            assert_eq!(r.per_core()[1].conflict_stalls, 10);
+            assert_eq!(r.per_core()[1].stats.row("sw").instrs, 2);
+        }
+        // Merging no cluster parts leaves the latency implicit.
+        let mut plain = c.clone();
+        plain.merge(&c);
+        assert_eq!(plain.latency_cycles(), plain.cycles());
     }
 
     #[test]

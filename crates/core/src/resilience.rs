@@ -152,6 +152,10 @@ pub struct Attempt {
     /// The simulation error that ended the attempt, or `None` if it
     /// succeeded.
     pub error: Option<SimError>,
+    /// The core whose fault activity ended the attempt — core 0 for a
+    /// single-machine engine, the faulting cluster core for a clustered
+    /// one, `None` for clean attempts.
+    pub faulted_core: Option<usize>,
 }
 
 /// The structured result of a resilient run: the final outcome plus the
@@ -275,6 +279,7 @@ impl ResilientEngine {
                         action,
                         level,
                         error: None,
+                        faulted_core: None,
                     });
                     return RunOutcome {
                         result: Ok(run),
@@ -287,6 +292,7 @@ impl ResilientEngine {
                         action,
                         level,
                         error: Some(e.clone()),
+                        faulted_core: self.engine.last_faulted_core(),
                     });
                     if rewinds_left > 0 {
                         // The engine already rewound eagerly on failure;
@@ -332,6 +338,7 @@ impl ResilientEngine {
                         action,
                         level,
                         error: None,
+                        faulted_core: None,
                     });
                     return RunOutcome {
                         result: Err(other),

@@ -70,6 +70,7 @@ pub struct KernelBackend {
     pub(crate) mem_bytes: usize,
     pub(crate) max_cycles: u64,
     pub(crate) max_tile: usize,
+    pub(crate) cores: usize,
 }
 
 impl KernelBackend {
@@ -81,7 +82,27 @@ impl KernelBackend {
             mem_bytes: 4 << 20,
             max_cycles: DEFAULT_WATCHDOG_CYCLES,
             max_tile: crate::kernels::MAX_TILE,
+            cores: 0,
         }
+    }
+
+    /// Targets an `n`-core cluster: [`compile_network`] emits a
+    /// partitioned [`ClusterProgram`](rnnasip_sim::ClusterProgram)
+    /// instead of the classic single-machine artifact (`n = 1` produces
+    /// a one-core cluster wrapping the identical single-core program,
+    /// bit-identical to the default path).
+    ///
+    /// [`compile_network`]: KernelBackend::compile_network
+    #[must_use]
+    pub fn with_cores(mut self, n: usize) -> Self {
+        self.cores = n.max(1);
+        self
+    }
+
+    /// The cluster-core target (1 when not configured with
+    /// [`with_cores`](KernelBackend::with_cores)).
+    pub fn cores(&self) -> usize {
+        self.cores.max(1)
     }
 
     /// Switches the optimization level, keeping every other knob — the

@@ -93,6 +93,10 @@ struct PoolShared {
     /// Compilation happens under the lock, so concurrent first requests
     /// for one shard compile exactly once.
     compiled: Mutex<HashMap<ShardKey, CompiledNetwork>>,
+    /// Simulated cluster cores per engine (0 = classic single-machine
+    /// artifacts; `n >= 1` compiles every shard with
+    /// [`KernelBackend::with_cores`]).
+    cores: usize,
 }
 
 /// A ticket for a submitted batch; [`wait`](Self::wait) blocks until
@@ -165,10 +169,20 @@ impl EnginePool {
 
     /// A pool with exactly `workers` worker threads (at least one).
     pub fn with_workers(workers: usize) -> Self {
+        Self::with_workers_and_cores(workers, 0)
+    }
+
+    /// A pool whose engines execute on simulated `cores`-core clusters:
+    /// every shard is compiled with [`KernelBackend::with_cores`], so
+    /// each request's report carries per-core rows and a cluster
+    /// latency. `cores == 0` (the [`with_workers`](Self::with_workers)
+    /// default) keeps the classic single-machine artifacts.
+    pub fn with_workers_and_cores(workers: usize, cores: usize) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(PoolShared {
             sched: Scheduler::new(workers),
             compiled: Mutex::new(HashMap::new()),
+            cores,
         });
         let handles = (0..workers)
             .map(|id| {
@@ -258,7 +272,11 @@ fn warm_engine<'a>(
             let compiled = match cache.entry(entry.key().clone()) {
                 std::collections::hash_map::Entry::Occupied(hit) => hit.get().clone(),
                 std::collections::hash_map::Entry::Vacant(miss) => {
-                    let compiled = KernelBackend::new(item.level).compile_network(&item.net)?;
+                    let mut backend = KernelBackend::new(item.level);
+                    if shared.cores >= 1 {
+                        backend = backend.with_cores(shared.cores);
+                    }
+                    let compiled = backend.compile_network(&item.net)?;
                     miss.insert(compiled).clone()
                 }
             };

@@ -171,3 +171,48 @@ fn fault_injected_request_heals_in_place_without_failing_the_batch() {
         }
     }
 }
+
+/// The cluster knob: a pool built with `with_workers_and_cores` compiles
+/// every shard as an N-core cluster. Outputs must stay bit-identical to
+/// the serial single-core goldens, and each answer must carry the
+/// cluster report (per-core rows, latency strictly below the single-core
+/// cycle count on nets big enough to tile).
+#[test]
+fn pooled_cluster_engines_match_serial_goldens() {
+    let level = OptLevel::IfmTile;
+    let cores = 2;
+    let suite = suite_with_goldens(level);
+
+    let mut batch = BatchRequest::new();
+    for (net, input, _) in &suite {
+        batch.push(net.clone(), level, input.clone());
+    }
+
+    let pool = EnginePool::with_workers_and_cores(2, cores);
+    let response = pool.run_batch(batch);
+    assert!(response.all_ok(), "a clustered request failed");
+
+    for (slot, outcome) in response.outcomes().iter().enumerate() {
+        let golden = &suite[slot].2;
+        let run = outcome.result.as_ref().unwrap();
+        assert_eq!(
+            run.outputs, golden.outputs,
+            "slot {slot}: clustered outputs diverged from single-core golden"
+        );
+        assert_eq!(
+            run.report.per_core().len(),
+            cores,
+            "slot {slot}: missing per-core report rows"
+        );
+        // Every suite net except the tiny eisen2019 MLP tiles well
+        // enough that the 2-core critical path beats one core.
+        if golden.report.cycles() > 10_000 {
+            assert!(
+                run.report.latency_cycles() < golden.report.cycles(),
+                "slot {slot}: 2-core latency {} not below single-core {}",
+                run.report.latency_cycles(),
+                golden.report.cycles()
+            );
+        }
+    }
+}

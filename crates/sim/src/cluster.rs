@@ -1,0 +1,611 @@
+//! A simulated N-core PULP cluster: per-core machines around one shared
+//! banked TCDM, a DMA engine for L2 → TCDM input staging, and a barrier
+//! unit between phases.
+//!
+//! # Execution model
+//!
+//! A partitioned network arrives as a [`ClusterProgram`]: an ordered
+//! list of [`ClusterPhase`]s, each holding one optional per-core
+//! [`ClusterKernel`] (program + micro-op image). Inside a phase the
+//! cores work on *disjoint* output ranges and read only data produced
+//! before the phase started, so the memory result does not depend on
+//! the interleaving of core cycles. The cluster exploits this: it runs
+//! each core's kernel to completion in turn, swapping the one shared
+//! TCDM [`Memory`] into the active core's [`Machine`]
+//! ([`Machine::swap_memory`]) — byte-for-byte the same final memory and
+//! per-core statistics a cycle-by-cycle lockstep interleaving would
+//! produce, at single-core simulation speed. Both fast execution tiers
+//! (micro-op and kernel-shortcut) therefore keep working unmodified per
+//! core.
+//!
+//! Time is modelled on top: a phase costs the *slowest* core's cycles
+//! plus its analytic banking-conflict stalls, then one barrier. The
+//! whole-run wall clock is [`Cluster::latency_cycles`]; per-core work
+//! is still exact per-mnemonic [`Stats`] on each machine.
+//!
+//! # Banking-conflict model
+//!
+//! The TCDM is word-interleaved across [`TcdmConfig::banks`] banks
+//! (2 banks/core, the PULP ratio). Per phase, each core's memory-access
+//! count `A_c` is derived from its per-mnemonic statistics delta (every
+//! load, store, post-increment access and `pl.sdotsp` streaming load is
+//! one TCDM access). With the phase lasting `L` cycles, a competing
+//! core `o` occupies a given bank in a given cycle with probability
+//! `A_o / (L·B)`, so core `c` loses
+//!
+//! ```text
+//! stall_c = A_c · (Σ_{o≠c} A_o) / (B · L)
+//! ```
+//!
+//! cycles to conflicts (integer arithmetic, deterministic). The model
+//! is applied identically whether a core executed natively through a
+//! kernel-shortcut region or per micro-op — the shortcut tier commits
+//! exact per-mnemonic rows, which is all the model consumes.
+
+use crate::error::{ExitReason, SimError};
+use crate::fault::{FaultPlan, FaultRecord};
+use crate::machine::Machine;
+use crate::mem::{MemImage, Memory};
+use crate::program::Program;
+use crate::stats::Stats;
+use crate::uop::UopProgram;
+use rnnasip_isa::MnemonicId;
+use std::sync::Arc;
+
+/// Mnemonics that perform one TCDM data access per retired instruction —
+/// the input of the banking-conflict model.
+const MEM_ACCESS_MNEMONICS: &[&str] = &[
+    "lb",
+    "lh",
+    "lw",
+    "lbu",
+    "lhu",
+    "sb",
+    "sh",
+    "sw",
+    "p.lb!",
+    "p.lh!",
+    "p.lw!",
+    "p.lbu!",
+    "p.lhu!",
+    "p.lb",
+    "p.lh",
+    "p.lw",
+    "p.lbu",
+    "p.lhu",
+    "p.sb!",
+    "p.sh!",
+    "p.sw!",
+    "pl.sdotsp",
+    "pl.sdotsp.b",
+];
+
+/// One core's share of a phase: a program plus its micro-op translation
+/// (with any verified kernel-shortcut regions installed).
+#[derive(Clone, Debug)]
+pub struct ClusterKernel {
+    /// The phase program (ends in `ecall`).
+    pub program: Arc<Program>,
+    /// Its micro-op image, as produced by
+    /// [`UopProgram::translate_with_shortcuts`] (or plain `translate`).
+    pub uops: Arc<UopProgram>,
+}
+
+impl ClusterKernel {
+    /// Bundles a program with its micro-op translation.
+    pub fn new(program: Arc<Program>, uops: Arc<UopProgram>) -> Self {
+        Self { program, uops }
+    }
+}
+
+/// One barrier-delimited step of a cluster run: per-core kernels that
+/// write disjoint ranges and read only pre-phase data. `None` means the
+/// core idles through the phase (waiting at the barrier).
+#[derive(Clone, Debug)]
+pub struct ClusterPhase {
+    /// Human-readable phase label (e.g. `"fc0"`, `"lstm step 3 gates"`).
+    pub label: String,
+    /// One entry per core, in core order.
+    pub kernels: Vec<Option<ClusterKernel>>,
+}
+
+/// One DMA descriptor: copy `len` bytes from the L2 staging area into
+/// the TCDM (both addresses in the shared memory's address space).
+#[derive(Clone, Copy, Debug)]
+pub struct DmaXfer {
+    /// Source address (L2 staging area).
+    pub src: u32,
+    /// Destination address (TCDM working copy).
+    pub dst: u32,
+    /// Transfer length in bytes.
+    pub len: u32,
+}
+
+/// A network partitioned for an N-core cluster: the DMA input staging
+/// plan followed by the barrier-delimited phases.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterProgram {
+    /// Number of cores the phases are laid out for.
+    pub cores: usize,
+    /// Input-staging transfers run before phase 0 of every inference.
+    pub dma: Vec<DmaXfer>,
+    /// The phases, in execution order.
+    pub phases: Vec<ClusterPhase>,
+}
+
+/// Cluster timing parameters: TCDM banking, barrier and DMA costs.
+#[derive(Clone, Copy, Debug)]
+pub struct TcdmConfig {
+    /// Word-interleaved TCDM banks (PULP default: 2 per core).
+    pub banks: usize,
+    /// Cycles every core spends converging at a phase barrier (event
+    /// unit round trip). Charged once per phase when `cores > 1`.
+    pub barrier_cycles: u64,
+    /// Fixed cost to program one DMA descriptor.
+    pub dma_startup_cycles: u64,
+    /// DMA payload bytes moved per cycle (64-bit AXI beat).
+    pub dma_bytes_per_cycle: u64,
+}
+
+impl TcdmConfig {
+    /// The default configuration for an `cores`-core cluster.
+    pub fn for_cores(cores: usize) -> Self {
+        Self {
+            banks: (2 * cores).max(1),
+            barrier_cycles: 8,
+            dma_startup_cycles: 16,
+            dma_bytes_per_cycle: 8,
+        }
+    }
+}
+
+/// Per-core accounting the cluster accumulates on top of each machine's
+/// own statistics.
+#[derive(Clone, Copy, Debug, Default)]
+struct LaneAccount {
+    /// Analytic banking-conflict stall cycles charged to this core.
+    conflict_stalls: u64,
+    /// TCDM accesses counted so far (cache of the stats-derived total,
+    /// so per-phase deltas need no re-scan).
+    accesses: u64,
+}
+
+/// The simulated multi-core cluster. See the [module docs](self) for
+/// the execution and timing model.
+#[derive(Debug)]
+pub struct Cluster {
+    program: Arc<ClusterProgram>,
+    cfg: TcdmConfig,
+    /// One machine per core. Each holds a zero-size placeholder memory
+    /// except while it is the active core of a phase, when the shared
+    /// TCDM is swapped in.
+    machines: Vec<Machine>,
+    /// The shared banked TCDM (plus the L2 staging area at its top).
+    mem: Memory,
+    /// Memory-access mnemonic ids, resolved once.
+    access_ids: Vec<MnemonicId>,
+    lanes: Vec<LaneAccount>,
+    dma_cycles: u64,
+    barrier_cycles: u64,
+    latency: u64,
+    /// Core whose run last raised an error or applied a fault.
+    last_faulted_core: Option<usize>,
+}
+
+impl Cluster {
+    /// Builds a cluster for `program` around the shared memory `mem`,
+    /// with the default [`TcdmConfig`] for the program's core count.
+    pub fn new(program: Arc<ClusterProgram>, mem: Memory) -> Self {
+        let cfg = TcdmConfig::for_cores(program.cores);
+        Self::with_config(program, mem, cfg)
+    }
+
+    /// Builds a cluster with an explicit timing configuration.
+    pub fn with_config(program: Arc<ClusterProgram>, mem: Memory, cfg: TcdmConfig) -> Self {
+        let cores = program.cores.max(1);
+        let machines = (0..cores).map(|_| Machine::new(0)).collect();
+        let access_ids = MEM_ACCESS_MNEMONICS
+            .iter()
+            .filter_map(|name| MnemonicId::from_name(name))
+            .collect();
+        Self {
+            program,
+            cfg,
+            machines,
+            mem,
+            access_ids,
+            lanes: vec![LaneAccount::default(); cores],
+            dma_cycles: 0,
+            barrier_cycles: 0,
+            latency: 0,
+            last_faulted_core: None,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// The cluster program being executed.
+    pub fn program(&self) -> &Arc<ClusterProgram> {
+        &self.program
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> &TcdmConfig {
+        &self.cfg
+    }
+
+    /// The shared TCDM.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable shared TCDM (for staging inputs and reading outputs).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Core `i`'s machine (per-core stats, registers, fault log).
+    pub fn machine(&self, i: usize) -> &Machine {
+        &self.machines[i]
+    }
+
+    /// Restores the shared TCDM from `image` (dirty blocks only) and
+    /// resets every core and the cluster accounting for another run.
+    /// Returns the number of memory bytes restored.
+    pub fn rewind(&mut self, image: &MemImage) -> usize {
+        let restored = self.mem.restore_image(image);
+        for m in &mut self.machines {
+            m.clear_stats();
+            m.reset_core();
+        }
+        self.lanes.fill(LaneAccount::default());
+        self.dma_cycles = 0;
+        self.barrier_cycles = 0;
+        self.latency = 0;
+        self.last_faulted_core = None;
+        restored
+    }
+
+    /// Arms a fault plan on core `core` (cleared by
+    /// [`clear_faults`](Self::clear_faults); armed faults survive phase
+    /// switches within a run).
+    pub fn arm_faults(&mut self, plan: &FaultPlan, core: usize) {
+        self.machines[core].arm_faults(plan);
+    }
+
+    /// Disarms pending faults on every core.
+    pub fn clear_faults(&mut self) {
+        for m in &mut self.machines {
+            m.clear_faults();
+        }
+    }
+
+    /// Faults applied on core `core` since its plan was armed.
+    pub fn fault_log(&self, core: usize) -> &[FaultRecord] {
+        self.machines[core].fault_log()
+    }
+
+    /// The core whose run last raised an error or applied a fault, if
+    /// any — feeds the resilience layer's per-core attribution.
+    pub fn last_faulted_core(&self) -> Option<usize> {
+        self.last_faulted_core
+    }
+
+    /// Analytic banking-conflict stall cycles charged to core `i` so far.
+    pub fn conflict_stalls(&self, i: usize) -> u64 {
+        self.lanes[i].conflict_stalls
+    }
+
+    /// Cycles the DMA engine spent staging inputs this run.
+    pub fn dma_cycles(&self) -> u64 {
+        self.dma_cycles
+    }
+
+    /// Cycles spent in phase barriers this run.
+    pub fn barrier_cycles(&self) -> u64 {
+        self.barrier_cycles
+    }
+
+    /// The cluster wall-clock latency of the last run: DMA staging plus,
+    /// per phase, the slowest core (cycles + conflict stalls) plus the
+    /// barrier.
+    pub fn latency_cycles(&self) -> u64 {
+        self.latency
+    }
+
+    /// Instructions retired through kernel-shortcut regions across all
+    /// cores this run.
+    pub fn shortcut_instrs(&self) -> u64 {
+        self.machines.iter().map(Machine::shortcut_instrs).sum()
+    }
+
+    /// Sum of all cores' per-mnemonic statistics (total work; its
+    /// `cycles()` is core-cycles, not wall-clock — compare
+    /// [`latency_cycles`](Self::latency_cycles)).
+    pub fn merged_stats(&self) -> Stats {
+        let mut total = Stats::new();
+        for m in &self.machines {
+            total.merge(m.stats());
+        }
+        total
+    }
+
+    fn accesses(&self, core: usize) -> u64 {
+        let stats = self.machines[core].stats();
+        self.access_ids
+            .iter()
+            .map(|&id| stats.row_id(id).instrs)
+            .sum()
+    }
+
+    /// Runs the DMA plan, charging the engine's cycles.
+    fn run_dma(&mut self) -> Result<(), SimError> {
+        // One shared engine: descriptors are processed serially.
+        for xfer in &self.program.dma {
+            self.dma_cycles += self.cfg.dma_startup_cycles
+                + u64::from(xfer.len).div_ceil(self.cfg.dma_bytes_per_cycle);
+        }
+        // The copies themselves (separate loop: the borrow of the plan
+        // above is read-only, the copies need `&mut self.mem`).
+        let xfers: Vec<DmaXfer> = self.program.dma.clone();
+        let mut scratch = Vec::new();
+        for DmaXfer { src, dst, len } in xfers {
+            let bytes = self.mem.byte_slice(src, len as usize)?;
+            scratch.clear();
+            scratch.extend_from_slice(bytes);
+            self.mem.write_bytes(dst, &scratch)?;
+        }
+        Ok(())
+    }
+
+    /// Runs every phase to completion. `max_cycles` bounds each core's
+    /// *cumulative* cycle counter across the whole run (the same
+    /// absolute-budget semantics as [`Machine::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Any error a core raises is propagated after recording the core in
+    /// [`last_faulted_core`](Self::last_faulted_core); the shared memory
+    /// is always swapped back first.
+    pub fn run(&mut self, max_cycles: u64) -> Result<ExitReason, SimError> {
+        self.run_with(max_cycles, false)
+    }
+
+    /// [`run`](Self::run) with a tier selector: `legacy` drives every
+    /// core through [`Machine::run_legacy`] (the per-step reference
+    /// interpreter) instead of the micro-op/shortcut tiers.
+    pub fn run_with(&mut self, max_cycles: u64, legacy: bool) -> Result<ExitReason, SimError> {
+        self.last_faulted_core = None;
+        self.run_dma()?;
+        self.latency += self.dma_cycles;
+        let cores = self.machines.len();
+        let banks = self.cfg.banks.max(1) as u64;
+        let mut phase_cycles = vec![0u64; cores];
+        let mut phase_accesses = vec![0u64; cores];
+        let phases = Arc::clone(&self.program);
+        for phase in &phases.phases {
+            // Advance every participating core through its kernel.
+            for (c, kernel) in phase.kernels.iter().enumerate() {
+                phase_cycles[c] = 0;
+                phase_accesses[c] = 0;
+                let Some(k) = kernel else { continue };
+                let m = &mut self.machines[c];
+                m.load_phase_program(&k.program, &k.uops);
+                let cycles_before = m.core().cycle;
+                m.swap_memory(&mut self.mem);
+                let result = if legacy {
+                    m.run_legacy(max_cycles)
+                } else {
+                    m.run(max_cycles)
+                };
+                m.swap_memory(&mut self.mem);
+                let m = &self.machines[c];
+                if !m.fault_log().is_empty() {
+                    self.last_faulted_core = Some(c);
+                }
+                match result {
+                    Ok(ExitReason::Ecall) => {}
+                    // An ebreak stops the whole cluster, like a halt.
+                    Ok(ExitReason::Ebreak) => return Ok(ExitReason::Ebreak),
+                    Err(e) => {
+                        self.last_faulted_core = Some(c);
+                        return Err(e);
+                    }
+                }
+                phase_cycles[c] = m.core().cycle - cycles_before;
+                let total = self.accesses(c);
+                phase_accesses[c] = total - self.lanes[c].accesses;
+                self.lanes[c].accesses = total;
+            }
+            // Charge analytic banking-conflict stalls and close the
+            // phase with a barrier.
+            let busiest = phase_cycles.iter().copied().max().unwrap_or(0);
+            let all_accesses: u64 = phase_accesses.iter().sum();
+            let mut slowest = 0u64;
+            for c in 0..cores {
+                let others = all_accesses - phase_accesses[c];
+                let stall = if busiest == 0 {
+                    0
+                } else {
+                    (u128::from(phase_accesses[c]) * u128::from(others)
+                        / (u128::from(banks) * u128::from(busiest))) as u64
+                };
+                self.lanes[c].conflict_stalls += stall;
+                slowest = slowest.max(phase_cycles[c] + stall);
+            }
+            self.latency += slowest;
+            if cores > 1 {
+                self.latency += self.cfg.barrier_cycles;
+                self.barrier_cycles += self.cfg.barrier_cycles;
+            }
+        }
+        Ok(ExitReason::Ecall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnnasip_isa::{AluImmOp, Instr, Reg, StoreOp};
+
+    fn store_prog(addr: i32, value: i32) -> ClusterKernel {
+        let program = Program::from_instrs(
+            0,
+            vec![
+                Instr::OpImm {
+                    op: AluImmOp::Addi,
+                    rd: Reg::A0,
+                    rs1: Reg::ZERO,
+                    imm: value,
+                },
+                Instr::Store {
+                    op: StoreOp::Sw,
+                    rs2: Reg::A0,
+                    rs1: Reg::ZERO,
+                    offset: addr,
+                },
+                Instr::Ecall,
+            ],
+        );
+        let uops = Arc::new(UopProgram::translate(&program));
+        ClusterKernel::new(Arc::new(program), uops)
+    }
+
+    #[test]
+    fn two_cores_share_one_memory_across_phases() {
+        let prog = ClusterProgram {
+            cores: 2,
+            dma: vec![DmaXfer {
+                src: 128,
+                dst: 0,
+                len: 4,
+            }],
+            phases: vec![
+                ClusterPhase {
+                    label: "p0".into(),
+                    kernels: vec![Some(store_prog(16, 7)), Some(store_prog(20, 9))],
+                },
+                ClusterPhase {
+                    label: "p1".into(),
+                    kernels: vec![None, Some(store_prog(24, 11))],
+                },
+            ],
+        };
+        let mut mem = Memory::new(256);
+        mem.write_u32(128, 0xABCD_1234).unwrap();
+        let mut cluster = Cluster::new(Arc::new(prog), mem);
+        let exit = cluster.run(10_000).unwrap();
+        assert_eq!(exit, ExitReason::Ecall);
+        // DMA staged the input window.
+        assert_eq!(cluster.mem().read_u32(0).unwrap(), 0xABCD_1234);
+        // Both cores' phase writes landed in the one shared memory.
+        assert_eq!(cluster.mem().read_u32(16).unwrap(), 7);
+        assert_eq!(cluster.mem().read_u32(20).unwrap(), 9);
+        assert_eq!(cluster.mem().read_u32(24).unwrap(), 11);
+        // DMA cost: startup 16 + ceil(4/8) = 17; two barriers of 8.
+        assert_eq!(cluster.dma_cycles(), 17);
+        assert_eq!(cluster.barrier_cycles(), 16);
+        // Each phase costs the slowest core; conflict stalls are zero at
+        // these tiny access counts (3·3 / (4·L) rounds to zero).
+        let per_phase = cluster.machine(0).core().cycle;
+        assert!(cluster.latency_cycles() >= 17 + 16 + per_phase);
+        // Idle core 0 retired nothing in phase 1.
+        assert_eq!(
+            cluster.machine(0).core().instret + 3,
+            cluster.machine(1).core().instret
+        );
+    }
+
+    #[test]
+    fn rewind_resets_cores_accounting_and_memory() {
+        let prog = ClusterProgram {
+            cores: 1,
+            dma: Vec::new(),
+            phases: vec![ClusterPhase {
+                label: "p0".into(),
+                kernels: vec![Some(store_prog(32, 5))],
+            }],
+        };
+        let mem = Memory::new(256);
+        let image = mem.image();
+        let mut cluster = Cluster::new(Arc::new(prog), mem);
+        cluster.mem_mut().load_image(&image);
+        cluster.run(1_000).unwrap();
+        let first_latency = cluster.latency_cycles();
+        assert_eq!(cluster.mem().read_u32(32).unwrap(), 5);
+        assert!(first_latency > 0);
+        cluster.rewind(&image);
+        assert_eq!(cluster.mem().read_u32(32).unwrap(), 0);
+        assert_eq!(cluster.latency_cycles(), 0);
+        assert_eq!(cluster.machine(0).core().cycle, 0);
+        cluster.run(1_000).unwrap();
+        assert_eq!(cluster.latency_cycles(), first_latency, "deterministic");
+        assert_eq!(cluster.mem().read_u32(32).unwrap(), 5);
+    }
+
+    #[test]
+    fn single_core_latency_equals_machine_cycles() {
+        let prog = ClusterProgram {
+            cores: 1,
+            dma: Vec::new(),
+            phases: vec![ClusterPhase {
+                label: "p0".into(),
+                kernels: vec![Some(store_prog(32, 5))],
+            }],
+        };
+        let mut cluster = Cluster::new(Arc::new(prog), Memory::new(256));
+        cluster.run(1_000).unwrap();
+        assert_eq!(cluster.latency_cycles(), cluster.machine(0).core().cycle);
+        assert_eq!(cluster.conflict_stalls(0), 0);
+        assert_eq!(cluster.dma_cycles(), 0);
+        assert_eq!(cluster.barrier_cycles(), 0);
+    }
+
+    #[test]
+    fn conflict_stalls_follow_the_analytic_model() {
+        // Two cores, each storing N words in a straight line: accesses
+        // are known exactly, so the stall charge is checkable by hand.
+        let n = 64;
+        let mk = |base: i32| {
+            let mut instrs = vec![Instr::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                imm: 1,
+            }];
+            for k in 0..n {
+                instrs.push(Instr::Store {
+                    op: StoreOp::Sw,
+                    rs2: Reg::A0,
+                    rs1: Reg::ZERO,
+                    offset: base + 4 * k,
+                });
+            }
+            instrs.push(Instr::Ecall);
+            let p = Program::from_instrs(0, instrs);
+            let u = Arc::new(UopProgram::translate(&p));
+            ClusterKernel::new(Arc::new(p), u)
+        };
+        let prog = ClusterProgram {
+            cores: 2,
+            dma: Vec::new(),
+            phases: vec![ClusterPhase {
+                label: "p0".into(),
+                kernels: vec![Some(mk(256)), Some(mk(1024))],
+            }],
+        };
+        let mut cluster = Cluster::new(Arc::new(prog), Memory::new(4096));
+        cluster.run(100_000).unwrap();
+        // Each core: 64 stores; phase length L = per-core cycles
+        // (identical programs); banks B = 4.
+        let l = cluster.machine(0).core().cycle;
+        let expect = (64u64 * 64) / (4 * l);
+        assert_eq!(cluster.conflict_stalls(0), expect);
+        assert_eq!(cluster.conflict_stalls(1), expect);
+        // Latency = slowest core + stalls + one barrier.
+        assert_eq!(cluster.latency_cycles(), l + expect + 8);
+    }
+}

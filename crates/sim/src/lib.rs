@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod core_state;
 mod error;
 mod fault;
@@ -58,11 +59,12 @@ mod stats;
 mod trace;
 mod uop;
 
+pub use cluster::{Cluster, ClusterKernel, ClusterPhase, ClusterProgram, DmaXfer, TcdmConfig};
 pub use core_state::{Core, HwLoop};
 pub use error::{ExitReason, SimError};
 pub use fault::{Fault, FaultEffect, FaultPlan, FaultRecord, FaultSite};
 pub use machine::{Machine, StepOutcome};
-pub use mem::{MemImage, Memory};
+pub use mem::{MemImage, Memory, TrackedMem};
 pub use program::{ProgItem, Program};
 pub use shortcut::{KernelRegion, ShortcutAct, ShortcutPtr};
 pub use stats::{Row, Stats};

@@ -67,7 +67,10 @@ const MAX_CYCLES_PER_STEP: u64 = 64;
 pub struct Machine {
     core: Core,
     mem: Memory,
-    program: Program,
+    /// The loaded program. `Arc`-shared so cluster phase switches cost a
+    /// reference count, not a copy; only fault-injected instruction
+    /// patching clones it (copy-on-write via [`Arc::make_mut`]).
+    program: Arc<Program>,
     /// The program lowered to micro-ops — [`Machine::run`]'s execution
     /// format. `Arc`-shared so a compiled artifact can hand one
     /// translation to any number of machines.
@@ -117,7 +120,7 @@ impl Machine {
         Self {
             core: Core::new(0),
             mem,
-            program: Program::default(),
+            program: Arc::new(Program::default()),
             uops: Arc::new(UopProgram::default()),
             stats: Stats::new(),
             pending_load: None,
@@ -179,7 +182,7 @@ impl Machine {
     /// statistics are preserved, so data can be staged before or after
     /// loading code.
     pub fn load_program(&mut self, program: &Program) {
-        self.program = program.clone();
+        self.program = Arc::new(program.clone());
         self.uops = Arc::new(UopProgram::translate(program));
         self.clear_faults();
         self.corrupted_pcs.clear();
@@ -200,11 +203,50 @@ impl Machine {
             program.len(),
             "micro-op image must be the translation of the loaded program"
         );
-        self.program = program.clone();
+        self.program = Arc::new(program.clone());
         self.uops = uops;
         self.clear_faults();
         self.corrupted_pcs.clear();
         self.reset_core();
+    }
+
+    /// Switches to the next phase program of a partitioned (cluster)
+    /// run **without** disturbing the run in progress: the cycle and
+    /// retired-instruction counters, accumulated statistics, and any
+    /// armed faults all carry over, while the control state (PC to the
+    /// new entry, registers, pending load / SPR pipeline, halt flag) is
+    /// reset as a real barrier-and-dispatch would leave it.
+    ///
+    /// Contrast [`load_program_shared`](Self::load_program_shared),
+    /// which starts a machine over from scratch. Both take a shared
+    /// micro-op image; here the program is also taken by `Arc`, so a
+    /// phase switch is two reference-count bumps.
+    ///
+    /// Instruction slots corrupted by an earlier fault belong to the
+    /// previous phase's program and are dropped with it.
+    pub fn load_phase_program(&mut self, program: &Arc<Program>, uops: &Arc<UopProgram>) {
+        debug_assert_eq!(
+            uops.len(),
+            program.len(),
+            "micro-op image must be the translation of the loaded program"
+        );
+        self.program = Arc::clone(program);
+        self.uops = Arc::clone(uops);
+        self.corrupted_pcs.clear();
+        let (cycle, instret) = (self.core.cycle, self.core.instret);
+        self.reset_core();
+        self.core.cycle = cycle;
+        self.core.instret = instret;
+    }
+
+    /// Exchanges this machine's data memory with `other`.
+    ///
+    /// This is the cluster's core-multiplexing primitive: one shared
+    /// TCDM [`Memory`] is swapped into whichever core's machine is
+    /// advancing through the current phase, so all cores observe (and
+    /// dirty-track) the same bytes without copying.
+    pub fn swap_memory(&mut self, other: &mut Memory) {
+        std::mem::swap(&mut self.mem, other);
     }
 
     /// The loaded program's micro-op translation (shareable via
@@ -385,7 +427,7 @@ impl Machine {
         };
         match patched {
             Some(instr) => {
-                self.program.patch(pc, instr);
+                Arc::make_mut(&mut self.program).patch(pc, instr);
                 self.uops = Arc::new(UopProgram::translate(&self.program));
                 FaultEffect::PatchedInstr { pc }
             }

@@ -43,30 +43,19 @@ impl MemImage {
     }
 }
 
-/// Byte-addressable, little-endian data memory with single-cycle access.
+/// The reusable core of every tracked byte store: a flat byte array
+/// plus a dirty-block bitmap (one bit per [`BLOCK_BYTES`] block, set on
+/// every write since the last snapshot load/restore).
 ///
-/// RI5CY-class cores sit next to a TCDM with deterministic single-cycle
-/// latency; there is no cache model. Accesses are bounds-checked and must
-/// be naturally aligned — the optimized kernels never issue misaligned
-/// accesses, so an unaligned address indicates a code-generation bug and
-/// is reported as an error rather than silently split into two accesses.
-///
-/// # Example
-///
-/// ```
-/// use rnnasip_sim::Memory;
-///
-/// let mut mem = Memory::new(1024);
-/// mem.write_u32(0x10, 0xDEAD_BEEF)?;
-/// assert_eq!(mem.read_u16(0x10)?, 0xBEEF);
-/// # Ok::<(), rnnasip_sim::SimError>(())
-/// ```
+/// [`Memory`] wraps this with bounds/alignment checking and the Q3.12
+/// accessors the kernels use; the cluster's banked TCDM shares the same
+/// implementation through its [`Memory`] storage, so the bulk-patch and
+/// incremental-restore logic exists exactly once. All offsets here are
+/// pre-validated `usize` indices — out-of-range access panics, which is
+/// why the type only crosses the crate boundary behind checked wrappers.
 #[derive(Clone, Debug)]
-pub struct Memory {
+pub struct TrackedMem {
     bytes: Vec<u8>,
-    /// One bit per [`BLOCK_BYTES`] block, set on every write since the
-    /// last snapshot load/restore. Lets [`restore_image`](Self::restore_image)
-    /// undo a kernel run in time proportional to what the kernel wrote.
     dirty: Vec<u64>,
 }
 
@@ -74,8 +63,8 @@ fn dirty_words(size: usize) -> usize {
     size.div_ceil(BLOCK_BYTES).div_ceil(64)
 }
 
-impl Memory {
-    /// Creates a zero-initialised memory of `size` bytes.
+impl TrackedMem {
+    /// Creates a zero-initialised store of `size` bytes.
     pub fn new(size: usize) -> Self {
         Self {
             bytes: vec![0; size],
@@ -83,60 +72,77 @@ impl Memory {
         }
     }
 
-    /// Creates a memory whose contents are a full copy of `image`, with
-    /// no blocks marked dirty.
-    pub fn from_image(image: &MemImage) -> Self {
+    /// Creates a store whose contents are a full copy of `src`, with no
+    /// blocks marked dirty.
+    pub fn from_bytes(src: &[u8]) -> Self {
         Self {
-            bytes: image.as_bytes().to_vec(),
-            dirty: vec![0; dirty_words(image.len())],
+            bytes: src.to_vec(),
+            dirty: vec![0; dirty_words(src.len())],
         }
     }
 
-    /// Memory size in bytes.
-    pub fn size(&self) -> usize {
+    /// Store size in bytes.
+    pub fn len(&self) -> usize {
         self.bytes.len()
     }
 
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The raw contents.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Marks the block containing `addr` dirty.
     #[inline]
-    fn mark_dirty(&mut self, addr: usize) {
+    pub fn mark_dirty(&mut self, addr: usize) {
         let block = addr >> BLOCK_SHIFT;
         self.dirty[block >> 6] |= 1 << (block & 63);
     }
 
-    /// Takes an immutable snapshot of the current contents.
-    pub fn image(&self) -> MemImage {
-        MemImage {
-            bytes: Arc::from(self.bytes.as_slice()),
+    /// Marks every block touched by `[addr, addr + len)` dirty.
+    #[inline]
+    pub fn mark_dirty_range(&mut self, addr: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        for block in (addr >> BLOCK_SHIFT)..=((addr + len - 1) >> BLOCK_SHIFT) {
+            self.dirty[block >> 6] |= 1 << (block & 63);
         }
     }
 
-    /// Replaces the whole contents with `image` and clears all dirty
-    /// bits (full copy — use [`restore_image`](Self::restore_image) for
-    /// the incremental path).
+    /// Bulk-copies `src` to `addr`, marking every touched block dirty.
+    /// The caller must have bounds-checked the range.
+    #[inline]
+    pub fn write(&mut self, addr: usize, src: &[u8]) {
+        self.bytes[addr..addr + src.len()].copy_from_slice(src);
+        self.mark_dirty_range(addr, src.len());
+    }
+
+    /// Replaces the whole contents with `src` and clears all dirty bits.
     ///
     /// # Panics
     ///
-    /// Panics if the image size differs from the memory size.
-    pub fn load_image(&mut self, image: &MemImage) {
-        assert_eq!(image.len(), self.bytes.len(), "image size mismatch");
-        self.bytes.copy_from_slice(image.as_bytes());
+    /// Panics if `src` differs in size from the store.
+    pub fn load_from(&mut self, src: &[u8]) {
+        assert_eq!(src.len(), self.bytes.len(), "image size mismatch");
+        self.bytes.copy_from_slice(src);
         self.dirty.fill(0);
     }
 
     /// Copies back only the blocks written since the last snapshot
     /// load/restore, clearing the dirty bits. Returns the number of
-    /// bytes copied.
-    ///
-    /// This assumes `image` is the same snapshot the memory last
-    /// started from (otherwise clean-but-divergent blocks stay stale) —
-    /// exactly the compile-once / run-many contract.
+    /// bytes copied. Assumes `src` is the snapshot the store last
+    /// started from (otherwise clean-but-divergent blocks stay stale).
     ///
     /// # Panics
     ///
-    /// Panics if the image size differs from the memory size.
-    pub fn restore_image(&mut self, image: &MemImage) -> usize {
-        assert_eq!(image.len(), self.bytes.len(), "image size mismatch");
-        let src = image.as_bytes();
+    /// Panics if `src` differs in size from the store.
+    pub fn restore_from(&mut self, src: &[u8]) -> usize {
+        assert_eq!(src.len(), self.bytes.len(), "image size mismatch");
         let mut restored = 0;
         for (w, word) in self.dirty.iter_mut().enumerate() {
             let mut bits = *word;
@@ -157,10 +163,122 @@ impl Memory {
     }
 
     /// Bytes covered by currently-dirty blocks (an upper bound on what
-    /// the next [`restore_image`](Self::restore_image) will copy).
+    /// the next [`restore_from`](Self::restore_from) will copy).
     pub fn dirty_bytes(&self) -> usize {
         let blocks: usize = self.dirty.iter().map(|w| w.count_ones() as usize).sum();
         (blocks * BLOCK_BYTES).min(self.bytes.len())
+    }
+
+    /// Fills the store with zeros and marks everything dirty.
+    pub fn fill_zero(&mut self) {
+        self.bytes.fill(0);
+        self.dirty.fill(u64::MAX);
+    }
+
+    /// Flips one bit of the byte at `addr`. Returns `false` (and changes
+    /// nothing) when `addr` is out of bounds. A silent flip skips dirty
+    /// marking — see [`Memory::flip_bit`].
+    pub fn flip_bit(&mut self, addr: usize, bit: u32, silent: bool) -> bool {
+        if addr >= self.bytes.len() {
+            return false;
+        }
+        self.bytes[addr] ^= 1 << (bit & 7);
+        if !silent {
+            self.mark_dirty(addr);
+        }
+        true
+    }
+}
+
+/// Byte-addressable, little-endian data memory with single-cycle access.
+///
+/// RI5CY-class cores sit next to a TCDM with deterministic single-cycle
+/// latency; there is no cache model. Accesses are bounds-checked and must
+/// be naturally aligned — the optimized kernels never issue misaligned
+/// accesses, so an unaligned address indicates a code-generation bug and
+/// is reported as an error rather than silently split into two accesses.
+///
+/// The byte store and its dirty-block bitmap live in a [`TrackedMem`];
+/// `Memory` adds the checked, typed access surface.
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_sim::Memory;
+///
+/// let mut mem = Memory::new(1024);
+/// mem.write_u32(0x10, 0xDEAD_BEEF)?;
+/// assert_eq!(mem.read_u16(0x10)?, 0xBEEF);
+/// # Ok::<(), rnnasip_sim::SimError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Memory {
+    t: TrackedMem,
+}
+
+impl Memory {
+    /// Creates a zero-initialised memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Self {
+            t: TrackedMem::new(size),
+        }
+    }
+
+    /// Creates a memory whose contents are a full copy of `image`, with
+    /// no blocks marked dirty.
+    pub fn from_image(image: &MemImage) -> Self {
+        Self {
+            t: TrackedMem::from_bytes(image.as_bytes()),
+        }
+    }
+
+    /// Memory size in bytes.
+    pub fn size(&self) -> usize {
+        self.t.len()
+    }
+
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        self.t.as_bytes()
+    }
+
+    /// Takes an immutable snapshot of the current contents.
+    pub fn image(&self) -> MemImage {
+        MemImage {
+            bytes: Arc::from(self.t.as_bytes()),
+        }
+    }
+
+    /// Replaces the whole contents with `image` and clears all dirty
+    /// bits (full copy — use [`restore_image`](Self::restore_image) for
+    /// the incremental path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image size differs from the memory size.
+    pub fn load_image(&mut self, image: &MemImage) {
+        self.t.load_from(image.as_bytes());
+    }
+
+    /// Copies back only the blocks written since the last snapshot
+    /// load/restore, clearing the dirty bits. Returns the number of
+    /// bytes copied.
+    ///
+    /// This assumes `image` is the same snapshot the memory last
+    /// started from (otherwise clean-but-divergent blocks stay stale) —
+    /// exactly the compile-once / run-many contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image size differs from the memory size.
+    pub fn restore_image(&mut self, image: &MemImage) -> usize {
+        self.t.restore_from(image.as_bytes())
+    }
+
+    /// Bytes covered by currently-dirty blocks (an upper bound on what
+    /// the next [`restore_image`](Self::restore_image) will copy).
+    pub fn dirty_bytes(&self) -> usize {
+        self.t.dirty_bytes()
     }
 
     #[inline]
@@ -169,7 +287,7 @@ impl Memory {
         if !a.is_multiple_of(size as usize) {
             return Err(SimError::Misaligned { addr, size });
         }
-        if a + size as usize > self.bytes.len() {
+        if a + size as usize > self.t.len() {
             return Err(SimError::MemOutOfBounds { addr, size });
         }
         Ok(a)
@@ -182,7 +300,7 @@ impl Memory {
     /// [`SimError::MemOutOfBounds`] past the end of memory.
     pub fn read_u8(&self, addr: u32) -> Result<u8, SimError> {
         let a = self.check(addr, 1)?;
-        Ok(self.bytes[a])
+        Ok(self.bytes()[a])
     }
 
     /// Reads a little-endian halfword.
@@ -193,7 +311,8 @@ impl Memory {
     /// [`SimError::MemOutOfBounds`] past the end of memory.
     pub fn read_u16(&self, addr: u32) -> Result<u16, SimError> {
         let a = self.check(addr, 2)?;
-        Ok(u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]))
+        let b = self.bytes();
+        Ok(u16::from_le_bytes([b[a], b[a + 1]]))
     }
 
     /// Reads a little-endian word.
@@ -204,7 +323,7 @@ impl Memory {
     #[inline]
     pub fn read_u32(&self, addr: u32) -> Result<u32, SimError> {
         let a = self.check(addr, 4)?;
-        let word: [u8; 4] = self.bytes[a..a + 4].try_into().unwrap();
+        let word: [u8; 4] = self.bytes()[a..a + 4].try_into().unwrap();
         Ok(u32::from_le_bytes(word))
     }
 
@@ -215,8 +334,7 @@ impl Memory {
     /// [`SimError::MemOutOfBounds`] past the end of memory.
     pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), SimError> {
         let a = self.check(addr, 1)?;
-        self.bytes[a] = value;
-        self.mark_dirty(a);
+        self.t.write(a, &[value]);
         Ok(())
     }
 
@@ -227,8 +345,7 @@ impl Memory {
     /// [`SimError::Misaligned`] / [`SimError::MemOutOfBounds`].
     pub fn write_u16(&mut self, addr: u32, value: u16) -> Result<(), SimError> {
         let a = self.check(addr, 2)?;
-        self.bytes[a..a + 2].copy_from_slice(&value.to_le_bytes());
-        self.mark_dirty(a);
+        self.t.write(a, &value.to_le_bytes());
         Ok(())
     }
 
@@ -239,8 +356,7 @@ impl Memory {
     /// [`SimError::Misaligned`] / [`SimError::MemOutOfBounds`].
     pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
         let a = self.check(addr, 4)?;
-        self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
-        self.mark_dirty(a);
+        self.t.write(a, &value.to_le_bytes());
         Ok(())
     }
 
@@ -293,7 +409,7 @@ impl Memory {
         }
         let a = self.check_range(addr, 2, 2 * len)?;
         out.extend(
-            self.bytes[a..a + 2 * len]
+            self.bytes()[a..a + 2 * len]
                 .chunks_exact(2)
                 .map(|h| Q3p12::from_raw(i16::from_le_bytes([h[0], h[1]]))),
         );
@@ -314,10 +430,7 @@ impl Memory {
             return Ok(());
         }
         let a = self.check_range(addr, 1, bytes.len())?;
-        self.bytes[a..a + bytes.len()].copy_from_slice(bytes);
-        for block in (a >> BLOCK_SHIFT)..=((a + bytes.len() - 1) >> BLOCK_SHIFT) {
-            self.dirty[block >> 6] |= 1 << (block & 63);
-        }
+        self.t.write(a, bytes);
         Ok(())
     }
 
@@ -333,7 +446,7 @@ impl Memory {
     /// memory.
     pub(crate) fn byte_slice(&self, addr: u32, len: usize) -> Result<&[u8], SimError> {
         let a = self.check_range(addr, 1, len)?;
-        Ok(&self.bytes[a..a + len])
+        Ok(&self.bytes()[a..a + len])
     }
 
     fn check_range(&self, addr: u32, align: u32, len: usize) -> Result<usize, SimError> {
@@ -341,7 +454,7 @@ impl Memory {
         if !a.is_multiple_of(align as usize) {
             return Err(SimError::Misaligned { addr, size: align });
         }
-        if a.checked_add(len).is_none_or(|end| end > self.bytes.len()) {
+        if a.checked_add(len).is_none_or(|end| end > self.t.len()) {
             return Err(SimError::MemOutOfBounds {
                 addr,
                 size: len.min(u32::MAX as usize) as u32,
@@ -352,8 +465,7 @@ impl Memory {
 
     /// Fills the whole memory with zeros and marks everything dirty.
     pub fn clear(&mut self) {
-        self.bytes.fill(0);
-        self.dirty.fill(u64::MAX);
+        self.t.fill_zero();
     }
 
     /// Flips one bit of the byte at `addr`, as a fault-injection
@@ -367,15 +479,7 @@ impl Memory {
     /// saw — and therefore survives an incremental restore; only a full
     /// [`load_image`](Self::load_image) is guaranteed to clear it.
     pub fn flip_bit(&mut self, addr: u32, bit: u32, silent: bool) -> bool {
-        let a = addr as usize;
-        if a >= self.bytes.len() {
-            return false;
-        }
-        self.bytes[a] ^= 1 << (bit & 7);
-        if !silent {
-            self.mark_dirty(a);
-        }
-        true
+        self.t.flip_bit(addr as usize, bit, silent)
     }
 }
 
@@ -576,6 +680,35 @@ mod tests {
         assert!(mem.write_bytes(u32::MAX, &[1]).is_err());
         mem.write_bytes(62, &[0xAA, 0xBB]).unwrap(); // exactly to the edge
         assert_eq!(mem.read_u16(62).unwrap(), 0xBBAA);
+    }
+
+    #[test]
+    fn tracked_mem_restore_and_range_marking() {
+        let mut t = TrackedMem::new(200);
+        let snap = t.as_bytes().to_vec();
+        // A range write straddling blocks 0 and 1 dirties both.
+        t.write(60, &[0xAB; 8]);
+        assert_eq!(t.dirty_bytes(), 2 * 64);
+        assert_eq!(t.restore_from(&snap), 2 * 64);
+        assert_eq!(t.as_bytes()[60], 0);
+        assert_eq!(t.dirty_bytes(), 0);
+        // A zero-length range marks nothing.
+        t.mark_dirty_range(100, 0);
+        assert_eq!(t.dirty_bytes(), 0);
+        // fill_zero dirties the whole (partial-tail) store.
+        t.fill_zero();
+        assert_eq!(t.restore_from(&snap), 200);
+    }
+
+    #[test]
+    fn tracked_mem_flip_bit_bounds_and_silence() {
+        let mut t = TrackedMem::from_bytes(&[0u8; 64]);
+        assert!(!t.flip_bit(64, 0, false), "out of bounds flip is a no-op");
+        assert!(t.flip_bit(3, 1, true));
+        assert_eq!(t.as_bytes()[3], 2);
+        assert_eq!(t.dirty_bytes(), 0, "silent flip leaves bitmap alone");
+        assert!(t.flip_bit(3, 1, false));
+        assert_eq!(t.dirty_bytes(), 64, "tracked flip marks its block");
     }
 
     #[test]
