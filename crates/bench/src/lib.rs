@@ -20,6 +20,7 @@ pub mod faults;
 pub mod harness;
 pub mod json;
 pub mod par;
+pub mod traffic;
 
 use rnnasip_core::{KernelBackend, OptLevel, RunReport};
 use rnnasip_rrm::BenchmarkNet;

@@ -1,0 +1,103 @@
+//! The traffic front-end's determinism contract, differentially:
+//!
+//! - the virtual-time fields of a [`TrafficReport`] — and their
+//!   serialized JSON rows, the exact bytes `--check` pins — are
+//!   identical across repeated runs and across pools of 1, 2 and 8
+//!   workers, *including* under overload where requests are shed;
+//! - every served request's outputs are bit-identical to the serial
+//!   warm-engine golden path (spot-checked through the serve sink
+//!   against an [`EngineCache`]);
+//! - the admission queue never exceeds its configured cap.
+//!
+//! The city here is the debug-sized [`CityConfig::demo_city`] (a few
+//! hundred requests) so the test stays fast without optimizations; the
+//! bench binary applies the same machinery to the ~100k-request
+//! [`bench_city`](rnnasip_bench::traffic::bench_city).
+//!
+//! [`TrafficReport`]: rnnasip_core::serve::TrafficReport
+//! [`EngineCache`]: rnnasip_rrm::EngineCache
+
+use rnnasip_bench::traffic::{overload_front, virtual_row};
+use rnnasip_core::serve::{EnginePool, Front, TrafficReport};
+use rnnasip_rrm::traffic::{CityConfig, CityTraffic};
+use rnnasip_rrm::EngineCache;
+
+/// One overloaded city pass: a single virtual server behind a 2-slot
+/// queue against demo-city load — deliberately starved so shedding and
+/// the EDF policy are on the tested path.
+fn overloaded_pass(city: &CityConfig, workers: usize) -> TrafficReport {
+    let mut cfg = overload_front(1);
+    cfg.queue_cap = 2;
+    cfg.max_batch = 2;
+    let pool = EnginePool::with_workers(workers);
+    Front::new(&pool, cfg).serve(CityTraffic::new(city))
+}
+
+#[test]
+fn virtual_fields_are_byte_identical_across_runs_and_worker_counts() {
+    let city = CityConfig::demo_city(11);
+    let first = overloaded_pass(&city, 1);
+    let again = overloaded_pass(&city, 1);
+    let two = overloaded_pass(&city, 2);
+    let eight = overloaded_pass(&city, 8);
+
+    let total = first.aggregate();
+    assert!(
+        total.offered > 100,
+        "demo city too small: {}",
+        total.offered
+    );
+    assert!(
+        total.shed > 0,
+        "overload config did not shed — not testing backpressure"
+    );
+    assert!(
+        first.max_queue <= 2,
+        "queue exceeded cap: {}",
+        first.max_queue
+    );
+
+    // Structural equality of the full report (counters, histograms,
+    // makespan, checksum) — then byte equality of the serialized rows,
+    // the exact representation the committed baseline pins.
+    assert_eq!(first, again, "same pool width, different report");
+    assert_eq!(first, two, "1 vs 2 workers diverged");
+    assert_eq!(first, eight, "1 vs 8 workers diverged");
+    let row = virtual_row(&city, 2, &first);
+    assert_eq!(row, virtual_row(&city, 2, &again));
+    assert_eq!(row, virtual_row(&city, 2, &two));
+    assert_eq!(row, virtual_row(&city, 2, &eight));
+}
+
+#[test]
+fn served_outputs_match_the_serial_warm_engine_golden() {
+    let city = CityConfig::demo_city(5);
+    let cache = EngineCache::new();
+    let pool = EnginePool::with_workers(2);
+    let mut cfg = overload_front(4);
+    cfg.queue_cap = 1 << 16; // serve everything: the whole city is checked
+    let mut served = 0u64;
+    let report = Front::new(&pool, cfg).serve_with(CityTraffic::new(&city), |arrival, run| {
+        // Spot-check a deterministic sample of served requests against
+        // the serial warm-engine path (every 7th, plus the first).
+        if served.is_multiple_of(7) {
+            let golden = cache
+                .run(&arrival.net, arrival.level, &arrival.sequence)
+                .expect("serial golden run");
+            assert_eq!(
+                run.outputs, golden.outputs,
+                "ue {} of class {} diverged from serial",
+                arrival.ue, arrival.class
+            );
+            assert_eq!(run.report.cycles(), golden.report.cycles());
+        }
+        served += 1;
+    });
+    let total = report.aggregate();
+    assert_eq!(total.shed, 0);
+    assert_eq!(total.failed, 0);
+    assert_eq!(total.served, served);
+    assert!(served > 100, "demo city too small: {served}");
+    // The cache compiled each (network, level) shard exactly once.
+    assert_eq!(cache.compiles(), city.classes.len() as u64);
+}

@@ -67,7 +67,10 @@ pub use resilience::{Attempt, RecoveryAction, ResilientEngine, RetryPolicy, RunO
 pub use runner::{
     KernelBackend, Layer8Run, LayerRun, NetworkRun, StageRun, DEFAULT_WATCHDOG_CYCLES,
 };
-pub use serve::{BatchRequest, BatchResponse, EnginePool};
+pub use serve::{
+    Arrival, BatchRequest, BatchResponse, EnginePool, Front, FrontConfig, LatencyHistogram,
+    OverloadPolicy, TrafficReport,
+};
 // Fault-injection vocabulary, re-exported so campaign code can target an
 // `Engine` without depending on `rnnasip-sim` directly.
 pub use rnnasip_sim::{Fault, FaultEffect, FaultPlan, FaultRecord, FaultSite, SimError};

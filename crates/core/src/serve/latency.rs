@@ -1,0 +1,312 @@
+//! Fixed-bucket log-linear latency accounting for the traffic front-end.
+//!
+//! Request latencies under the deadline model are **virtual cycles** —
+//! exact `u64`s produced by the deterministic simulator — so the
+//! histogram is built for byte-determinism first: integer-only
+//! recording, integer-only percentile extraction, and a merge that is
+//! associative and commutative (plain counter addition). Two runs of the
+//! same city on any host, at any worker count, produce identical
+//! histograms and therefore identical reported percentiles.
+//!
+//! The bucket layout is the classic log-linear scheme (as used by
+//! HdrHistogram): values below [`SUB`] get one bucket each (exact), and
+//! every power-of-two range above that is split into [`SUB`] linear
+//! sub-buckets, bounding the relative quantization error of any reported
+//! percentile at `1/SUB` (6.25%) while keeping the whole table a flat
+//! 976-slot array.
+
+/// Log2 of the sub-bucket count per power-of-two range.
+const SUB_BITS: u32 = 4;
+
+/// Sub-buckets per power-of-two range; also the top of the exact range.
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Total bucket count: one group of [`SUB`] exact buckets for `0..SUB`,
+/// then 16 sub-buckets for each of the 60 power-of-two ranges
+/// `[2^4, 2^64)`.
+const NBUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB as usize;
+
+/// Index of the bucket holding `v`.
+fn bucket(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let group = (msb - SUB_BITS + 1) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB - 1)) as usize;
+        group * SUB as usize + sub
+    }
+}
+
+/// Largest value mapped to bucket `index` — the value percentiles
+/// report, making every reported percentile an upper bound on the true
+/// one (a latency number that errs pessimistic).
+fn bucket_high(index: usize) -> u64 {
+    if index < SUB as usize {
+        index as u64
+    } else {
+        let group = (index / SUB as usize) as u32;
+        let sub = (index % SUB as usize) as u64;
+        let msb = group + SUB_BITS - 1;
+        let width = 1u64 << (msb - SUB_BITS);
+        (1u64 << msb) + sub * width + (width - 1)
+    }
+}
+
+/// A deterministic fixed-size latency histogram over `u64` values
+/// (virtual cycles).
+///
+/// # Example
+///
+/// ```
+/// use rnnasip_core::serve::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for v in 1..=100u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 100);
+/// assert_eq!(h.percentile_ppm(500_000), 51); // p50, bucket upper bound
+/// assert_eq!(h.min(), 1);
+/// assert_eq!(h.max(), 100);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; NBUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Integer mean (sum / count, truncating; 0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.count)) as u64
+        }
+    }
+
+    /// The value at quantile `ppm` parts-per-million (e.g. `500_000` for
+    /// p50, `990_000` for p99, `999_000` for p999), computed entirely in
+    /// integers: the rank is `ceil(count * ppm / 1e6)` clamped to
+    /// `[1, count]`, and the returned value is the upper bound of the
+    /// bucket containing that rank, clamped into the observed
+    /// `[min, max]` range. Returns 0 on an empty histogram.
+    pub fn percentile_ppm(&self, ppm: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (u128::from(self.count) * u128::from(ppm))
+            .div_ceil(1_000_000)
+            .clamp(1, u128::from(self.count)) as u64;
+        let mut seen = 0u64;
+        for (index, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.percentile_ppm(500_000)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile_ppm(990_000)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile_ppm(999_000)
+    }
+
+    /// Adds every value of `other` into `self`. Counter addition
+    /// commutes and associates, so merging per-class (or per-shard)
+    /// histograms in any grouping yields the identical aggregate — the
+    /// property the merge-associativity test pins.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnnasip_rng::StdRng;
+
+    #[test]
+    fn buckets_are_exact_below_sub_and_within_bounds_above() {
+        for v in 0..SUB {
+            assert_eq!(bucket(v), v as usize);
+            assert_eq!(bucket_high(v as usize), v);
+        }
+        // Every value lands in a bucket whose [low, high] contains it,
+        // with width <= v / SUB.
+        for &v in &[16u64, 31, 32, 33, 100, 1000, 65535, 1 << 40, u64::MAX] {
+            let i = bucket(v);
+            let high = bucket_high(i);
+            assert!(high >= v, "v={v} high={high}");
+            assert!(high - v <= v / SUB, "v={v} high={high}");
+        }
+        assert_eq!(bucket(u64::MAX), NBUCKETS - 1);
+    }
+
+    #[test]
+    fn exact_percentiles_on_known_distributions() {
+        // Values 0..16 are exact buckets: percentiles are exact order
+        // statistics (rank = ceil(q * n)).
+        let mut h = LatencyHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile_ppm(500_000), 7); // rank 8 -> value 7
+        assert_eq!(h.percentile_ppm(1_000_000), 15);
+        assert_eq!(h.percentile_ppm(62_500), 0); // rank 1
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.mean(), 7); // 120/16 truncated
+
+        // A point mass: every percentile is that point.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(42);
+        }
+        assert_eq!(h.p50(), 42);
+        assert_eq!(h.p99(), 42);
+        assert_eq!(h.p999(), 42);
+
+        // 1..=100 uniform: p99 = rank 99 -> value 99, bucket [96,99].
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p99(), 99);
+        assert_eq!(h.p999(), 100);
+        assert_eq!(h.mean(), 50);
+    }
+
+    #[test]
+    fn percentiles_clamp_into_observed_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_000); // wide bucket; upper bound > 1_000_000
+        assert_eq!(h.p999(), 1_000_000);
+        assert_eq!(h.p50(), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_order_independent() {
+        // Seeded property test: any grouping of merges equals recording
+        // every value into one histogram.
+        let mut rng = StdRng::seed_from_u64(0x1a7e);
+        for trial in 0..20 {
+            let parts: Vec<Vec<u64>> = (0..4)
+                .map(|_| {
+                    (0..50 + trial * 7)
+                        .map(|_| rng.next_u64() >> (rng.next_u64() % 50))
+                        .collect()
+                })
+                .collect();
+            let hists: Vec<LatencyHistogram> = parts
+                .iter()
+                .map(|vs| {
+                    let mut h = LatencyHistogram::new();
+                    for &v in vs {
+                        h.record(v);
+                    }
+                    h
+                })
+                .collect();
+
+            // ((a+b)+c)+d
+            let mut left = hists[0].clone();
+            for h in &hists[1..] {
+                left.merge(h);
+            }
+            // a+((b+(c+d))) — a different grouping and merge order.
+            let mut cd = hists[2].clone();
+            cd.merge(&hists[3]);
+            let mut bcd = hists[1].clone();
+            bcd.merge(&cd);
+            let mut right = hists[0].clone();
+            right.merge(&bcd);
+
+            let mut flat = LatencyHistogram::new();
+            for vs in &parts {
+                for &v in vs {
+                    flat.record(v);
+                }
+            }
+            assert_eq!(left, flat, "trial {trial}: left grouping");
+            assert_eq!(right, flat, "trial {trial}: right grouping");
+        }
+    }
+}

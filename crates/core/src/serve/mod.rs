@@ -28,6 +28,12 @@
 //!   rewind → rebuild ladder of the resilience module) and keeps
 //!   serving; the batch still completes, and the outcome records which
 //!   rung recovered it.
+//! - [`Front`] puts a deadline-aware traffic front-end over the pool:
+//!   EDF-ordered admission from a bounded queue with shed/reject
+//!   backpressure, micro-batching under a virtual-time window, and
+//!   p50/p99/p999 latency accounting ([`LatencyHistogram`]) against a
+//!   fixed virtual-server deadline model — byte-deterministic at any
+//!   worker count (see [`Front`]).
 //!
 //! # Determinism
 //!
@@ -45,10 +51,16 @@
 //! [`Engine`]: crate::Engine
 
 mod batch;
+mod front;
+mod latency;
 mod pool;
 mod scheduler;
 
 pub use batch::{BatchItem, BatchRequest, BatchResponse, ItemOutcome};
+pub use front::{
+    output_fingerprint, Arrival, ClassStats, Front, FrontConfig, OverloadPolicy, TrafficReport,
+};
+pub use latency::LatencyHistogram;
 pub use pool::{BatchTicket, EnginePool};
 
 // The pool moves networks, fault plans and engines across threads; keep

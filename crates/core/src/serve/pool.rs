@@ -78,6 +78,14 @@ impl BatchState {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         drop(done);
+        self.collect()
+    }
+
+    fn is_complete(&self) -> bool {
+        *lock(&self.progress) >= self.total
+    }
+
+    fn collect(&self) -> Vec<ItemOutcome> {
         lock(&self.slots)
             .drain(..)
             .map(|slot| slot.expect("completed batch has every slot filled"))
@@ -112,6 +120,25 @@ impl BatchTicket {
     pub fn wait(self) -> BatchResponse {
         BatchResponse {
             outcomes: self.state.wait(),
+        }
+    }
+
+    /// Whether every item of the batch has been answered (a completed
+    /// ticket's [`wait`](Self::wait) returns without blocking).
+    pub fn is_complete(&self) -> bool {
+        self.state.is_complete()
+    }
+
+    /// Non-blocking drain: the response if the batch has completed,
+    /// otherwise the ticket back — the poll hook a front-end uses to
+    /// overlap useful work with an in-flight batch.
+    pub fn try_wait(self) -> Result<BatchResponse, BatchTicket> {
+        if self.state.is_complete() {
+            Ok(BatchResponse {
+                outcomes: self.state.collect(),
+            })
+        } else {
+            Err(self)
         }
     }
 }
@@ -342,6 +369,58 @@ mod tests {
             route("eisen2019", OptLevel::Baseline),
             "levels are separate shards"
         );
+    }
+
+    #[test]
+    fn fnv_routing_balances_across_worker_counts() {
+        // 10k distinct shard keys must spread near-uniformly over every
+        // pool width the repo tests at: the max/min per-worker load
+        // ratio stays under 1.5 (a skewed router would starve warm
+        // engines on some workers and hot-spot others).
+        for &workers in &[1usize, 2, 8] {
+            let mut loads = vec![0u64; workers];
+            for i in 0..10_000 {
+                let key = format!("ue-net-{i}");
+                loads[route(&key, OptLevel::IfmTile) % workers] += 1;
+            }
+            let max = *loads.iter().max().unwrap();
+            let min = *loads.iter().min().unwrap();
+            assert!(min > 0, "{workers} workers: a shard got no load");
+            assert!(
+                max as f64 / min as f64 <= 1.5,
+                "{workers} workers: shard skew {max}/{min} exceeds 1.5"
+            );
+        }
+    }
+
+    #[test]
+    fn ticket_try_wait_drains_without_blocking() {
+        let suite = rnnasip_rrm::suite();
+        let net = Arc::new(suite[3].network.clone());
+        let mut batch = BatchRequest::new();
+        for _ in 0..4 {
+            batch.push(net.clone(), OptLevel::IfmTile, suite[3].input());
+        }
+        let pool = EnginePool::with_workers(2);
+        let mut ticket = pool.submit(batch);
+        // Poll until the workers finish; each failed poll returns the
+        // ticket intact.
+        let response = loop {
+            match ticket.try_wait() {
+                Ok(response) => break response,
+                Err(t) => {
+                    ticket = t;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        assert_eq!(response.len(), 4);
+        assert!(response.all_ok());
+
+        // A completed ticket reports completion before the drain.
+        let ticket = pool.submit(BatchRequest::new());
+        assert!(ticket.is_complete());
+        assert!(ticket.try_wait().is_ok());
     }
 
     #[test]

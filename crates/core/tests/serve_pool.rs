@@ -216,3 +216,71 @@ fn pooled_cluster_engines_match_serial_goldens() {
         }
     }
 }
+
+/// Current thread count of this process (Linux `/proc`); falls back to
+/// 0 where unavailable, which disables the leak bound below.
+fn process_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Graceful-shutdown regression: pools created and dropped under
+/// submission load must join every worker (no thread leak across 100
+/// generations) and never wedge a ticket — whether the pool is dropped
+/// before or after the ticket is waited on, queued work still drains.
+#[test]
+fn hundred_pools_shut_down_cleanly_under_submission_load() {
+    let level = OptLevel::IfmTile;
+    let bench = rnnasip_rrm::suite().remove(3); // eisen2019, fast
+    let input = bench.input();
+    let net = Arc::new(bench.network);
+    let golden = KernelBackend::new(level)
+        .compile_network(&net)
+        .unwrap()
+        .engine()
+        .run(&input)
+        .unwrap();
+
+    let before = process_threads();
+    for generation in 0..100 {
+        let pool = EnginePool::with_workers(1 + generation % 4);
+        let mut batch = BatchRequest::new();
+        for _ in 0..4 {
+            batch.push(net.clone(), level, input.clone());
+        }
+        let ticket = pool.submit(batch);
+        if generation % 2 == 0 {
+            // Drop the pool FIRST: Drop closes the scheduler and joins
+            // the workers, which drain the queue before exiting — the
+            // ticket must still complete with full, correct results.
+            drop(pool);
+        }
+        let response = ticket.wait();
+        assert_eq!(response.len(), 4, "generation {generation}");
+        assert!(response.all_ok(), "generation {generation}");
+        for outcome in response.outcomes() {
+            assert_eq!(
+                outcome.result.as_ref().unwrap().outputs,
+                golden.outputs,
+                "generation {generation}"
+            );
+        }
+    }
+    let after = process_threads();
+    // ~250 worker threads were created and joined across the loop. The
+    // bound is slack (other tests run concurrently in this binary), but
+    // a Drop that leaked workers would blow far past it.
+    if before > 0 && after > 0 {
+        assert!(
+            after <= before + 16,
+            "worker threads leaked: {before} -> {after}"
+        );
+    }
+}

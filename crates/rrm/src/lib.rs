@@ -26,6 +26,7 @@
 pub mod env;
 mod infer;
 mod nets;
+pub mod traffic;
 mod weights;
 
 pub use infer::{CacheEngine, EngineCache};
