@@ -1,0 +1,92 @@
+//! SDC-detection campaign: seeded single-bit flips into guarded kernel
+//! words across every `(network, OptLevel)` cell, measuring ABFT guard
+//! coverage, false-positive rate, and cycle overhead (see
+//! `rnnasip_bench::sdc`).
+//!
+//! Flags:
+//!
+//! - `--seed N` — campaign master seed (default 7).
+//! - `--trials N` — trials per cell (default 12, or 3 with `--smoke`).
+//! - `--smoke` — the CI configuration: 3 trials per cell.
+//! - `--json` — also write `BENCH_sdc.json` next to this crate's
+//!   manifest.
+//! - `--check` — compare the report against the committed
+//!   `BENCH_sdc_baseline.json` byte for byte and fail on any drift.
+
+use rnnasip_bench::sdc::{campaign, coverage_ppm, level_summary, to_json, CampaignConfig};
+
+fn arg_value(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = arg_value(&args, "--seed").unwrap_or(7);
+    let mut cfg = if smoke {
+        CampaignConfig::smoke(seed)
+    } else {
+        CampaignConfig::full(seed)
+    };
+    if let Some(trials) = arg_value(&args, "--trials") {
+        cfg.trials = trials as u32;
+    }
+    let mode = if smoke { "smoke" } else { "full" };
+
+    let cells = campaign(&cfg);
+    let doc = to_json(&cfg, mode, &cells);
+
+    println!(
+        "sdc campaign: seed {}, {} trials/cell, {} cells",
+        cfg.seed,
+        cfg.trials,
+        cells.len(),
+    );
+    println!("| level | detected | missed | flagged benign | masked | coverage | max overhead |");
+    println!("|---|---|---|---|---|---|---|");
+    for (tag, row, coverage, overhead) in level_summary(&cells) {
+        println!(
+            "| {tag} | {} | {} | {} | {} | {}.{:04}% | {}.{:04}% |",
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            coverage / 10_000,
+            coverage % 10_000,
+            overhead / 10_000,
+            overhead % 10_000,
+        );
+    }
+    let fp: u64 = cells.iter().map(|c| c.clean_trips).sum();
+    let coverage = coverage_ppm(&cells);
+    println!(
+        "coverage {}.{:04}% of output-corrupting flips, {fp} false positives on the clean suite",
+        coverage / 10_000,
+        coverage % 10_000
+    );
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    if args.iter().any(|a| a == "--json") {
+        let path = dir.join("BENCH_sdc.json");
+        std::fs::write(&path, doc.clone() + "\n").expect("write BENCH_sdc.json");
+        println!("wrote {}", path.display());
+    }
+    if args.iter().any(|a| a == "--check") {
+        let path = dir.join("BENCH_sdc_baseline.json");
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        if baseline.trim_end() != doc {
+            eprintln!("baseline: {}", baseline.trim_end());
+            eprintln!("current:  {doc}");
+            eprintln!(
+                "sdc campaign drifted from the committed baseline \
+                 (same seed must reproduce byte-identical results)"
+            );
+            std::process::exit(1);
+        }
+        println!("baseline check passed (byte-identical report)");
+    }
+}

@@ -11,6 +11,7 @@
 //! | Fig. 3 (per-network speedups) | `cargo run -p rnnasip-bench --bin fig3` |
 //! | Section IV (throughput/power/area) | `cargo run -p rnnasip-bench --bin core_results` |
 //! | Resilience table (fault-injection campaign) | `cargo run -p rnnasip-bench --bin fault_campaign` |
+//! | SDC-detection table (ABFT guard campaign) | `cargo run -p rnnasip-bench --bin sdc_campaign` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +21,7 @@ pub mod faults;
 pub mod harness;
 pub mod json;
 pub mod par;
+pub mod sdc;
 pub mod traffic;
 
 use rnnasip_core::{KernelBackend, OptLevel, RunReport};

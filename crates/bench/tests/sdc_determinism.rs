@@ -1,0 +1,87 @@
+//! Determinism and acceptance contract of the SDC campaign: the same
+//! [`CampaignConfig`] must reproduce byte-identical results across
+//! repeated runs, no output-corrupting flip into a guarded word may
+//! escape detection, the clean suite must never trip a guard, and the
+//! analytic guard surcharge must stay within its budget.
+//!
+//! The tests sweep single cells (`sdc::cell`) on the smallest suite
+//! network rather than the full campaign, so they stay fast in debug
+//! builds; the full-sweep equivalent is the CI `sdc_campaign --smoke
+//! --check` step against the committed baseline.
+
+use rnnasip_bench::sdc::{cell, coverage_ppm, to_json, CampaignConfig, Verdict};
+use rnnasip_core::{FaultRecord, OptLevel};
+
+/// Smallest suite network (eisen2019 MLP) — same pick as the core
+/// crate's resilience tests.
+const SMALL_NET: usize = 3;
+
+#[test]
+fn same_seed_reproduces_identical_cells() {
+    let cfg = CampaignConfig { seed: 7, trials: 6 };
+    let first = cell(&cfg, SMALL_NET, OptLevel::IfmTile);
+    let second = cell(&cfg, SMALL_NET, OptLevel::IfmTile);
+    assert_eq!(first, second);
+    assert_eq!(
+        to_json(&cfg, "smoke", &[first]),
+        to_json(&cfg, "smoke", std::slice::from_ref(&second))
+    );
+    // The flip generator actually varies across trials.
+    assert!(
+        second
+            .trials
+            .iter()
+            .any(|t| (t.site, &t.record) != (second.trials[0].site, &second.trials[0].record)),
+        "trial plans degenerate: {:?}",
+        second.trials
+    );
+}
+
+#[test]
+fn every_corrupting_flip_is_detected_and_clean_runs_never_trip() {
+    for level in [OptLevel::Baseline, OptLevel::IfmTile] {
+        let cfg = CampaignConfig { seed: 9, trials: 8 };
+        let c = cell(&cfg, SMALL_NET, level);
+        assert_eq!(c.clean_trips, 0, "{level:?}: false positive on clean run");
+        assert_eq!(
+            c.count(Verdict::Missed),
+            0,
+            "{level:?}: an output-corrupting flip escaped the guards: {:?}",
+            c.trials
+        );
+        assert_eq!(coverage_ppm(&[c]), 1_000_000);
+    }
+}
+
+#[test]
+fn guard_overhead_stays_within_budget_at_the_top_levels() {
+    // The acceptance bar: ≤ 5% analytic surcharge at levels d and e
+    // (the paper's headline configurations).
+    let cfg = CampaignConfig { seed: 7, trials: 1 };
+    for level in [OptLevel::SdotSp, OptLevel::IfmTile] {
+        let c = cell(&cfg, SMALL_NET, level);
+        assert!(c.guard_regions > 0, "{level:?}: nothing guarded");
+        assert!(c.guard_entries > 0, "{level:?}: guards never fired");
+        assert!(
+            c.overhead_ppm <= 50_000,
+            "{level:?}: guard overhead {} ppm exceeds 5%",
+            c.overhead_ppm
+        );
+    }
+}
+
+#[test]
+fn trial_records_are_stable_fault_lines() {
+    // Satellite contract: campaign logs serialize applied faults via
+    // the pinned `FaultRecord` line format, so every record in a cell
+    // parses back (`FromStr` round-trip).
+    let cfg = CampaignConfig { seed: 7, trials: 6 };
+    let c = cell(&cfg, SMALL_NET, OptLevel::IfmTile);
+    for t in &c.trials {
+        let parsed: FaultRecord = t
+            .record
+            .parse()
+            .unwrap_or_else(|e| panic!("unparseable record {:?}: {e}", t.record));
+        assert_eq!(parsed.to_string(), t.record, "round-trip drift");
+    }
+}

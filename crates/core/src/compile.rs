@@ -27,7 +27,7 @@ use crate::runner::KernelBackend;
 use rnnasip_asm::Asm;
 use rnnasip_fixed::Q3p12;
 use rnnasip_nn::{Act, Conv2dLayer, FcLayer, LstmLayer, Matrix, Network, Stage};
-use rnnasip_sim::{ClusterProgram, Machine, MemImage, Program, UopProgram};
+use rnnasip_sim::{ClusterProgram, GuardSpec, Machine, MemImage, Program, UopProgram};
 use std::sync::Arc;
 
 /// First data address in the TCDM (code addresses live below it; the
@@ -108,6 +108,13 @@ pub struct CompiledNetwork {
     /// with [`KernelBackend::with_cores`]: per-core phase programs plus
     /// DMA descriptors. `None` means the classic single-machine artifact.
     pub(crate) cluster: Option<Arc<ClusterProgram>>,
+    /// Compile-time ABFT guard specs, one per recorded kernel region:
+    /// the column-checksum row of each region's weight matrix, folded
+    /// from the clean staged image. Engines arm these on demand
+    /// ([`Engine::set_guards`](crate::engine::Engine::set_guards));
+    /// empty for cluster artifacts, whose kernels run on per-core
+    /// machines the guard monitor does not observe.
+    pub(crate) guards: Arc<Vec<GuardSpec>>,
     pub(crate) input: InputDesc,
     pub(crate) output: OutputDesc,
     pub(crate) level: OptLevel,
@@ -152,6 +159,11 @@ impl CompiledNetwork {
     /// [`KernelBackend::with_cores`].
     pub fn cluster(&self) -> Option<&Arc<ClusterProgram>> {
         self.cluster.as_ref()
+    }
+
+    /// The compile-time ABFT guard specs (empty for cluster artifacts).
+    pub fn guards(&self) -> &Arc<Vec<GuardSpec>> {
+        &self.guards
     }
 
     /// How many cluster cores this artifact executes on (1 for the
@@ -314,12 +326,22 @@ pub(crate) fn compile_stages(
     let regions = std::mem::take(&mut s.regions);
     let (program, machine) = s.into_program()?;
     let image = machine.mem().image();
+    // Fold the guard checksums from the *clean* staged weights, before
+    // any input patching or fault injection can touch the image: this
+    // is what makes the run-time check sensitive to later corruption.
+    let guards = Arc::new(
+        regions
+            .iter()
+            .filter_map(|r| GuardSpec::from_region(machine.mem(), r))
+            .collect::<Vec<_>>(),
+    );
     let uops = Arc::new(UopProgram::translate_with_shortcuts(&program, &regions));
     Ok(CompiledNetwork {
         program,
         uops,
         image,
         cluster: None,
+        guards,
         input,
         output: OutputDesc {
             base: cur_addr,

@@ -60,6 +60,11 @@ pub struct Engine {
     /// copy. Hoisted out of `run` so back-to-back inferences (the
     /// serving hot path) allocate nothing per request.
     patch: Vec<u8>,
+    /// Whether ABFT guards are armed on the machine (single-machine
+    /// engines only; cluster substrates have no guard monitor).
+    guards_on: bool,
+    /// Whether the most recent successful run tripped a guard.
+    last_guard_failed: bool,
 }
 
 impl Engine {
@@ -78,6 +83,8 @@ impl Engine {
             last_faulted_core: None,
             fault_core: 0,
             patch: Vec::with_capacity(patch_capacity),
+            guards_on: false,
+            last_guard_failed: false,
         }
     }
 
@@ -279,6 +286,40 @@ impl Engine {
         &self.last_fault_log
     }
 
+    /// Arms (or disarms) the compiled artifact's ABFT guards on the
+    /// underlying machine. Guarded runs verify every kernel region's
+    /// column checksum natively at region exit and attach a
+    /// [`GuardReport`](rnnasip_sim::GuardReport) to the
+    /// [`RunReport`]; outputs, cycle counts and per-mnemonic rows stay
+    /// bit-identical to unguarded runs on clean inputs (the analytic
+    /// guard surcharge lives in the report's separate
+    /// `guard_cycles` counter). No-op for cluster engines and for the
+    /// reference interpreter path, neither of which the guard monitor
+    /// observes.
+    pub fn set_guards(&mut self, on: bool) {
+        self.guards_on = on && self.compiled.cluster().is_none();
+        if let Exec::Single(m) = &mut self.exec {
+            if self.guards_on {
+                m.arm_guards(Arc::clone(self.compiled.guards()));
+            } else {
+                m.disarm_guards();
+            }
+        }
+    }
+
+    /// Whether ABFT guards are currently armed on this engine.
+    pub fn guards_enabled(&self) -> bool {
+        self.guards_on
+    }
+
+    /// Whether the most recent successful guarded run tripped a guard
+    /// (`false` after unguarded, reference, or failed runs). Engine
+    /// pools use this to quarantine a possibly-corrupted engine instead
+    /// of recycling it.
+    pub fn last_guard_failed(&self) -> bool {
+        self.last_guard_failed
+    }
+
     /// Rebuilds the machine from the compiled artifact: fresh memory
     /// loaded from the full staged image, program reloaded (clearing any
     /// instruction-word corruption), all fault state gone.
@@ -292,6 +333,14 @@ impl Engine {
     pub fn heal_rebuild(&mut self) {
         self.exec = Self::build_exec(&self.compiled);
         self.last_restored = self.compiled.image().len();
+        self.last_guard_failed = false;
+        // `build_exec` reloads the program, which drops any armed guard
+        // unit; restore the caller's guard setting on the fresh machine.
+        if self.guards_on {
+            if let Exec::Single(m) = &mut self.exec {
+                m.arm_guards(Arc::clone(self.compiled.guards()));
+            }
+        }
     }
 
     fn run_inner(
@@ -361,6 +410,7 @@ impl Engine {
         outputs: &mut Vec<Q3p12>,
     ) -> Result<RunReport, CoreError> {
         let input = self.compiled.input();
+        self.last_guard_failed = false;
         // The sequence is contiguous in the staged layout (step t at
         // base + 2*t*width), so it flattens into the reusable patch
         // scratch and lands in one bulk write.
@@ -376,6 +426,10 @@ impl Engine {
             Exec::Single(machine) => {
                 self.last_restored = machine.rewind(self.compiled.image());
                 machine.mem_mut().write_bytes(input.base(), &self.patch)?;
+                // Seed the guard ledger with the freshly patched input
+                // window, so the first region's input-sum check covers
+                // flips that land before the kernel ever reads it.
+                machine.guard_note_range(input.base(), (self.patch.len() / 2) as u32);
                 let started = std::time::Instant::now();
                 if reference {
                     machine.run_legacy(max_cycles)?;
@@ -387,7 +441,23 @@ impl Engine {
                 machine
                     .mem()
                     .read_q3p12_into(out.base(), out.len(), outputs)?;
-                Ok(RunReport::new(machine.stats().clone()).with_host_nanos(host_nanos))
+                let mut report =
+                    RunReport::new(machine.stats().clone()).with_host_nanos(host_nanos);
+                // The guard monitor only observes the micro-op path; a
+                // reference run with guards armed reports nothing.
+                if !reference {
+                    if let Some(mut guard) = machine.guard_report() {
+                        // Final rung of the ledger chain: the output
+                        // window as read back must still sum to what the
+                        // last region wrote there.
+                        if machine.guard_verify_range(out.base(), out.len() as u32) == Some(false) {
+                            guard.output_check_failed = true;
+                        }
+                        self.last_guard_failed = guard.failed();
+                        report = report.with_guard(guard);
+                    }
+                }
+                Ok(report)
             }
             Exec::Cluster(cluster) => {
                 self.last_restored = cluster.rewind(self.compiled.image());

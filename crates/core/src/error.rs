@@ -17,6 +17,10 @@ pub enum CoreError {
     /// stage after the first stage) — structurally valid, just not
     /// supported by the current code generator.
     Unsupported(String),
+    /// A serving-pool worker panicked twice on one request — the panic
+    /// was contained (engine quarantined, thread survived) but the
+    /// request could not be answered.
+    WorkerPanic,
     /// The memory layout did not fit in the configured TCDM size.
     OutOfMemory {
         /// Bytes requested beyond the TCDM capacity.
@@ -33,6 +37,9 @@ impl fmt::Display for CoreError {
             CoreError::Sim(e) => write!(f, "simulation failed: {e}"),
             CoreError::Shape(msg) => write!(f, "unsupported layer shape: {msg}"),
             CoreError::Unsupported(msg) => write!(f, "unsupported network topology: {msg}"),
+            CoreError::WorkerPanic => {
+                write!(f, "pool worker panicked repeatedly serving the request")
+            }
             CoreError::OutOfMemory { needed, capacity } => {
                 write!(f, "data layout needs {needed} bytes, TCDM has {capacity}")
             }

@@ -63,7 +63,9 @@ pub use layout::DataLayout;
 pub use optlevel::OptLevel;
 pub use partition::{Partition, StageSplit};
 pub use report::{CoreReport, RunReport};
-pub use resilience::{Attempt, RecoveryAction, ResilientEngine, RetryPolicy, RunOutcome};
+pub use resilience::{
+    Attempt, RecoveryAction, ResilientEngine, RetryPolicy, RunOutcome, SdcVerdict,
+};
 pub use runner::{
     KernelBackend, Layer8Run, LayerRun, NetworkRun, StageRun, DEFAULT_WATCHDOG_CYCLES,
 };
@@ -73,4 +75,7 @@ pub use serve::{
 };
 // Fault-injection vocabulary, re-exported so campaign code can target an
 // `Engine` without depending on `rnnasip-sim` directly.
-pub use rnnasip_sim::{Fault, FaultEffect, FaultPlan, FaultRecord, FaultSite, SimError};
+pub use rnnasip_sim::{
+    Fault, FaultEffect, FaultPlan, FaultRecord, FaultSite, GuardReport, GuardSpec, KernelRegion,
+    ParseFaultError, RegionGuard, ShortcutPtr, SimError,
+};

@@ -290,6 +290,9 @@ pub(crate) fn compile_clustered(
         uops,
         image,
         cluster: Some(Arc::new(ClusterProgram { cores, dma, phases })),
+        // Guards watch the single-machine uop stream; cluster kernels
+        // run on per-core machines outside the monitor's view.
+        guards: Arc::new(Vec::new()),
         input: InputDesc {
             base: l2_base,
             width,

@@ -1,6 +1,6 @@
 //! Run reports: cycles, instructions, MACs, and derived metrics.
 
-use rnnasip_sim::Stats;
+use rnnasip_sim::{GuardReport, Stats};
 
 /// One cluster core's share of a run: its per-mnemonic statistics and
 /// the banking-conflict stalls the TCDM model charged it.
@@ -33,6 +33,8 @@ pub struct RunReport {
     /// Cluster critical-path latency; `None` for single-machine runs,
     /// whose latency is simply [`cycles`](Self::cycles).
     latency_cycles: Option<u64>,
+    /// ABFT guard verdicts, when the engine ran with guards armed.
+    guard: Option<GuardReport>,
 }
 
 impl RunReport {
@@ -82,6 +84,24 @@ impl RunReport {
     /// run was clustered, otherwise the single machine's cycle total.
     pub fn latency_cycles(&self) -> u64 {
         self.latency_cycles.unwrap_or_else(|| self.cycles())
+    }
+
+    /// Attaches the per-region ABFT guard verdicts of a guarded run.
+    #[must_use]
+    pub fn with_guard(mut self, guard: GuardReport) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// The guard verdicts, when the run executed with guards armed.
+    pub fn guard(&self) -> Option<&GuardReport> {
+        self.guard.as_ref()
+    }
+
+    /// Whether any armed guard flagged this run (always `false` for
+    /// unguarded runs).
+    pub fn guard_failed(&self) -> bool {
+        self.guard.as_ref().is_some_and(GuardReport::failed)
     }
 
     /// Attaches the host wall-clock time the simulation took.
@@ -161,6 +181,11 @@ impl RunReport {
         self.dma_cycles += other.dma_cycles;
         self.barrier_cycles += other.barrier_cycles;
         self.latency_cycles = latency;
+        match (&mut self.guard, &other.guard) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.guard = Some(theirs.clone()),
+            _ => {}
+        }
         // Per-core rows merge by core index, so the result is the same
         // whichever order the parts arrive in.
         for row in &other.per_core {

@@ -4,6 +4,11 @@
 //! [`SimError`] as a recoverable event rather than a dead process. The
 //! ladder, climbed one rung per failed attempt under a [`RetryPolicy`]:
 //!
+//! 0. **Verify** — a run that *succeeded* but tripped an ABFT guard
+//!    ([`Engine::set_guards`]) re-executes the whole net on rewound
+//!    memory. A clean repeat classifies the corruption as
+//!    [`SdcVerdict::Transient`]; a repeat trip as
+//!    [`SdcVerdict::Sticky`], which climbs straight to rebuild.
 //! 1. **Rewind** — the engine's eager post-failure heal already restored
 //!    every tracked write from the staged image and disarmed leftover
 //!    fault state, so a retry costs only the dirty-block restore. This
@@ -66,6 +71,13 @@ use rnnasip_sim::{FaultPlan, SimError};
 /// How many recovery rungs a [`ResilientEngine`] may climb per run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
+    /// Verify re-runs after a *successful* attempt whose ABFT guards
+    /// flagged silent data corruption (rung 0, below rewind). The
+    /// re-run costs one dirty-block restore plus the run itself; its
+    /// guard verdict classifies the corruption as
+    /// [`SdcVerdict::Transient`] (the retry healed it) or
+    /// [`SdcVerdict::Sticky`] (climb to rebuild/degrade).
+    pub max_verifies: u32,
     /// Retries after the engine's eager rewind (rung 1). Each one costs
     /// a dirty-block restore plus the re-run itself.
     pub max_rewinds: u32,
@@ -82,9 +94,11 @@ pub struct RetryPolicy {
 }
 
 impl Default for RetryPolicy {
-    /// One rewind retry, then rebuild, then degrade — the full ladder.
+    /// One verify re-run, one rewind retry, then rebuild, then degrade
+    /// — the full ladder.
     fn default() -> Self {
         Self {
+            max_verifies: 1,
             max_rewinds: 1,
             rebuild: true,
             degrade: true,
@@ -97,6 +111,13 @@ impl RetryPolicy {
     /// The full ladder with default budgets ([`Default`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets the guard-verify re-run budget.
+    #[must_use]
+    pub fn with_max_verifies(mut self, n: u32) -> Self {
+        self.max_verifies = n;
+        self
     }
 
     /// Sets the rewind-retry budget.
@@ -133,12 +154,30 @@ impl RetryPolicy {
 pub enum RecoveryAction {
     /// The initial attempt — no recovery preceded it.
     FirstTry,
+    /// Re-run after a *successful* attempt tripped an ABFT guard: the
+    /// whole net re-executes on rewound memory and the fresh guard
+    /// verdict separates transient from sticky corruption.
+    Verify,
     /// Retry after the engine's eager dirty-block rewind.
     Rewind,
     /// Retry after a full rebuild from the staged image.
     Rebuild,
     /// Retry after recompiling one [`OptLevel`] lower.
     Degrade,
+}
+
+/// What a [`RecoveryAction::Verify`] re-run concluded about a guard
+/// trip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SdcVerdict {
+    /// The re-run came back clean: the corruption lived in state the
+    /// rewind restores (a tracked memory flip, a register upset) and is
+    /// gone.
+    Transient,
+    /// The re-run tripped again: the corruption survives rewinds (a
+    /// silent memory flip the write tracking never saw) — only the
+    /// rebuild/degrade rungs can clear it.
+    Sticky,
 }
 
 /// One attempt of a resilient run: what recovery preceded it, at which
@@ -156,6 +195,15 @@ pub struct Attempt {
     /// single-machine engine, the faulting cluster core for a clustered
     /// one, `None` for clean attempts.
     pub faulted_core: Option<usize>,
+    /// Whether this attempt succeeded but tripped an ABFT guard.
+    pub guard_failed: bool,
+    /// Index of the first guarded region that flagged this attempt
+    /// (`None` for clean attempts and for trips caught only by the
+    /// final-output window check).
+    pub guard_region: Option<usize>,
+    /// The conclusion of a [`RecoveryAction::Verify`] re-run, on the
+    /// verify attempt itself.
+    pub verdict: Option<SdcVerdict>,
 }
 
 /// The structured result of a resilient run: the final outcome plus the
@@ -178,6 +226,19 @@ impl RunOutcome {
     pub fn recovered(&self) -> bool {
         self.result.is_ok() && self.attempts.len() > 1
     }
+
+    /// Whether any attempt's ABFT guards flagged silent data corruption.
+    pub fn sdc_detected(&self) -> bool {
+        self.attempts.iter().any(|a| a.guard_failed)
+    }
+
+    /// Whether guards flagged corruption *and* the final attempt came
+    /// back clean — the ladder contained the SDC.
+    pub fn sdc_healed(&self) -> bool {
+        self.result.is_ok()
+            && self.sdc_detected()
+            && self.attempts.last().is_some_and(|a| !a.guard_failed)
+    }
 }
 
 /// A self-healing wrapper around an [`Engine`].
@@ -189,6 +250,7 @@ pub struct ResilientEngine {
     backend: KernelBackend,
     policy: RetryPolicy,
     engine: Engine,
+    guards_on: bool,
 }
 
 impl ResilientEngine {
@@ -218,7 +280,17 @@ impl ResilientEngine {
             backend,
             policy,
             engine,
+            guards_on: false,
         })
+    }
+
+    /// Arms (or disarms) ABFT guards on the wrapped engine. The setting
+    /// is sticky: it survives rebuilds, degradation and
+    /// [`restore_level`](Self::restore_level), all of which re-create
+    /// the underlying machine.
+    pub fn set_guards(&mut self, on: bool) {
+        self.guards_on = on;
+        self.engine.set_guards(on);
     }
 
     /// The wrapped engine (post-mortem state, `last_fault_log`, …).
@@ -254,8 +326,29 @@ impl ResilientEngine {
     pub fn restore_level(&mut self) -> Result<(), CoreError> {
         if self.level() != self.backend.level() {
             self.engine = self.backend.compile_network(&self.net)?.engine();
+            self.engine.set_guards(self.guards_on);
         }
         Ok(())
+    }
+
+    /// Recompiles one [`OptLevel`] lower and swaps the engine. `None`
+    /// when degradation is off-policy or the level is already
+    /// `Baseline`; `Some(Err)` surfaces a compile failure.
+    fn degrade(&mut self, level: OptLevel) -> Option<Result<(), CoreError>> {
+        if !self.policy.degrade {
+            return None;
+        }
+        let lower = level.lower()?;
+        Some(
+            self.backend
+                .clone()
+                .with_level(lower)
+                .compile_network(&self.net)
+                .map(|compiled| {
+                    self.engine = compiled.engine();
+                    self.engine.set_guards(self.guards_on);
+                }),
+        )
     }
 
     /// Runs one inference, climbing the recovery ladder as needed.
@@ -264,6 +357,7 @@ impl ResilientEngine {
     pub fn run(&mut self, sequence: &[Vec<Q3p12>]) -> RunOutcome {
         let mut attempts = Vec::new();
         let mut action = RecoveryAction::FirstTry;
+        let mut verifies_left = self.policy.max_verifies;
         let mut rewinds_left = self.policy.max_rewinds;
         let mut rebuild_left = self.policy.rebuild;
         loop {
@@ -275,17 +369,65 @@ impl ResilientEngine {
             };
             match result {
                 Ok(run) => {
+                    let guard_failed = run.report.guard_failed();
+                    // A verify re-run's own verdict: a clean repeat
+                    // means the rewind healed the corruption; another
+                    // trip means it lives in state rewinds cannot reach.
+                    let verdict = (action == RecoveryAction::Verify).then_some(if guard_failed {
+                        SdcVerdict::Sticky
+                    } else {
+                        SdcVerdict::Transient
+                    });
                     attempts.push(Attempt {
                         action,
                         level,
                         error: None,
                         faulted_core: None,
+                        guard_failed,
+                        guard_region: run.report.guard().and_then(|g| g.first_failed_region()),
+                        verdict,
                     });
-                    return RunOutcome {
-                        result: Ok(run),
-                        attempts,
-                        level,
-                    };
+                    if !guard_failed {
+                        return RunOutcome {
+                            result: Ok(run),
+                            attempts,
+                            level,
+                        };
+                    }
+                    // The run completed but its outputs are suspect:
+                    // climb verify → rebuild → degrade. (Rewind adds
+                    // nothing here — every run already starts from a
+                    // rewound machine, so the verify re-run *is* the
+                    // rewind test.)
+                    if verifies_left > 0 {
+                        verifies_left -= 1;
+                        action = RecoveryAction::Verify;
+                    } else if rebuild_left {
+                        rebuild_left = false;
+                        self.engine.heal_rebuild();
+                        action = RecoveryAction::Rebuild;
+                    } else {
+                        match self.degrade(level) {
+                            Some(Ok(())) => action = RecoveryAction::Degrade,
+                            Some(Err(compile_err)) => {
+                                return RunOutcome {
+                                    result: Err(compile_err),
+                                    attempts,
+                                    level,
+                                };
+                            }
+                            // Ladder exhausted: surface the flagged run
+                            // — the caller sees both the outputs and the
+                            // standing detection in the attempt history.
+                            None => {
+                                return RunOutcome {
+                                    result: Ok(run),
+                                    attempts,
+                                    level,
+                                };
+                            }
+                        }
+                    }
                 }
                 Err(CoreError::Sim(e)) => {
                     attempts.push(Attempt {
@@ -293,6 +435,9 @@ impl ResilientEngine {
                         level,
                         error: Some(e.clone()),
                         faulted_core: self.engine.last_faulted_core(),
+                        guard_failed: false,
+                        guard_region: None,
+                        verdict: None,
                     });
                     if rewinds_left > 0 {
                         // The engine already rewound eagerly on failure;
@@ -303,32 +448,24 @@ impl ResilientEngine {
                         rebuild_left = false;
                         self.engine.heal_rebuild();
                         action = RecoveryAction::Rebuild;
-                    } else if self.policy.degrade && level.lower().is_some() {
-                        let lower = level.lower().expect("checked above");
-                        match self
-                            .backend
-                            .clone()
-                            .with_level(lower)
-                            .compile_network(&self.net)
-                        {
-                            Ok(compiled) => {
-                                self.engine = compiled.engine();
-                                action = RecoveryAction::Degrade;
-                            }
-                            Err(compile_err) => {
+                    } else {
+                        match self.degrade(level) {
+                            Some(Ok(())) => action = RecoveryAction::Degrade,
+                            Some(Err(compile_err)) => {
                                 return RunOutcome {
                                     result: Err(compile_err),
                                     attempts,
                                     level,
                                 };
                             }
+                            None => {
+                                return RunOutcome {
+                                    result: Err(CoreError::Sim(e)),
+                                    attempts,
+                                    level,
+                                };
+                            }
                         }
-                    } else {
-                        return RunOutcome {
-                            result: Err(CoreError::Sim(e)),
-                            attempts,
-                            level,
-                        };
                     }
                 }
                 Err(other) => {
@@ -339,6 +476,9 @@ impl ResilientEngine {
                         level,
                         error: None,
                         faulted_core: None,
+                        guard_failed: false,
+                        guard_region: None,
+                        verdict: None,
                     });
                     return RunOutcome {
                         result: Err(other),

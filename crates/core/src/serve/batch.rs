@@ -105,10 +105,16 @@ pub struct ItemOutcome {
     /// The inference result, bit-identical to a serial
     /// [`Engine::run`](crate::Engine::run) of the same request.
     pub result: Result<NetworkRun, CoreError>,
-    /// `FirstTry` when the request ran clean; `Rewind`/`Rebuild` when
-    /// the worker healed its engine in place before succeeding (or
-    /// before giving up, for an `Err` result).
+    /// `FirstTry` when the request ran clean; `Verify`/`Rewind`/
+    /// `Rebuild` when the worker healed its engine in place before
+    /// succeeding (or before giving up, for an `Err` result).
     pub recovery: RecoveryAction,
+    /// Whether an ABFT guard flagged silent data corruption on any
+    /// attempt of this request (guarded pools only).
+    pub sdc_detected: bool,
+    /// Whether a flagged request's final attempt came back clean — the
+    /// worker's verify/rebuild ladder contained the corruption.
+    pub sdc_healed: bool,
 }
 
 impl ItemOutcome {

@@ -132,6 +132,13 @@ pub struct ClassStats {
     pub failed: u64,
     /// Served requests whose virtual completion met their deadline.
     pub met: u64,
+    /// Served requests on which an ABFT guard flagged silent data
+    /// corruption (guarded pools only; always 0 on unguarded pools).
+    pub sdc_detected: u64,
+    /// Flagged requests whose final attempt came back guard-clean — the
+    /// pool's verify/rebuild ladder contained the corruption before the
+    /// answer shipped.
+    pub sdc_healed: u64,
     /// Virtual-cycle latency (completion − arrival) of served requests.
     pub latency: LatencyHistogram,
 }
@@ -156,6 +163,8 @@ impl ClassStats {
         self.shed += other.shed;
         self.failed += other.failed;
         self.met += other.met;
+        self.sdc_detected += other.sdc_detected;
+        self.sdc_healed += other.sdc_healed;
         self.latency.merge(&other.latency);
     }
 }
@@ -448,6 +457,8 @@ impl<'a> Front<'a> {
 
                     let stats = &mut report.per_class[class];
                     stats.served += 1;
+                    stats.sdc_detected += u64::from(outcome.sdc_detected);
+                    stats.sdc_healed += u64::from(outcome.sdc_healed);
                     stats.latency.record(done - entry.arrival.arrival);
                     if done <= entry.arrival.deadline {
                         stats.met += 1;

@@ -9,6 +9,8 @@ use crate::runner::KernelBackend;
 use crate::serve::batch::{BatchItem, BatchRequest, BatchResponse, ItemOutcome};
 use crate::serve::scheduler::Scheduler;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -105,6 +107,15 @@ struct PoolShared {
     /// artifacts; `n >= 1` compiles every shard with
     /// [`KernelBackend::with_cores`]).
     cores: usize,
+    /// Whether worker engines arm ABFT guards
+    /// ([`Engine::set_guards`]) and climb the SDC containment ladder.
+    guards: bool,
+    /// Test hook: pending worker panics to inject. Each claim panics one
+    /// `serve_item` call mid-request, exercising the quarantine path.
+    inject_panics: AtomicUsize,
+    /// Worker panics caught and contained (engine quarantined +
+    /// respawned; the worker thread survived).
+    panics_caught: AtomicUsize,
 }
 
 /// A ticket for a submitted batch; [`wait`](Self::wait) blocks until
@@ -205,11 +216,27 @@ impl EnginePool {
     /// latency. `cores == 0` (the [`with_workers`](Self::with_workers)
     /// default) keeps the classic single-machine artifacts.
     pub fn with_workers_and_cores(workers: usize, cores: usize) -> Self {
+        Self::build(workers, cores, false)
+    }
+
+    /// A pool whose engines run with ABFT guards armed: every request's
+    /// outcome carries `sdc_detected`/`sdc_healed`, and a guard trip
+    /// climbs the worker's in-place verify → rebuild ladder before the
+    /// answer ships. Clean-input results stay bit-identical to an
+    /// unguarded pool.
+    pub fn with_workers_guarded(workers: usize) -> Self {
+        Self::build(workers, 0, true)
+    }
+
+    fn build(workers: usize, cores: usize, guards: bool) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(PoolShared {
             sched: Scheduler::new(workers),
             compiled: Mutex::new(HashMap::new()),
             cores,
+            guards,
+            inject_panics: AtomicUsize::new(0),
+            panics_caught: AtomicUsize::new(0),
         });
         let handles = (0..workers)
             .map(|id| {
@@ -229,6 +256,19 @@ impl EnginePool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.shared.sched.workers()
+    }
+
+    /// Test hook: arms `n` one-shot worker panics. Each of the next `n`
+    /// `serve` calls across the pool panics mid-request, exercising the
+    /// containment path (engine quarantined + respawned, request
+    /// retried, worker thread survives).
+    pub fn inject_worker_panics(&self, n: usize) {
+        self.shared.inject_panics.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// How many worker panics the pool has caught and contained.
+    pub fn worker_panics_caught(&self) -> usize {
+        self.shared.panics_caught.load(Ordering::Relaxed)
     }
 
     /// Enqueues a batch and returns immediately; each item is routed to
@@ -308,7 +348,59 @@ fn warm_engine<'a>(
                 }
             };
             drop(cache);
-            Ok(entry.insert(Engine::new(compiled)))
+            let mut engine = Engine::new(compiled);
+            engine.set_guards(shared.guards);
+            Ok(entry.insert(engine))
+        }
+    }
+}
+
+/// Claims one pending injected panic (test hook). The decrement is a
+/// lock-free CAS so concurrent workers never double-claim: exactly `n`
+/// calls panic after `inject_worker_panics(n)`.
+fn claim_injected_panic(shared: &PoolShared) -> bool {
+    shared
+        .inject_panics
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+        .is_ok()
+}
+
+/// Panic-containment wrapper around [`serve_item_inner`]: a panicked
+/// serve call must not poison the pool. The worker thread survives
+/// (`catch_unwind`), the shard's engine — whose state the panic may have
+/// left mid-run — is quarantined and respawned from the compile cache,
+/// and the request retries once on the fresh engine. A second panic
+/// fails the single request with [`CoreError::WorkerPanic`]; the batch
+/// and the other workers keep flowing either way.
+fn serve_item(
+    shared: &PoolShared,
+    engines: &mut HashMap<ShardKey, Engine>,
+    item: &BatchItem,
+) -> ItemOutcome {
+    let key: ShardKey = (item.net.name().to_string(), item.level);
+    match catch_unwind(AssertUnwindSafe(|| serve_item_inner(shared, engines, item))) {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            shared.panics_caught.fetch_add(1, Ordering::Relaxed);
+            engines.remove(&key); // quarantine: drop the suspect engine
+            match catch_unwind(AssertUnwindSafe(|| serve_item_inner(shared, engines, item))) {
+                Ok(mut outcome) => {
+                    // The retry ran on a respawned engine: surface the
+                    // heaviest rung so `recovered()` reports it.
+                    outcome.recovery = RecoveryAction::Rebuild;
+                    outcome
+                }
+                Err(_) => {
+                    shared.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    engines.remove(&key);
+                    ItemOutcome {
+                        result: Err(CoreError::WorkerPanic),
+                        recovery: RecoveryAction::Rebuild,
+                        sdc_detected: false,
+                        sdc_healed: false,
+                    }
+                }
+            }
         }
     }
 }
@@ -316,10 +408,13 @@ fn warm_engine<'a>(
 /// Runs one request on this worker, climbing the in-place recovery
 /// ladder on simulation failures: the engine's eager post-failure rewind
 /// makes the first retry free of special handling, and a second failure
-/// escalates to a full [`Engine::heal_rebuild`]. Recovery never touches
-/// the queue — other requests keep flowing on the remaining workers
-/// while this one heals.
-fn serve_item(
+/// escalates to a full [`Engine::heal_rebuild`]. On a guarded pool, an
+/// ABFT guard trip on a *successful* run climbs the same ladder — verify
+/// re-run first (a transient flip rewinds away), then rebuild (sticky
+/// corruption needs the staged image). Recovery never touches the
+/// queue — other requests keep flowing on the remaining workers while
+/// this one heals.
+fn serve_item_inner(
     shared: &PoolShared,
     engines: &mut HashMap<ShardKey, Engine>,
     item: &BatchItem,
@@ -330,9 +425,14 @@ fn serve_item(
             return ItemOutcome {
                 result: Err(e),
                 recovery: RecoveryAction::FirstTry,
+                sdc_detected: false,
+                sdc_healed: false,
             }
         }
     };
+    if claim_injected_panic(shared) {
+        panic!("injected worker panic (serve-pool test hook)");
+    }
     if let Some(plan) = &item.fault {
         engine.inject_faults(plan);
     }
@@ -351,7 +451,28 @@ fn serve_item(
         recovery = RecoveryAction::Rebuild;
         result = engine.run(&item.sequence);
     }
-    ItemOutcome { result, recovery }
+    let mut sdc_detected = false;
+    if result.is_ok() && engine.last_guard_failed() {
+        // Guard rung 0 (verify): every run starts from a rewound image,
+        // so the re-run doubles as the rewind test — a transient flip is
+        // gone, a sticky one trips again.
+        sdc_detected = true;
+        recovery = RecoveryAction::Verify;
+        result = engine.run(&item.sequence);
+    }
+    if result.is_ok() && sdc_detected && engine.last_guard_failed() {
+        // Sticky corruption: restore from the compile-time staged image.
+        engine.heal_rebuild();
+        recovery = RecoveryAction::Rebuild;
+        result = engine.run(&item.sequence);
+    }
+    let sdc_healed = sdc_detected && result.is_ok() && !engine.last_guard_failed();
+    ItemOutcome {
+        result,
+        recovery,
+        sdc_detected,
+        sdc_healed,
+    }
 }
 
 #[cfg(test)]

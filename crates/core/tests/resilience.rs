@@ -4,7 +4,7 @@
 
 use rnnasip_core::{
     CoreError, Fault, FaultPlan, FaultSite, KernelBackend, OptLevel, RecoveryAction,
-    ResilientEngine, RetryPolicy, SimError, DEFAULT_WATCHDOG_CYCLES,
+    ResilientEngine, RetryPolicy, SdcVerdict, SimError, DEFAULT_WATCHDOG_CYCLES,
 };
 use rnnasip_fixed::Q3p12;
 use rnnasip_isa::Reg;
@@ -247,6 +247,107 @@ fn reference_policy_matches_the_uop_path_through_recovery() {
     let (ra, rb) = (a.result.unwrap(), b.result.unwrap());
     assert_eq!(ra.outputs, rb.outputs);
     assert_eq!(ra.report.cycles(), rb.report.cycles());
+}
+
+/// A *tracked* memory flip corrupts a bias word the guards watch: the
+/// run succeeds but trips, the verify re-run starts from rewound
+/// (clean) memory, and the verdict is `Transient`.
+#[test]
+fn tracked_sdc_heals_on_the_verify_rung() {
+    let (net, input) = policy_net();
+    let mut engine = ResilientEngine::new(&net, KernelBackend::new(OptLevel::IfmTile)).unwrap();
+    engine.set_guards(true);
+    let golden = engine.run(&input);
+    assert!(!golden.sdc_detected());
+    let golden_run = golden.result.unwrap();
+    assert!(golden_run.report.guard().is_some(), "guards are armed");
+
+    let bias = engine.engine().compiled().guards()[0].region.bias32;
+    engine.inject_faults(&FaultPlan::new().with_fault(Fault {
+        at_instret: 0,
+        site: FaultSite::MemBit {
+            addr: bias,
+            bit: 4,
+            silent: false,
+        },
+    }));
+    let outcome = engine.run(&input);
+    let actions: Vec<_> = outcome.attempts.iter().map(|a| a.action).collect();
+    assert_eq!(actions, [RecoveryAction::FirstTry, RecoveryAction::Verify]);
+    assert!(outcome.attempts[0].guard_failed);
+    assert_eq!(outcome.attempts[0].guard_region, Some(0));
+    assert_eq!(outcome.attempts[1].verdict, Some(SdcVerdict::Transient));
+    assert!(outcome.sdc_detected());
+    assert!(outcome.sdc_healed());
+    let run = outcome.result.unwrap();
+    assert_eq!(run.outputs, golden_run.outputs);
+    assert_eq!(run.report.cycles(), golden_run.report.cycles());
+}
+
+/// A *silent* flip of the same word survives the verify re-run's rewind
+/// (`Sticky`) and needs the rebuild rung to clear.
+#[test]
+fn silent_sdc_is_sticky_and_needs_the_rebuild_rung() {
+    let (net, input) = policy_net();
+    let mut engine = ResilientEngine::new(&net, KernelBackend::new(OptLevel::IfmTile)).unwrap();
+    engine.set_guards(true);
+    let golden = engine.run(&input).result.unwrap();
+
+    let bias = engine.engine().compiled().guards()[0].region.bias32;
+    engine.inject_faults(&FaultPlan::new().with_fault(Fault {
+        at_instret: 0,
+        site: FaultSite::MemBit {
+            addr: bias,
+            bit: 4,
+            silent: true,
+        },
+    }));
+    let outcome = engine.run(&input);
+    let actions: Vec<_> = outcome.attempts.iter().map(|a| a.action).collect();
+    assert_eq!(
+        actions,
+        [
+            RecoveryAction::FirstTry,
+            RecoveryAction::Verify,
+            RecoveryAction::Rebuild,
+        ]
+    );
+    assert_eq!(outcome.attempts[1].verdict, Some(SdcVerdict::Sticky));
+    assert!(outcome.attempts[1].guard_failed);
+    assert!(!outcome.attempts[2].guard_failed, "rebuild cleared it");
+    assert!(outcome.sdc_healed());
+    let run = outcome.result.unwrap();
+    assert_eq!(run.outputs, golden.outputs);
+    assert_eq!(run.report.cycles(), golden.report.cycles());
+}
+
+/// With every containment rung off-policy, a flagged run is surfaced
+/// as-is: detection stands in the attempt history, outputs are suspect.
+#[test]
+fn exhausted_ladder_surfaces_the_flagged_run() {
+    let (net, input) = policy_net();
+    let policy = RetryPolicy::new()
+        .with_max_verifies(0)
+        .with_rebuild(false)
+        .with_degrade(false);
+    let mut engine =
+        ResilientEngine::with_policy(&net, KernelBackend::new(OptLevel::IfmTile), policy).unwrap();
+    engine.set_guards(true);
+    let bias = engine.engine().compiled().guards()[0].region.bias32;
+    engine.inject_faults(&FaultPlan::new().with_fault(Fault {
+        at_instret: 0,
+        site: FaultSite::MemBit {
+            addr: bias,
+            bit: 4,
+            silent: true,
+        },
+    }));
+    let outcome = engine.run(&input);
+    assert_eq!(outcome.attempts.len(), 1);
+    assert!(outcome.sdc_detected());
+    assert!(!outcome.sdc_healed());
+    assert!(outcome.result.is_ok(), "the run itself completed");
+    assert!(outcome.result.unwrap().report.guard_failed());
 }
 
 /// `Display` coverage for every `CoreError` variant (the sim-level

@@ -3,8 +3,10 @@
 //! submission order, and a fault-injected request heals in place without
 //! failing its batch.
 
-use rnnasip_core::serve::{BatchRequest, EnginePool};
-use rnnasip_core::{FaultPlan, KernelBackend, NetworkRun, OptLevel, RecoveryAction, RunReport};
+use rnnasip_core::serve::{Arrival, BatchRequest, EnginePool, Front, FrontConfig};
+use rnnasip_core::{
+    Fault, FaultPlan, FaultSite, KernelBackend, NetworkRun, OptLevel, RecoveryAction, RunReport,
+};
 use rnnasip_nn::Network;
 use rnnasip_rng::StdRng;
 use std::sync::Arc;
@@ -283,4 +285,219 @@ fn hundred_pools_shut_down_cleanly_under_submission_load() {
             "worker threads leaked: {before} -> {after}"
         );
     }
+}
+
+/// Mutes the default panic-hook banner for the pool's *injected* test
+/// panics (they fire on worker threads, whose stderr libtest cannot
+/// capture); every other panic still reaches the previous hook.
+fn mute_injected_panic_banner() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected worker panic"));
+        if !injected {
+            prev(info);
+        }
+    }));
+}
+
+/// Worker-panic containment: an injected panic mid-request must not
+/// poison the pool. The batch completes with every slot correct, the
+/// panicked request retried on a quarantined-and-respawned engine, the
+/// worker threads all survive, and a follow-up batch serves clean.
+#[test]
+fn worker_panic_is_contained_and_the_pool_stays_live() {
+    mute_injected_panic_banner();
+    let level = OptLevel::IfmTile;
+    let bench = rnnasip_rrm::suite().remove(3); // eisen2019
+    let input = bench.input();
+    let net = Arc::new(bench.network);
+    let golden = KernelBackend::new(level)
+        .compile_network(&net)
+        .unwrap()
+        .engine()
+        .run(&input)
+        .unwrap();
+
+    let pool = EnginePool::with_workers(2);
+    let threads_before = process_threads();
+    pool.inject_worker_panics(1);
+
+    let mut batch = BatchRequest::new();
+    for _ in 0..6 {
+        batch.push(net.clone(), level, input.clone());
+    }
+    let response = pool.run_batch(batch);
+    assert!(response.all_ok(), "the panicked request must be retried");
+    assert_eq!(pool.worker_panics_caught(), 1, "exactly one panic fired");
+    assert_eq!(pool.workers(), 2, "no worker was lost");
+    assert_eq!(
+        response.recovered(),
+        1,
+        "the retried slot reports its recovery"
+    );
+    for (slot, outcome) in response.outcomes().iter().enumerate() {
+        let run = outcome.result.as_ref().unwrap();
+        assert_eq!(run.outputs, golden.outputs, "slot {slot}");
+        assert_eq!(run.report.cycles(), golden.report.cycles(), "slot {slot}");
+        assert!(!outcome.sdc_detected, "a panic is not an SDC");
+        if outcome.recovered() {
+            assert_eq!(outcome.recovery, RecoveryAction::Rebuild);
+        }
+    }
+
+    // The pool keeps serving: a second batch runs entirely clean.
+    let mut batch = BatchRequest::new();
+    for _ in 0..4 {
+        batch.push(net.clone(), level, input.clone());
+    }
+    let response = pool.run_batch(batch);
+    assert!(response.all_ok());
+    assert_eq!(response.recovered(), 0, "no lingering damage");
+    assert_eq!(pool.worker_panics_caught(), 1, "no further panics");
+
+    // catch_unwind keeps the worker threads alive, so containment leaks
+    // no threads by construction; pin it anyway.
+    let threads_after = process_threads();
+    if threads_before > 0 && threads_after > 0 {
+        assert!(
+            threads_after <= threads_before + 16,
+            "threads leaked: {threads_before} -> {threads_after}"
+        );
+    }
+}
+
+/// SDC containment on a guarded pool: a silent weight-memory flip armed
+/// on one request trips the ABFT guard, survives the verify re-run
+/// (silent flips evade the dirty-block rewind by design), and is finally
+/// cleared by the rebuild rung — the answer ships bit-identical to the
+/// golden, flagged `sdc_detected` and `sdc_healed`. Clean slots on the
+/// same guarded pool stay bit-identical to the unguarded serial path
+/// with no flags raised.
+#[test]
+fn guarded_pool_detects_and_heals_silent_corruption() {
+    let level = OptLevel::IfmTile;
+    let bench = rnnasip_rrm::suite().remove(3); // eisen2019
+    let input = bench.input();
+    let net = Arc::new(bench.network);
+    let compiled = KernelBackend::new(level).compile_network(&net).unwrap();
+    let golden = compiled.engine().run(&input).unwrap();
+    let bias = compiled.guards()[0].region.bias32;
+
+    let plan = FaultPlan::new().with_fault(Fault {
+        at_instret: 0,
+        site: FaultSite::MemBit {
+            addr: bias,
+            bit: 4,
+            silent: true,
+        },
+    });
+
+    let pool = EnginePool::with_workers_guarded(2);
+    let mut batch = BatchRequest::new();
+    for i in 0..5 {
+        if i == 2 {
+            batch.push_with_faults(net.clone(), level, input.clone(), plan.clone());
+        } else {
+            batch.push(net.clone(), level, input.clone());
+        }
+    }
+    let response = pool.run_batch(batch);
+    assert!(response.all_ok(), "SDC must be contained, not surfaced");
+    for (slot, outcome) in response.outcomes().iter().enumerate() {
+        let run = outcome.result.as_ref().unwrap();
+        assert_eq!(run.outputs, golden.outputs, "slot {slot}: outputs");
+        assert_eq!(
+            run.report.cycles(),
+            golden.report.cycles(),
+            "slot {slot}: cycles"
+        );
+        if slot == 2 {
+            assert!(outcome.sdc_detected, "the guard must flag the flip");
+            assert!(outcome.sdc_healed, "the rebuild rung must clear it");
+            assert_eq!(outcome.recovery, RecoveryAction::Rebuild);
+        } else {
+            assert!(!outcome.sdc_detected, "slot {slot}: clean run flagged");
+            assert!(!outcome.sdc_healed);
+            assert_eq!(outcome.recovery, RecoveryAction::FirstTry);
+        }
+    }
+}
+
+/// A *tracked* (non-silent) flip heals one rung earlier: the verify
+/// re-run starts from a rewound image, so the corruption is already gone
+/// and the request never needs the rebuild.
+#[test]
+fn guarded_pool_heals_tracked_corruption_on_the_verify_rung() {
+    let level = OptLevel::IfmTile;
+    let bench = rnnasip_rrm::suite().remove(3); // eisen2019
+    let input = bench.input();
+    let net = Arc::new(bench.network);
+    let compiled = KernelBackend::new(level).compile_network(&net).unwrap();
+    let golden = compiled.engine().run(&input).unwrap();
+    let bias = compiled.guards()[0].region.bias32;
+
+    let plan = FaultPlan::new().with_fault(Fault {
+        at_instret: 0,
+        site: FaultSite::MemBit {
+            addr: bias,
+            bit: 4,
+            silent: false,
+        },
+    });
+
+    let pool = EnginePool::with_workers_guarded(1);
+    let mut batch = BatchRequest::new();
+    batch.push_with_faults(net.clone(), level, input.clone(), plan);
+    let response = pool.run_batch(batch);
+    assert!(response.all_ok());
+    let outcome = &response.outcomes()[0];
+    assert!(outcome.sdc_detected);
+    assert!(outcome.sdc_healed);
+    assert_eq!(outcome.recovery, RecoveryAction::Verify);
+    let run = outcome.result.as_ref().unwrap();
+    assert_eq!(run.outputs, golden.outputs);
+    assert_eq!(run.report.cycles(), golden.report.cycles());
+}
+
+/// A guarded pool behind the traffic [`Front`] on clean traffic: the
+/// report (per-class SDC counters included) must be byte-identical to an
+/// unguarded pool's — guards cost nothing observable on clean inputs,
+/// and the counters stay zero.
+#[test]
+fn front_over_guarded_pool_matches_unguarded_on_clean_traffic() {
+    let level = OptLevel::IfmTile;
+    let bench = rnnasip_rrm::suite().remove(3); // eisen2019
+    let input = bench.input();
+    let net = Arc::new(bench.network);
+    let make = || {
+        (0..12u64)
+            .map(|i| Arrival {
+                net: net.clone(),
+                level,
+                sequence: input.clone(),
+                arrival: i * 500,
+                deadline: i * 500 + 200_000,
+                class: (i % 3) as usize,
+                ue: i,
+            })
+            .collect::<Vec<_>>()
+    };
+    let cfg = FrontConfig {
+        batch_window: 1_000,
+        ..FrontConfig::default()
+    };
+
+    let plain = EnginePool::with_workers(2);
+    let unguarded = Front::new(&plain, cfg.clone()).serve(make().into_iter());
+    let armed = EnginePool::with_workers_guarded(2);
+    let guarded = Front::new(&armed, cfg).serve(make().into_iter());
+
+    assert_eq!(guarded, unguarded, "guards must be invisible when clean");
+    let total = guarded.aggregate();
+    assert_eq!(total.served, 12);
+    assert_eq!(total.sdc_detected, 0, "no false positives");
+    assert_eq!(total.sdc_healed, 0);
 }

@@ -71,12 +71,43 @@ pub struct EngineCache {
     /// prewarm tests use to prove a warmed cache serves without paying
     /// compile latency inside the measurement window.
     compiles: AtomicU64,
+    /// Whether engines handed out by this cache arm ABFT guards
+    /// ([`Engine::set_guards`]). Guarded engines that return a run with
+    /// a tripped guard are *quarantined* on check-in (dropped instead of
+    /// pooled), so latent silent corruption can never be served to the
+    /// next borrower — the compiled artifact stays clean, and the next
+    /// checkout instantiates a fresh engine from it.
+    guards: bool,
+    /// Engines quarantined (dropped on check-in) after a guard trip.
+    quarantined: AtomicU64,
 }
 
 impl EngineCache {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache whose engines run with ABFT guards armed: every
+    /// run's report carries a guard section, and an engine whose run
+    /// trips a guard is quarantined on check-in instead of returning to
+    /// the idle pool.
+    pub fn guarded() -> Self {
+        Self {
+            guards: true,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this cache's engines arm ABFT guards.
+    pub fn guards_enabled(&self) -> bool {
+        self.guards
+    }
+
+    /// Engines quarantined after a guard-tripped run over the cache's
+    /// lifetime (always 0 on unguarded caches).
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     /// Number of networks compiled so far (artifacts, not engines).
@@ -128,10 +159,18 @@ impl EngineCache {
             let mut idle = lock(&self.idle);
             let engines = idle.entry(key).or_default();
             if engines.is_empty() {
-                engines.push(Engine::new(compiled));
+                engines.push(self.instantiate(compiled));
             }
         }
         Ok(fresh)
+    }
+
+    /// A fresh engine from `compiled`, guards armed per the cache's
+    /// configuration.
+    fn instantiate(&self, compiled: CompiledNetwork) -> Engine {
+        let mut engine = Engine::new(compiled);
+        engine.set_guards(self.guards);
+        engine
     }
 
     /// The compiled artifact for `(net, level)`, compiling on first use.
@@ -165,7 +204,7 @@ impl EngineCache {
         let idle = lock(&self.idle).get_mut(&key).and_then(Vec::pop);
         let engine = match idle {
             Some(engine) => engine,
-            None => Engine::new(self.compiled_for(net, level)?),
+            None => self.instantiate(self.compiled_for(net, level)?),
         };
         Ok(CacheEngine {
             cache: self,
@@ -233,8 +272,18 @@ impl DerefMut for CacheEngine<'_> {
 }
 
 impl Drop for CacheEngine<'_> {
+    /// Checks the engine back into the idle pool — unless its last run
+    /// tripped an ABFT guard, in which case the engine's memory may hold
+    /// silent corruption a rewind cannot clear. Such an engine is
+    /// quarantined (dropped); the next checkout instantiates a fresh one
+    /// from the clean cached artifact, so the corruption is contained to
+    /// the borrower that observed it.
     fn drop(&mut self) {
         if let Some(engine) = self.engine.take() {
+            if engine.last_guard_failed() {
+                self.cache.quarantined.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             lock(&self.cache.idle)
                 .entry(self.key.clone())
                 .or_default()
@@ -329,6 +378,55 @@ mod tests {
             .run(&suite[3].network, OptLevel::Xpulp, &suite[3].input())
             .unwrap();
         assert_eq!(cache.compiles(), 11);
+    }
+
+    /// The check-in regression: a guarded engine whose run trips an ABFT
+    /// guard must be quarantined on drop — checking the corrupted engine
+    /// back in would hand silent corruption (which survives the
+    /// per-run rewind) to the next borrower.
+    #[test]
+    fn guard_tripped_engine_is_quarantined_not_checked_in() {
+        use rnnasip_core::{Fault, FaultPlan, FaultSite};
+
+        let suite = crate::suite();
+        let net = &suite[3]; // eisen2019
+        let input = net.input();
+        let cache = EngineCache::guarded();
+        assert!(cache.guards_enabled());
+        let golden = cache.run(&net.network, OptLevel::IfmTile, &input).unwrap();
+        assert!(!golden.report.guard_failed(), "clean run must not trip");
+        assert_eq!(cache.warm_engines(), 1);
+
+        // A *silent* bias-word flip: evades the dirty-block rewind, so a
+        // checked-in engine would stay corrupted for its next borrower.
+        let mut engine = cache.checkout(&net.network, OptLevel::IfmTile).unwrap();
+        let bias = engine.compiled().guards()[0].region.bias32;
+        engine.inject_faults(&FaultPlan::new().with_fault(Fault {
+            at_instret: 0,
+            site: FaultSite::MemBit {
+                addr: bias,
+                bit: 4,
+                silent: true,
+            },
+        }));
+        let flagged = engine.run(&input).unwrap();
+        assert!(flagged.report.guard_failed(), "the guard must trip");
+        assert!(engine.last_guard_failed());
+        drop(engine);
+
+        // Quarantined: the idle pool is empty, not holding the corrupted
+        // engine.
+        assert_eq!(cache.warm_engines(), 0, "corrupted engine checked in");
+        assert_eq!(cache.quarantined(), 1);
+
+        // The next run instantiates fresh from the clean artifact — no
+        // recompile, no residual corruption, bit-exact outputs.
+        let healed = cache.run(&net.network, OptLevel::IfmTile, &input).unwrap();
+        assert!(!healed.report.guard_failed());
+        assert_eq!(healed.outputs, golden.outputs);
+        assert_eq!(healed.report.cycles(), golden.report.cycles());
+        assert_eq!(cache.len(), 1, "no recompilation was needed");
+        assert_eq!(cache.warm_engines(), 1, "the clean engine pools again");
     }
 
     #[test]

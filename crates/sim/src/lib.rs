@@ -51,6 +51,7 @@ mod cluster;
 mod core_state;
 mod error;
 mod fault;
+mod guard;
 mod machine;
 mod mem;
 mod program;
@@ -62,7 +63,8 @@ mod uop;
 pub use cluster::{Cluster, ClusterKernel, ClusterPhase, ClusterProgram, DmaXfer, TcdmConfig};
 pub use core_state::{Core, HwLoop};
 pub use error::{ExitReason, SimError};
-pub use fault::{Fault, FaultEffect, FaultPlan, FaultRecord, FaultSite};
+pub use fault::{Fault, FaultEffect, FaultPlan, FaultRecord, FaultSite, ParseFaultError};
+pub use guard::{GuardReport, GuardSpec, RegionGuard};
 pub use machine::{Machine, StepOutcome};
 pub use mem::{MemImage, Memory, TrackedMem};
 pub use program::{ProgItem, Program};

@@ -3,6 +3,7 @@
 use crate::core_state::{Core, HwLoop};
 use crate::error::{ExitReason, SimError};
 use crate::fault::{Fault, FaultEffect, FaultPlan, FaultRecord, FaultSite};
+use crate::guard::{GuardReport, GuardSpec, GuardUnit};
 use crate::mem::{MemImage, Memory};
 use crate::program::Program;
 use crate::shortcut::{read_load, ExitVal, ShortcutRegion};
@@ -105,6 +106,10 @@ pub struct Machine {
     /// [`rewind`](Self::rewind) — program corruption is only healed by
     /// reloading the program.
     corrupted_pcs: Vec<u32>,
+    /// Armed ABFT region guards (see [`arm_guards`](Self::arm_guards)),
+    /// `None` when unguarded — the common case, so the hot loop pays one
+    /// pointer test.
+    guards: Option<Box<GuardUnit>>,
 }
 
 impl Machine {
@@ -133,6 +138,7 @@ impl Machine {
             forced_watchdog: None,
             fault_log: Vec::new(),
             corrupted_pcs: Vec::new(),
+            guards: None,
         }
     }
 
@@ -171,6 +177,9 @@ impl Machine {
         let restored = self.mem.restore_image(image);
         self.stats.clear();
         self.shortcut_instrs = 0;
+        if let Some(g) = &mut self.guards {
+            g.reset_run();
+        }
         self.reset_core();
         restored
     }
@@ -186,6 +195,8 @@ impl Machine {
         self.uops = Arc::new(UopProgram::translate(program));
         self.clear_faults();
         self.corrupted_pcs.clear();
+        // Guard boundary indices belong to the replaced program.
+        self.guards = None;
         self.reset_core();
     }
 
@@ -207,6 +218,7 @@ impl Machine {
         self.uops = uops;
         self.clear_faults();
         self.corrupted_pcs.clear();
+        self.guards = None;
         self.reset_core();
     }
 
@@ -301,6 +313,60 @@ impl Machine {
     pub fn clear_stats(&mut self) {
         self.stats.clear();
         self.shortcut_instrs = 0;
+        if let Some(g) = &mut self.guards {
+            g.reset_run();
+        }
+    }
+
+    /// Arms ABFT checksum guards for the loaded program's kernel regions:
+    /// from now on every run verifies each region's exit (see the
+    /// [`guard`](crate::guard) module) and [`guard_report`](Self::guard_report)
+    /// snapshots the verdicts. Guards are pure observers — outputs,
+    /// cycles, `instret` and per-mnemonic rows are untouched — but they
+    /// disable the bulk block runners (a host-throughput cost only; the
+    /// kernel-shortcut tier stays armed, its entries checked the same
+    /// way). Call **after** the program is loaded; region boundaries are
+    /// resolved against the current micro-op image.
+    pub fn arm_guards(&mut self, specs: Arc<Vec<GuardSpec>>) {
+        let program = &self.program;
+        self.guards = Some(Box::new(GuardUnit::new(specs, |a| {
+            program.index_of(a).map(|i| i as u32)
+        })));
+    }
+
+    /// Removes armed guards (per-run counters included).
+    pub fn disarm_guards(&mut self) {
+        self.guards = None;
+    }
+
+    /// Whether ABFT guards are armed.
+    pub fn guards_armed(&self) -> bool {
+        self.guards.is_some()
+    }
+
+    /// Snapshot of the current run's guard verdicts, `None` when no
+    /// guards are armed. A guard still pending mid-region (the run
+    /// halted or faulted inside it) counts as a failed exit.
+    pub fn guard_report(&self) -> Option<GuardReport> {
+        self.guards.as_ref().map(|g| g.report())
+    }
+
+    /// Records `halfwords` halfwords at `base` in the guard ledger (the
+    /// produced-window freshness record — used by the engine to cover
+    /// the freshly patched input window). No-op when guards are off.
+    pub fn guard_note_range(&mut self, base: u32, halfwords: u32) {
+        if let Some(g) = self.guards.as_deref_mut() {
+            g.note_range(&self.mem, base, halfwords);
+        }
+    }
+
+    /// Re-checks a ledger window against current memory: `Some(false)`
+    /// means the bytes changed since they were recorded. `None` when
+    /// guards are off or no entry with this exact base/extent exists.
+    pub fn guard_verify_range(&self, base: u32, halfwords: u32) -> Option<bool> {
+        self.guards
+            .as_deref()?
+            .verify_range(&self.mem, base, halfwords)
     }
 
     /// Arms a fault plan: replaces any pending faults with the plan's
@@ -601,6 +667,14 @@ impl Machine {
         };
         debug_assert_eq!(u.addr, self.core.pc, "micro-op index out of sync with PC");
 
+        // ABFT guard boundary: finish a pending guard whose region ends
+        // at this dispatch, then arm one if a region starts here — before
+        // the shortcut attempt below, so both execution tiers check the
+        // same entries at the same boundaries.
+        if let Some(g) = self.guards.as_deref_mut() {
+            g.boundary(&self.mem, *idx);
+        }
+
         // Load-use stall: one bubble, charged to the producing load.
         if let Some((reg, id)) = self.pending_load.take() {
             if u.uses_mask & (1u32 << reg.num()) != 0 {
@@ -849,8 +923,11 @@ impl Machine {
         top_entry: bool,
     ) -> Result<bool, SimError> {
         // Bulk execution retires many ops without fault or corrupted-slot
-        // checks; fall back to the generic path while any are live.
-        if !self.bulk_ok() {
+        // checks; fall back to the generic path while any are live. Armed
+        // guards also disable it: bulk retirement skips the per-dispatch
+        // guard boundary hook (host-throughput cost only — the per-op
+        // path is bit-identical).
+        if !self.bulk_ok() || self.guards.is_some() {
             return Ok(false);
         }
         let lp = self.core.hwloop[level];
@@ -965,8 +1042,10 @@ impl Machine {
         idx: &mut u32,
         max_cycles: u64,
     ) -> Result<bool, SimError> {
-        // See `run_loop_body`: no bulk retirement while fault state is live.
-        if !self.bulk_ok() {
+        // See `run_loop_body`: no bulk retirement while fault state or
+        // guards are live (a straight run can cross a region's
+        // fall-through exit, skipping the guard boundary hook).
+        if !self.bulk_ok() || self.guards.is_some() {
             return Ok(false);
         }
         let run = &uops.runs[ri as usize];
